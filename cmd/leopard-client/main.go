@@ -1,0 +1,134 @@
+// Command leopard-client submits requests to a running leopard-node
+// cluster and reports confirmation latency. It speaks the client frame
+// protocol documented in cmd/leopard-node.
+//
+//	leopard-client -config cluster.json -replica 2 -count 100 -payload 128
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"time"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "cluster.json", "cluster config file")
+		replica    = flag.Int("replica", 2, "replica to submit to (must not be the leader)")
+		count      = flag.Int("count", 100, "number of requests")
+		payload    = flag.Int("payload", 128, "payload bytes per request")
+		clientID   = flag.Uint64("client", 1, "client id")
+	)
+	flag.Parse()
+	if err := run(*configPath, *replica, *count, *payload, *clientID); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type clusterConfig struct {
+	ClientPorts []string `json:"clientPorts"`
+}
+
+func run(configPath string, replica, count, payload int, clientID uint64) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var cfg clusterConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return err
+	}
+	if replica < 0 || replica >= len(cfg.ClientPorts) {
+		return fmt.Errorf("replica %d has no client port", replica)
+	}
+	conn, err := net.DialTimeout("tcp", cfg.ClientPorts[replica], 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	sendAt := make(map[uint64]time.Time, count)
+	done := make(chan []time.Duration, 1)
+	go func() {
+		latencies := make([]time.Duration, 0, count)
+		for len(latencies) < count {
+			ack, err := readFrame(conn)
+			if err != nil {
+				break
+			}
+			if len(ack) != 16 {
+				continue
+			}
+			seq := binary.BigEndian.Uint64(ack[8:16])
+			if at, ok := sendAt[seq]; ok {
+				latencies = append(latencies, time.Since(at))
+			}
+		}
+		done <- latencies
+	}()
+
+	body := make([]byte, 16+payload)
+	binary.BigEndian.PutUint64(body[0:8], clientID)
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint64(body[8:16], uint64(i))
+		sendAt[uint64(i)] = time.Now()
+		if err := writeFrame(conn, body); err != nil {
+			return err
+		}
+	}
+
+	select {
+	case latencies := <-done:
+		elapsed := time.Since(start)
+		if len(latencies) == 0 {
+			return fmt.Errorf("no acknowledgments received")
+		}
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		fmt.Printf("confirmed %d/%d requests in %v\n", len(latencies), count, elapsed)
+		fmt.Printf("latency: mean=%v p50=%v p99=%v\n",
+			sum/time.Duration(len(latencies)),
+			latencies[len(latencies)/2],
+			latencies[len(latencies)*99/100])
+		return nil
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("timed out waiting for acknowledgments")
+	}
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > 1<<20 {
+		return nil, fmt.Errorf("oversized ack frame")
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func writeFrame(conn net.Conn, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(body)
+	return err
+}

@@ -1,0 +1,250 @@
+// Command leopard-node runs one Leopard replica over real TCP from a JSON
+// cluster configuration, plus a client port accepting request submissions.
+//
+// Cluster config (shared by all replicas):
+//
+//	{
+//	  "replicas": ["127.0.0.1:7000", "127.0.0.1:7001", ...],
+//	  "clientPorts": ["127.0.0.1:8000", "127.0.0.1:8001", ...],
+//	  "seed": "dev-cluster-seed",
+//	  "datablockSize": 500,
+//	  "bftBlockSize": 10
+//	}
+//
+// Run: leopard-node -config cluster.json -id 2
+//
+// Client wire protocol (on the replica's client port): each frame is
+// 4-byte big-endian length + body; a submission body is clientID(8) ||
+// seq(8) || payload, and each confirmation is echoed back as the same
+// 16-byte identity.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/leopard"
+	"leopard/internal/transport"
+	"leopard/internal/transport/tcp"
+	"leopard/internal/types"
+)
+
+// ClusterConfig is the JSON file shared by every replica and client.
+type ClusterConfig struct {
+	Replicas      []string `json:"replicas"`
+	ClientPorts   []string `json:"clientPorts"`
+	Seed          string   `json:"seed"`
+	DatablockSize int      `json:"datablockSize"`
+	BFTBlockSize  int      `json:"bftBlockSize"`
+}
+
+func main() {
+	var (
+		configPath = flag.String("config", "cluster.json", "cluster config file")
+		id         = flag.Int("id", -1, "replica id")
+	)
+	flag.Parse()
+	if err := run(*configPath, *id); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(configPath string, id int) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	var cfg ClusterConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("parse %s: %w", configPath, err)
+	}
+	n := len(cfg.Replicas)
+	if id < 0 || id >= n {
+		return fmt.Errorf("id %d outside cluster of %d replicas", id, n)
+	}
+	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		return err
+	}
+	suite, err := crypto.NewEd25519Suite(n, []byte(cfg.Seed))
+	if err != nil {
+		return err
+	}
+	node, err := leopard.NewNode(leopard.Config{
+		ID:            types.ReplicaID(id),
+		Quorum:        q,
+		Suite:         suite,
+		DatablockSize: cfg.DatablockSize,
+		BFTBlockSize:  cfg.BFTBlockSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	acks := newAckHub()
+	node.SetExecutor(func(sn types.SeqNum, reqs []types.Request) {
+		for _, r := range reqs {
+			acks.notify(r.ID())
+		}
+	})
+
+	rt, err := tcp.New(tcp.Config{
+		Self:  types.ReplicaID(id),
+		Addrs: cfg.Replicas,
+		Codec: leopard.WireCodec{},
+	}, node)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	if len(cfg.ClientPorts) == n {
+		ln, err := net.Listen("tcp", cfg.ClientPorts[id])
+		if err != nil {
+			return fmt.Errorf("client listen: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ctx.Done()
+			ln.Close()
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveClients(ln, rt, node, acks)
+		}()
+		log.Printf("replica %d: consensus on %s, clients on %s", id, cfg.Replicas[id], cfg.ClientPorts[id])
+	} else {
+		log.Printf("replica %d: consensus on %s (no client port configured)", id, cfg.Replicas[id])
+	}
+
+	err = rt.Run(ctx)
+	wg.Wait()
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// ackHub routes confirmations back to the client connection that submitted
+// the request.
+type ackHub struct {
+	mu      sync.Mutex
+	waiters map[types.RequestID]chan struct{}
+}
+
+func newAckHub() *ackHub {
+	return &ackHub{waiters: make(map[types.RequestID]chan struct{})}
+}
+
+func (h *ackHub) expect(id types.RequestID) chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.waiters[id]
+	if !ok {
+		ch = make(chan struct{})
+		h.waiters[id] = ch
+	}
+	return ch
+}
+
+func (h *ackHub) notify(id types.RequestID) {
+	h.mu.Lock()
+	ch, ok := h.waiters[id]
+	if ok {
+		delete(h.waiters, id)
+	}
+	h.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// serveClients handles client submissions on the client port.
+func serveClients(ln net.Listener, rt *tcp.Runtime, node *leopard.Node, acks *ackHub) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go handleClient(conn, rt, node, acks)
+	}
+}
+
+func handleClient(conn net.Conn, rt *tcp.Runtime, node *leopard.Node, acks *ackHub) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	for {
+		frame, err := readClientFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(frame) < 16 {
+			return
+		}
+		req := types.Request{
+			ClientID: binary.BigEndian.Uint64(frame[0:8]),
+			Seq:      binary.BigEndian.Uint64(frame[8:16]),
+			Payload:  append([]byte(nil), frame[16:]...),
+		}
+		done := acks.expect(req.ID())
+		if err := rt.Inject(func(now time.Duration) []transport.Envelope {
+			node.SubmitRequest(now, req)
+			return nil
+		}); err != nil {
+			return
+		}
+		go func(id types.RequestID) {
+			<-done
+			var ack [16]byte
+			binary.BigEndian.PutUint64(ack[0:8], id.Client)
+			binary.BigEndian.PutUint64(ack[8:16], id.Seq)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			writeClientFrame(conn, ack[:])
+		}(req.ID())
+	}
+}
+
+func readClientFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > 16<<20 {
+		return nil, fmt.Errorf("client frame too large: %d", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func writeClientFrame(conn net.Conn, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(body)
+	return err
+}

@@ -1,0 +1,213 @@
+// Command leopard-sim reproduces the paper's tables and figures from the
+// command line. Each experiment id corresponds to one table/figure of the
+// evaluation section (see DESIGN.md for the index):
+//
+//	leopard-sim -experiment fig9
+//	leopard-sim -experiment fig12 -scales 4,16,64
+//	leopard-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"leopard/internal/experiments"
+	"leopard/internal/leopard/analysis"
+	"leopard/internal/metrics"
+)
+
+var knownExperiments = []struct{ id, desc string }{
+	{"fig2", "HotStuff throughput and leader bandwidth vs n"},
+	{"table1", "amortized costs and scaling factors (analytical)"},
+	{"fig6", "HotStuff throughput vs batch size"},
+	{"fig7", "Leopard throughput vs BFTblock size"},
+	{"fig8", "Leopard throughput vs datablock size"},
+	{"fig9", "throughput vs scale, Leopard vs HotStuff"},
+	{"fig10", "scaling up: throughput/latency vs per-replica bandwidth"},
+	{"fig11", "leader bandwidth vs n, both systems"},
+	{"table3", "bandwidth utilization breakdown (n=32)"},
+	{"table4", "latency breakdown (n=32)"},
+	{"fig12", "retrieval cost of a missing datablock (+ Table V)"},
+	{"fig13", "view-change time and communication cost"},
+	{"attack", "throughput under f selective-attacking replicas"},
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (see -list)")
+		scalesArg  = flag.String("scales", "", "comma-separated replica counts (default: per-experiment)")
+		list       = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+	if *list || *experiment == "" {
+		fmt.Println("experiments:")
+		for _, e := range knownExperiments {
+			fmt.Printf("  %-8s %s\n", e.id, e.desc)
+		}
+		if *experiment == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	scales, err := parseScales(*scalesArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*experiment, scales); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func parseScales(arg string) ([]int, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(arg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(id string, scales []int) error {
+	switch id {
+	case "fig2":
+		rows, err := experiments.Fig2(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   throughput(Kreq/s)   leader(Gbps)")
+		for _, r := range rows {
+			fmt.Printf("%4d   %18.1f   %12.2f\n", r.N, r.Throughput/1e3, r.LeaderMbps/1e3)
+		}
+	case "table1":
+		for _, r := range analysis.TableI() {
+			fmt.Printf("%-9s leader=%-5s replica=%-5s SF=%-5s votes=%d/%d\n",
+				r.Protocol, r.LeaderCost, r.ReplicaCost, r.ScalingFactor, r.VotingOptimistic, r.VotingFaulty)
+		}
+	case "fig6":
+		rows, err := experiments.Fig6(scales, nil)
+		if err != nil {
+			return err
+		}
+		printPoints("batch", rows)
+	case "fig7":
+		rows, err := experiments.Fig7(scales, nil)
+		if err != nil {
+			return err
+		}
+		printPoints("links", rows)
+	case "fig8":
+		for _, bft := range []int{10, 100} {
+			rows, err := experiments.Fig8(scales, nil, bft)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- BFTblock size %d --\n", bft)
+			printPoints("datablock", rows)
+		}
+	case "fig9", "fig11":
+		rows, err := experiments.Fig9(scales, 300)
+		if err != nil {
+			return err
+		}
+		if id == "fig9" {
+			fmt.Println("   n   Leopard(Kreq/s)   HotStuff(Kreq/s)")
+		} else {
+			fmt.Println("   n   Leopard-leader(Mbps)   HotStuff-leader(Mbps)")
+		}
+		for _, r := range rows {
+			if id == "fig9" {
+				if r.HotStuff != nil {
+					fmt.Printf("%4d   %15.1f   %16.1f\n", r.N, r.Leopard.Throughput/1e3, r.HotStuff.Throughput/1e3)
+				} else {
+					fmt.Printf("%4d   %15.1f   %16s\n", r.N, r.Leopard.Throughput/1e3, "-")
+				}
+				continue
+			}
+			if r.HotStuff != nil {
+				fmt.Printf("%4d   %20.0f   %21.0f\n", r.N, r.Leopard.LeaderMbps, r.HotStuff.LeaderMbps)
+			} else {
+				fmt.Printf("%4d   %20.0f   %21s\n", r.N, r.Leopard.LeaderMbps, "-")
+			}
+		}
+	case "fig10":
+		rows, err := experiments.Fig10(scales, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("system     n   bw(Mbps)   tput(Mbps)   latency")
+		for _, r := range rows {
+			fmt.Printf("%-8s %4d   %8.0f   %10.2f   %v\n", r.System, r.N, r.BandwidthMbps, r.TputMbps, r.MeanLat)
+		}
+	case "table3":
+		leader, replica, err := experiments.Table3(32)
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- leader --")
+		fmt.Print(metrics.FormatBreakdown(leader))
+		fmt.Println("-- non-leader --")
+		fmt.Print(metrics.FormatBreakdown(replica))
+	case "table4":
+		rows, err := experiments.Table4(32)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-26s %6.2f%%\n", r.Stage, r.Percent)
+		}
+	case "fig12":
+		rows, err := experiments.Fig12(scales, false)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   recover(KB)   respond(KB)   time(ms)")
+		for _, r := range rows {
+			fmt.Printf("%4d   %11.1f   %11.1f   %8.1f\n",
+				r.N, float64(r.RecoverBytes)/1e3, float64(r.RespondBytes)/1e3,
+				float64(r.RetrievalTime.Microseconds())/1e3)
+		}
+	case "fig13":
+		rows, err := experiments.Fig13(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   time(ms)   total(B)   leader-sent(B)")
+		for _, r := range rows {
+			fmt.Printf("%4d   %8.1f   %8d   %14d\n",
+				r.N, float64(r.Time.Microseconds())/1e3, r.TotalBytes, r.LeaderSent)
+		}
+	case "attack":
+		if len(scales) == 0 {
+			scales = []int{16, 64}
+		}
+		fmt.Println("   n   throughput(Kreq/s)   retrievals")
+		for _, n := range scales {
+			r, err := experiments.SelectiveAttack(n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%4d   %18.1f   %10d\n", r.N, r.Throughput/1e3, r.Retrievals)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	return nil
+}
+
+func printPoints(param string, rows []experiments.Point) {
+	fmt.Printf("   n   %9s   throughput(Kreq/s)\n", param)
+	for _, r := range rows {
+		fmt.Printf("%4d   %9.0f   %18.1f\n", r.N, r.Param, r.Throughput/1e3)
+	}
+}

@@ -1,0 +1,226 @@
+// Package codec provides the deterministic binary wire encoding used by the
+// TCP transport and by Leopard's retrieval mechanism (datablocks are
+// serialized before erasure coding so chunks are well-defined byte ranges).
+//
+// Encoding conventions: big-endian fixed-width integers, length-prefixed
+// byte strings (uint32 lengths), no varints — simple, unambiguous, and
+// cheap to bound-check.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"leopard/internal/types"
+)
+
+// Errors returned by decoders.
+var (
+	ErrTruncated = errors.New("codec: truncated input")
+	ErrOversize  = errors.New("codec: length prefix exceeds limit")
+)
+
+// MaxElements bounds decoded collection sizes to prevent memory-exhaustion
+// on malformed input.
+const MaxElements = 1 << 22
+
+// Writer appends primitives to a byte slice.
+type Writer struct {
+	Buf []byte
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.Buf = append(w.Buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	w.Buf = append(w.Buf, tmp[:]...)
+}
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], v)
+	w.Buf = append(w.Buf, tmp[:]...)
+}
+
+// Bytes appends a uint32 length prefix followed by b.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.Buf = append(w.Buf, b...)
+}
+
+// Hash appends a fixed 32-byte hash.
+func (w *Writer) Hash(h types.Hash) { w.Buf = append(w.Buf, h[:]...) }
+
+// Reader consumes primitives from a byte slice.
+type Reader struct {
+	Buf []byte
+	off int
+	err error
+}
+
+// Err returns the first decoding error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.Buf) - r.off }
+
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.Buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.Buf))
+		return false
+	}
+	return true
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.Buf[r.off]
+	r.off++
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.Buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.Buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// Bytes reads a length-prefixed byte string (copied out).
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > MaxElements {
+		r.err = fmt.Errorf("%w: %d", ErrOversize, n)
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.Buf[r.off:])
+	r.off += n
+	return out
+}
+
+// Hash reads a fixed 32-byte hash.
+func (r *Reader) Hash() types.Hash {
+	var h types.Hash
+	if !r.need(32) {
+		return h
+	}
+	copy(h[:], r.Buf[r.off:])
+	r.off += 32
+	return h
+}
+
+// MarshalRequest encodes one request.
+func MarshalRequest(w *Writer, req types.Request) {
+	w.U64(req.ClientID)
+	w.U64(req.Seq)
+	w.Bytes(req.Payload)
+}
+
+// UnmarshalRequest decodes one request.
+func UnmarshalRequest(r *Reader) types.Request {
+	return types.Request{
+		ClientID: r.U64(),
+		Seq:      r.U64(),
+		Payload:  r.Bytes(),
+	}
+}
+
+// MarshalDatablock encodes a datablock to bytes. The encoding is canonical:
+// equal datablocks produce equal bytes.
+func MarshalDatablock(d *types.Datablock) []byte {
+	w := &Writer{Buf: make([]byte, 0, d.Size()+16)}
+	w.U32(uint32(d.Ref.Generator))
+	w.U64(d.Ref.Counter)
+	w.U32(uint32(len(d.Requests)))
+	for _, req := range d.Requests {
+		MarshalRequest(w, req)
+	}
+	return w.Buf
+}
+
+// UnmarshalDatablock decodes a datablock.
+func UnmarshalDatablock(buf []byte) (*types.Datablock, error) {
+	r := &Reader{Buf: buf}
+	d := &types.Datablock{}
+	d.Ref.Generator = types.ReplicaID(r.U32())
+	d.Ref.Counter = r.U64()
+	count := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if count > MaxElements {
+		return nil, fmt.Errorf("%w: %d requests", ErrOversize, count)
+	}
+	d.Requests = make([]types.Request, 0, count)
+	for i := 0; i < count; i++ {
+		d.Requests = append(d.Requests, UnmarshalRequest(r))
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return d, nil
+}
+
+// MarshalBFTblock encodes a BFTblock.
+func MarshalBFTblock(w *Writer, b *types.BFTblock) {
+	w.U64(uint64(b.View))
+	w.U64(uint64(b.Seq))
+	w.U32(uint32(len(b.Content)))
+	for _, h := range b.Content {
+		w.Hash(h)
+	}
+}
+
+// UnmarshalBFTblock decodes a BFTblock.
+func UnmarshalBFTblock(r *Reader) (*types.BFTblock, error) {
+	b := &types.BFTblock{
+		View: types.View(r.U64()),
+		Seq:  types.SeqNum(r.U64()),
+	}
+	count := int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if count > MaxElements {
+		return nil, fmt.Errorf("%w: %d links", ErrOversize, count)
+	}
+	b.Content = make([]types.Hash, 0, count)
+	for i := 0; i < count; i++ {
+		b.Content = append(b.Content, r.Hash())
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return b, nil
+}

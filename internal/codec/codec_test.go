@@ -1,0 +1,179 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"leopard/internal/types"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	w := &Writer{}
+	w.U8(7)
+	w.U32(123456)
+	w.U64(1 << 40)
+	w.Bytes([]byte("payload"))
+	w.Hash(types.Hash{1, 2, 3})
+
+	r := &Reader{Buf: w.Buf}
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 123456 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte("payload")) {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := r.Hash(); got != (types.Hash{1, 2, 3}) {
+		t.Errorf("Hash = %v", got)
+	}
+	if r.Err() != nil {
+		t.Errorf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	r := &Reader{Buf: []byte{1, 2}}
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", r.Err())
+	}
+	// Errors are sticky.
+	_ = r.U8()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Error("error must stick")
+	}
+}
+
+func TestBytesOversizeRejected(t *testing.T) {
+	w := &Writer{}
+	w.U32(uint32(MaxElements + 1))
+	r := &Reader{Buf: w.Buf}
+	if r.Bytes() != nil || !errors.Is(r.Err(), ErrOversize) {
+		t.Errorf("want ErrOversize, got %v", r.Err())
+	}
+}
+
+func TestDatablockRoundTrip(t *testing.T) {
+	db := &types.Datablock{
+		Ref: types.DatablockRef{Generator: 9, Counter: 42},
+		Requests: []types.Request{
+			{ClientID: 1, Seq: 1, Payload: []byte("first")},
+			{ClientID: 2, Seq: 7, Payload: nil},
+			{ClientID: 3, Seq: 0, Payload: bytes.Repeat([]byte{0xaa}, 1000)},
+		},
+	}
+	buf := MarshalDatablock(db)
+	got, err := UnmarshalDatablock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref != db.Ref || len(got.Requests) != len(db.Requests) {
+		t.Fatalf("header mismatch: %+v", got.Ref)
+	}
+	for i := range db.Requests {
+		if got.Requests[i].ClientID != db.Requests[i].ClientID ||
+			got.Requests[i].Seq != db.Requests[i].Seq ||
+			!bytes.Equal(got.Requests[i].Payload, db.Requests[i].Payload) {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestDatablockCanonical(t *testing.T) {
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 1, Counter: 2},
+		Requests: []types.Request{{ClientID: 5, Seq: 6, Payload: []byte("x")}},
+	}
+	if !bytes.Equal(MarshalDatablock(db), MarshalDatablock(db)) {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestDatablockTruncated(t *testing.T) {
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 1, Counter: 2},
+		Requests: []types.Request{{ClientID: 5, Seq: 6, Payload: []byte("xyz")}},
+	}
+	buf := MarshalDatablock(db)
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, err := UnmarshalDatablock(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBFTblockRoundTrip(t *testing.T) {
+	b := &types.BFTblock{View: 3, Seq: 99, Content: []types.Hash{{1}, {2}, {3}}}
+	w := &Writer{}
+	MarshalBFTblock(w, b)
+	got, err := UnmarshalBFTblock(&Reader{Buf: w.Buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+	}
+}
+
+func TestBFTblockEmptyContent(t *testing.T) {
+	b := &types.BFTblock{View: 1, Seq: 1}
+	w := &Writer{}
+	MarshalBFTblock(w, b)
+	got, err := UnmarshalBFTblock(&Reader{Buf: w.Buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.View != 1 || got.Seq != 1 || len(got.Content) != 0 {
+		t.Fatalf("unexpected block %+v", got)
+	}
+}
+
+// TestPropertyDatablockRoundTrip fuzzes datablock encode/decode.
+func TestPropertyDatablockRoundTrip(t *testing.T) {
+	check := func(gen uint32, counter uint64, payloads [][]byte) bool {
+		db := &types.Datablock{Ref: types.DatablockRef{Generator: types.ReplicaID(gen), Counter: counter}}
+		for i, p := range payloads {
+			db.Requests = append(db.Requests, types.Request{ClientID: uint64(i), Seq: counter, Payload: p})
+		}
+		got, err := UnmarshalDatablock(MarshalDatablock(db))
+		if err != nil {
+			return false
+		}
+		if got.Ref != db.Ref || len(got.Requests) != len(db.Requests) {
+			return false
+		}
+		for i := range db.Requests {
+			if !bytes.Equal(got.Requests[i].Payload, db.Requests[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyGarbageInput feeds random bytes to the decoders; they must
+// error or succeed but never panic.
+func TestPropertyGarbageInput(t *testing.T) {
+	check := func(data []byte) bool {
+		_, _ = UnmarshalDatablock(data)
+		_, _ = UnmarshalBFTblock(&Reader{Buf: data})
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"leopard/internal/types"
+)
+
+// suites returns both Suite implementations for shared conformance tests.
+func suites(t *testing.T, n int) map[string]Suite {
+	t.Helper()
+	ed, err := NewEd25519Suite(n, []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimSuite(n, []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Suite{"ed25519": ed, "sim": sim}
+}
+
+func TestSuiteSignVerifyCombine(t *testing.T) {
+	const n = 7
+	digest := HashBytes([]byte("hello"))
+	for name, s := range suites(t, n) {
+		t.Run(name, func(t *testing.T) {
+			q := s.Params()
+			var shares []Share
+			for i := 0; i < q.Quorum(); i++ {
+				sh, err := s.Sign(types.ReplicaID(i), digest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.VerifyShare(digest, sh); err != nil {
+					t.Fatalf("share %d: %v", i, err)
+				}
+				shares = append(shares, sh)
+			}
+			proof, err := s.Combine(digest, shares)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.VerifyProof(digest, proof); err != nil {
+				t.Fatal(err)
+			}
+			// A proof for one digest must not verify for another.
+			other := HashBytes([]byte("other"))
+			if err := s.VerifyProof(other, proof); err == nil {
+				t.Fatal("proof verified for the wrong digest")
+			}
+		})
+	}
+}
+
+func TestSuiteRejectsBadShares(t *testing.T) {
+	const n = 4
+	digest := HashBytes([]byte("msg"))
+	for name, s := range suites(t, n) {
+		t.Run(name, func(t *testing.T) {
+			sh, err := s.Sign(0, digest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tampered signature bytes.
+			bad := Share{Signer: sh.Signer, Sig: append([]byte(nil), sh.Sig...)}
+			bad.Sig[0] ^= 0xff
+			if err := s.VerifyShare(digest, bad); err == nil {
+				t.Error("tampered share verified")
+			}
+			// Claimed wrong signer.
+			imposter := Share{Signer: 1, Sig: sh.Sig}
+			if err := s.VerifyShare(digest, imposter); err == nil {
+				t.Error("share verified under the wrong signer")
+			}
+			// Unknown signer id.
+			if _, err := s.Sign(types.ReplicaID(n), digest); err == nil {
+				t.Error("signing with out-of-range id succeeded")
+			}
+			if err := s.VerifyShare(digest, Share{Signer: types.ReplicaID(n), Sig: sh.Sig}); err == nil {
+				t.Error("verifying out-of-range signer succeeded")
+			}
+		})
+	}
+}
+
+func TestCombineRequiresQuorum(t *testing.T) {
+	const n = 7 // f=2, quorum=5
+	digest := HashBytes([]byte("quorum"))
+	for name, s := range suites(t, n) {
+		t.Run(name, func(t *testing.T) {
+			var shares []Share
+			for i := 0; i < 4; i++ { // one short of quorum
+				sh, _ := s.Sign(types.ReplicaID(i), digest)
+				shares = append(shares, sh)
+			}
+			if _, err := s.Combine(digest, shares); !errors.Is(err, ErrNotEnoughShares) {
+				t.Errorf("want ErrNotEnoughShares, got %v", err)
+			}
+			// Duplicates must not count toward the quorum.
+			sh, _ := s.Sign(0, digest)
+			dups := append(append([]Share(nil), shares...), sh)
+			if _, err := s.Combine(digest, dups); err == nil {
+				t.Error("combine with duplicate signer succeeded")
+			}
+		})
+	}
+}
+
+func TestCombineRejectsInvalidShareInQuorum(t *testing.T) {
+	const n = 4
+	digest := HashBytes([]byte("poison"))
+	for name, s := range suites(t, n) {
+		t.Run(name, func(t *testing.T) {
+			var shares []Share
+			for i := 0; i < s.Params().Quorum(); i++ {
+				sh, _ := s.Sign(types.ReplicaID(i), digest)
+				shares = append(shares, sh)
+			}
+			shares[1].Sig[0] ^= 0x01 // poison one share
+			if _, err := s.Combine(digest, shares); err == nil {
+				t.Error("combine accepted a poisoned share")
+			}
+		})
+	}
+}
+
+func TestEd25519ProofRejectsSubQuorumBitmap(t *testing.T) {
+	s, err := NewEd25519Suite(4, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := HashBytes([]byte("m"))
+	var shares []Share
+	for i := 0; i < 3; i++ {
+		sh, _ := s.Sign(types.ReplicaID(i), digest)
+		shares = append(shares, sh)
+	}
+	proof, err := s.Combine(digest, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clear one bitmap bit: now only 2 signers claimed.
+	proof.Sig[0] &^= 1
+	if err := s.VerifyProof(digest, proof); err == nil {
+		t.Fatal("proof with sub-quorum bitmap verified")
+	}
+}
+
+func TestSuiteSizes(t *testing.T) {
+	ed, _ := NewEd25519Suite(4, []byte("s"))
+	if ed.ShareSize() != 64 {
+		t.Errorf("ed25519 share size = %d, want 64", ed.ShareSize())
+	}
+	sim, _ := NewSimSuite(4, []byte("s"))
+	if sim.ShareSize() != SimShareSize || sim.ProofSize() != SimProofSize {
+		t.Errorf("sim sizes = %d/%d, want %d/%d", sim.ShareSize(), sim.ProofSize(), SimShareSize, SimProofSize)
+	}
+	custom, err := NewSimSuite(4, []byte("s"), WithShareSize(16), WithProofSize(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.ShareSize() != 16 || custom.ProofSize() != 100 {
+		t.Errorf("custom sizes not applied: %d/%d", custom.ShareSize(), custom.ProofSize())
+	}
+	sh, _ := custom.Sign(0, HashBytes([]byte("z")))
+	if len(sh.Sig) != 16 {
+		t.Errorf("share wire length = %d, want 16", len(sh.Sig))
+	}
+	if _, err := NewSimSuite(4, []byte("s"), WithShareSize(4)); err == nil {
+		t.Error("absurdly small share size accepted")
+	}
+}
+
+func TestSimSuiteDeterministicAcrossInstances(t *testing.T) {
+	a, _ := NewSimSuite(4, []byte("shared-seed"))
+	b, _ := NewSimSuite(4, []byte("shared-seed"))
+	digest := HashBytes([]byte("d"))
+	sh, err := a.Sign(2, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyShare(digest, sh); err != nil {
+		t.Fatal("share from one instance must verify at another with the same seed")
+	}
+	var shares []Share
+	for i := 0; i < 3; i++ {
+		s, _ := a.Sign(types.ReplicaID(i), digest)
+		shares = append(shares, s)
+	}
+	proof, err := a.Combine(digest, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.VerifyProof(digest, proof); err != nil {
+		t.Fatal("proof from one instance must verify at another with the same seed")
+	}
+}
+
+func TestHashHelpersDistinguishInputs(t *testing.T) {
+	r1 := types.Request{ClientID: 1, Seq: 2, Payload: []byte("a")}
+	r2 := types.Request{ClientID: 1, Seq: 3, Payload: []byte("a")}
+	if HashRequest(r1) == HashRequest(r2) {
+		t.Error("requests with different seq must hash differently")
+	}
+	db1 := &types.Datablock{Ref: types.DatablockRef{Generator: 1, Counter: 1}, Requests: []types.Request{r1}}
+	db2 := &types.Datablock{Ref: types.DatablockRef{Generator: 1, Counter: 2}, Requests: []types.Request{r1}}
+	if HashDatablock(db1) == HashDatablock(db2) {
+		t.Error("datablocks with different counters must hash differently")
+	}
+	b1 := &types.BFTblock{View: 1, Seq: 1, Content: []types.Hash{{1}}}
+	b2 := &types.BFTblock{View: 1, Seq: 1, Content: []types.Hash{{2}}}
+	if HashBFTblock(b1) == HashBFTblock(b2) {
+		t.Error("BFTblocks with different content must hash differently")
+	}
+	if HashOfHash(types.Hash{1}) == HashOfHash(types.Hash{2}) {
+		t.Error("hash chaining collision")
+	}
+}
+
+// TestPropertyShareRoundTrip fuzzes digests through both suites.
+func TestPropertyShareRoundTrip(t *testing.T) {
+	ed, _ := NewEd25519Suite(4, []byte("fuzz"))
+	sim, _ := NewSimSuite(4, []byte("fuzz"))
+	check := func(data []byte, signerRaw uint8) bool {
+		signer := types.ReplicaID(signerRaw % 4)
+		digest := HashBytes(data)
+		for _, s := range []Suite{ed, sim} {
+			sh, err := s.Sign(signer, digest)
+			if err != nil {
+				return false
+			}
+			if err := s.VerifyShare(digest, sh); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEd25519Sign(b *testing.B) {
+	s, _ := NewEd25519Suite(4, []byte("bench"))
+	digest := HashBytes([]byte("benchmark"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sign(0, digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimSign(b *testing.B) {
+	s, _ := NewSimSuite(4, []byte("bench"))
+	digest := HashBytes([]byte("benchmark"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sign(0, digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"leopard/internal/types"
+)
+
+// Ed25519Suite implements Suite as a (2f+1, n) aggregate multisignature:
+// each share is a real Ed25519 signature; the combined proof is a signer
+// bitmap followed by the shares of the 2f+1 lowest-id signers. The proof is
+// publicly verifiable against the per-replica public keys.
+//
+// This is the documented substitution for threshold BLS (see DESIGN.md §1):
+// the interface contract — unforgeable shares, quorum-combined proofs,
+// public verification — is preserved; only the proof wire size differs,
+// which the simulations account for separately via SimSuite.
+type Ed25519Suite struct {
+	params types.QuorumParams
+	pubs   []ed25519.PublicKey
+	privs  []ed25519.PrivateKey // only the local replica's entry is non-nil in deployments
+}
+
+var _ Suite = (*Ed25519Suite)(nil)
+
+// NewEd25519Suite runs a trusted-dealer setup for n replicas from a seed,
+// returning a suite holding every key (convenient for tests and in-process
+// clusters). Deployments should distribute keys and use NewEd25519Verifier.
+func NewEd25519Suite(n int, seed []byte) (*Ed25519Suite, error) {
+	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Ed25519Suite{
+		params: q,
+		pubs:   make([]ed25519.PublicKey, n),
+		privs:  make([]ed25519.PrivateKey, n),
+	}
+	for i := 0; i < n; i++ {
+		var keySeed [ed25519.SeedSize]byte
+		h := sha256.New()
+		h.Write(seed)
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		h.Write(idx[:])
+		h.Sum(keySeed[:0])
+		s.privs[i] = ed25519.NewKeyFromSeed(keySeed[:])
+		s.pubs[i] = s.privs[i].Public().(ed25519.PublicKey)
+	}
+	return s, nil
+}
+
+// Params implements Suite.
+func (s *Ed25519Suite) Params() types.QuorumParams { return s.params }
+
+// ShareSize implements Suite: an Ed25519 signature is 64 bytes.
+func (s *Ed25519Suite) ShareSize() int { return ed25519.SignatureSize }
+
+// ProofSize implements Suite: bitmap + 2f+1 signatures.
+func (s *Ed25519Suite) ProofSize() int {
+	return (s.params.N+7)/8 + s.params.Quorum()*ed25519.SignatureSize
+}
+
+// Sign implements Suite.
+func (s *Ed25519Suite) Sign(signer types.ReplicaID, digest types.Hash) (Share, error) {
+	if int(signer) >= s.params.N || s.privs[signer] == nil {
+		return Share{}, fmt.Errorf("%w: %d", ErrUnknownSigner, signer)
+	}
+	return Share{Signer: signer, Sig: ed25519.Sign(s.privs[signer], digest[:])}, nil
+}
+
+// VerifyShare implements Suite.
+func (s *Ed25519Suite) VerifyShare(digest types.Hash, share Share) error {
+	if int(share.Signer) >= s.params.N {
+		return fmt.Errorf("%w: %d", ErrUnknownSigner, share.Signer)
+	}
+	if !ed25519.Verify(s.pubs[share.Signer], digest[:], share.Sig) {
+		return fmt.Errorf("%w: signer %d", ErrBadShare, share.Signer)
+	}
+	return nil
+}
+
+// Combine implements Suite. Shares must be valid; Combine re-checks them so
+// a faulty vote cannot poison the aggregate.
+func (s *Ed25519Suite) Combine(digest types.Hash, shares []Share) (Proof, error) {
+	if err := dedupShares(s.params, shares); err != nil {
+		return Proof{}, err
+	}
+	sorted := make([]Share, len(shares))
+	copy(sorted, shares)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Signer < sorted[j].Signer })
+	sorted = sorted[:s.params.Quorum()]
+
+	bitmapLen := (s.params.N + 7) / 8
+	out := make([]byte, bitmapLen, bitmapLen+len(sorted)*ed25519.SignatureSize)
+	for _, sh := range sorted {
+		if err := s.VerifyShare(digest, sh); err != nil {
+			return Proof{}, err
+		}
+		out[int(sh.Signer)/8] |= 1 << (uint(sh.Signer) % 8)
+		out = append(out, sh.Sig...)
+	}
+	return Proof{Sig: out}, nil
+}
+
+// VerifyProof implements Suite.
+func (s *Ed25519Suite) VerifyProof(digest types.Hash, proof Proof) error {
+	bitmapLen := (s.params.N + 7) / 8
+	if len(proof.Sig) < bitmapLen {
+		return fmt.Errorf("%w: truncated bitmap", ErrBadProof)
+	}
+	bitmap, sigs := proof.Sig[:bitmapLen], proof.Sig[bitmapLen:]
+	var signers []types.ReplicaID
+	for i := 0; i < s.params.N; i++ {
+		if bitmap[i/8]&(1<<(uint(i)%8)) != 0 {
+			signers = append(signers, types.ReplicaID(i))
+		}
+	}
+	if len(signers) < s.params.Quorum() {
+		return fmt.Errorf("%w: %d signers below quorum %d", ErrBadProof, len(signers), s.params.Quorum())
+	}
+	if len(sigs) != len(signers)*ed25519.SignatureSize {
+		return fmt.Errorf("%w: signature block length mismatch", ErrBadProof)
+	}
+	for i, id := range signers {
+		sig := sigs[i*ed25519.SignatureSize : (i+1)*ed25519.SignatureSize]
+		if !ed25519.Verify(s.pubs[id], digest[:], sig) {
+			return fmt.Errorf("%w: signer %d", ErrBadProof, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package crypto provides hashing helpers and the threshold-signature Suite
+// abstraction used by all protocols in this repository.
+//
+// The Leopard paper instantiates votes with threshold BLS (κ = 48 bytes).
+// Pairing-based BLS is not implementable with the Go standard library, so
+// this package offers two Suite implementations (see DESIGN.md §1):
+//
+//   - Ed25519Suite: a genuine (2f+1, n) aggregate multisignature built from
+//     crypto/ed25519 (bitmap + concatenated signatures). Unforgeable and
+//     publicly verifiable; used in unit tests and real TCP deployments.
+//   - SimSuite: a deterministic keyed-MAC scheme with configurable wire
+//     sizes, used by the large-scale network simulations where only the
+//     *size* of votes/proofs affects the measured behaviour.
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"leopard/internal/types"
+)
+
+// HashBytes returns the SHA-256 digest of data.
+func HashBytes(data []byte) types.Hash {
+	return sha256.Sum256(data)
+}
+
+// HashConcat hashes the concatenation of the given byte slices.
+func HashConcat(parts ...[]byte) types.Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HashRequest returns the digest of a request's identity and payload.
+func HashRequest(r types.Request) types.Hash {
+	h := sha256.New()
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], r.ClientID)
+	h.Write(tmp[:])
+	binary.BigEndian.PutUint64(tmp[:], r.Seq)
+	h.Write(tmp[:])
+	h.Write(r.Payload)
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HashDatablock returns the digest identifying a datablock.
+func HashDatablock(d *types.Datablock) types.Hash {
+	h := sha256.New()
+	var tmp [8]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(d.Ref.Generator))
+	h.Write(tmp[:4])
+	binary.BigEndian.PutUint64(tmp[:], d.Ref.Counter)
+	h.Write(tmp[:])
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(d.Requests)))
+	h.Write(tmp[:4])
+	for _, r := range d.Requests {
+		rh := HashRequest(r)
+		h.Write(rh[:])
+	}
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// HashBFTblock returns the digest of a BFTblock's identity-bearing fields.
+func HashBFTblock(b *types.BFTblock) types.Hash {
+	buf := make([]byte, 0, 20+32*len(b.Content))
+	buf = b.AppendDigestInput(buf)
+	return sha256.Sum256(buf)
+}
+
+// HashOfHash chains a digest, used for second-round votes on H(σ1).
+func HashOfHash(h types.Hash) types.Hash {
+	return sha256.Sum256(h[:])
+}

@@ -1,0 +1,69 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+
+	"leopard/internal/types"
+)
+
+// Errors returned by Suite implementations.
+var (
+	ErrBadShare        = errors.New("crypto: invalid signature share")
+	ErrBadProof        = errors.New("crypto: invalid combined proof")
+	ErrNotEnoughShares = errors.New("crypto: not enough shares to combine")
+	ErrUnknownSigner   = errors.New("crypto: unknown signer id")
+	ErrDuplicateSigner = errors.New("crypto: duplicate signer in share set")
+)
+
+// Share is one replica's threshold-signature share on a message digest.
+type Share struct {
+	Signer types.ReplicaID
+	Sig    []byte
+}
+
+// Proof is a combined (2f+1)-threshold signature: the O(1) acknowledgment
+// multicast after each voting round.
+type Proof struct {
+	Sig []byte
+}
+
+// Suite is the (2f+1, n)-threshold signature abstraction from the paper:
+// TSig / TVrf (share) / TSR (combine) / TVrf (proof).
+//
+// Implementations must be safe for concurrent use.
+type Suite interface {
+	// Sign produces signer's share on digest.
+	Sign(signer types.ReplicaID, digest types.Hash) (Share, error)
+	// VerifyShare checks that share is valid for digest under the signer's key.
+	VerifyShare(digest types.Hash, share Share) error
+	// Combine aggregates at least Quorum() distinct valid shares into a proof.
+	Combine(digest types.Hash, shares []Share) (Proof, error)
+	// VerifyProof checks a combined proof for digest under the master key.
+	VerifyProof(digest types.Hash, proof Proof) error
+	// ShareSize returns the wire size in bytes of one share (κ in the paper).
+	ShareSize() int
+	// ProofSize returns the wire size in bytes of one combined proof.
+	ProofSize() int
+	// Params returns the quorum parameters the suite was set up for.
+	Params() types.QuorumParams
+}
+
+// dedupShares validates that shares are from distinct known signers and
+// returns them unchanged. Shared helper for Combine implementations.
+func dedupShares(q types.QuorumParams, shares []Share) error {
+	if len(shares) < q.Quorum() {
+		return fmt.Errorf("%w: have %d, need %d", ErrNotEnoughShares, len(shares), q.Quorum())
+	}
+	seen := make(map[types.ReplicaID]struct{}, len(shares))
+	for _, s := range shares {
+		if int(s.Signer) >= q.N {
+			return fmt.Errorf("%w: %d", ErrUnknownSigner, s.Signer)
+		}
+		if _, dup := seen[s.Signer]; dup {
+			return fmt.Errorf("%w: %d", ErrDuplicateSigner, s.Signer)
+		}
+		seen[s.Signer] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Exhaustively verify multiplicative inverses and distributivity on a
+	// sample; the field is small enough for full inverse coverage.
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if got := gfMul(byte(a), inv); got != 1 {
+			t.Fatalf("gfMul(%d, inv) = %d, want 1", a, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		left := gfMul(a, b^c)
+		right := gfMul(a, b) ^ gfMul(a, c)
+		if left != right {
+			t.Fatalf("distributivity fails: %d*(%d^%d)=%d, want %d", a, b, c, left, right)
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity fails for %d,%d", a, b)
+		}
+	}
+}
+
+func TestGFMulAssociative(t *testing.T) {
+	check := func(a, b, c byte) bool {
+		return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGFExp(t *testing.T) {
+	if gfExp(2, 0) != 1 {
+		t.Error("x^0 must be 1")
+	}
+	if gfExp(0, 5) != 0 {
+		t.Error("0^5 must be 0")
+	}
+	// gfExp(g, k) must equal repeated multiplication.
+	acc := byte(1)
+	for k := 0; k < 300; k++ {
+		if got := gfExp(3, k); got != acc {
+			t.Fatalf("gfExp(3, %d) = %d, want %d", k, got, acc)
+		}
+		acc = gfMul(acc, 3)
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		m := identity(k)
+		inv, err := m.invert()
+		if err != nil {
+			t.Fatalf("identity %d: %v", k, err)
+		}
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if inv.at(r, c) != want {
+					t.Fatalf("inverse of identity differs at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(12)
+		m := newMatrix(k, k)
+		for i := range m.data {
+			m.data[i] = byte(rng.Intn(256))
+		}
+		inv, err := m.invert()
+		if err != nil {
+			continue // singular random matrix; skip
+		}
+		prod := m.mul(inv)
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod.at(r, c) != want {
+					t.Fatalf("M * M^-1 not identity at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixSingular(t *testing.T) {
+	m := newMatrix(2, 2) // all zeros
+	if _, err := m.invert(); err == nil {
+		t.Fatal("inverting the zero matrix must fail")
+	}
+}
+
+func TestNewCodecParams(t *testing.T) {
+	cases := []struct {
+		k, n    int
+		wantErr bool
+	}{
+		{1, 1, false},
+		{2, 4, false},
+		{100, 256, false},
+		{0, 4, true},
+		{5, 4, true},
+		{100, 300, true}, // GF(2^8) caps total chunks at 256
+		{1, 257, true},
+	}
+	for _, c := range cases {
+		_, err := NewCodec(c.k, c.n)
+		if (err != nil) != c.wantErr {
+			t.Errorf("NewCodec(%d,%d) err=%v, wantErr=%v", c.k, c.n, err, c.wantErr)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct{ k, n int }{{1, 4}, {2, 4}, {2, 7}, {3, 7}, {5, 16}, {11, 32}, {43, 128}} {
+		codec, err := NewCodec(cfg.k, cfg.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{0, 1, 17, 1000, 4096} {
+			data := make([]byte, size)
+			rng.Read(data)
+			chunks, err := codec.Encode(data)
+			if err != nil {
+				t.Fatalf("(%d,%d) size %d: %v", cfg.k, cfg.n, size, err)
+			}
+			if len(chunks) != cfg.n {
+				t.Fatalf("got %d chunks, want %d", len(chunks), cfg.n)
+			}
+			// Decode from the systematic prefix.
+			got, err := codec.Decode(chunks[:cfg.k], size)
+			if err != nil {
+				t.Fatalf("decode systematic: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("systematic round trip mismatch at size %d", size)
+			}
+			// Decode from the parity-heavy suffix.
+			got, err = codec.Decode(chunks[cfg.n-cfg.k:], size)
+			if err != nil {
+				t.Fatalf("decode parity: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("parity round trip mismatch at size %d", size)
+			}
+		}
+	}
+}
+
+func TestDecodeAnyKSubset(t *testing.T) {
+	const k, n = 3, 10
+	codec, err := NewCodec(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	chunks, err := codec.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		perm := rng.Perm(n)[:k]
+		subset := make([]Chunk, 0, k)
+		for _, idx := range perm {
+			subset = append(subset, chunks[idx])
+		}
+		got, err := codec.Decode(subset, len(data))
+		if err != nil {
+			t.Fatalf("subset %v: %v", perm, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("subset %v: wrong reconstruction", perm)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	codec, err := NewCodec(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello world, this is a test message")
+	chunks, _ := codec.Encode(data)
+
+	if _, err := codec.Decode(chunks[:2], len(data)); err == nil {
+		t.Error("decoding with k-1 chunks must fail")
+	}
+	// Duplicate chunks do not count twice.
+	dup := []Chunk{chunks[0], chunks[0], chunks[0]}
+	if _, err := codec.Decode(dup, len(data)); err == nil {
+		t.Error("decoding with duplicated chunk must fail")
+	}
+	// Out-of-range index is skipped.
+	bad := []Chunk{chunks[0], chunks[1], {Index: 99, Data: chunks[2].Data}}
+	if _, err := codec.Decode(bad, len(data)); err == nil {
+		t.Error("decoding with out-of-range chunk index must fail")
+	}
+	// Wrong chunk size is an explicit error.
+	short := []Chunk{chunks[0], chunks[1], {Index: 2, Data: chunks[2].Data[:1]}}
+	if _, err := codec.Decode(short, len(data)); err == nil {
+		t.Error("decoding with truncated chunk must fail")
+	}
+}
+
+func TestCorruptedChunkChangesOutput(t *testing.T) {
+	// Reed-Solomon without verification cannot detect corruption; Leopard
+	// layers Merkle proofs on top. This test documents that a corrupted
+	// chunk yields different (wrong) data rather than an error.
+	codec, err := NewCodec(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("corruption test payload!")
+	chunks, _ := codec.Encode(data)
+	chunks[4].Data[0] ^= 0xff
+	got, err := codec.Decode([]Chunk{chunks[3], chunks[4]}, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, data) {
+		t.Fatal("corrupted chunk should have altered the reconstruction")
+	}
+}
+
+func TestReconstructRegeneratesAllChunks(t *testing.T) {
+	codec, err := NewCodec(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("reconstruct me please, I am a datablock")
+	chunks, _ := codec.Encode(data)
+	rebuilt, err := codec.Reconstruct(chunks[4:6], len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 6 {
+		t.Fatalf("got %d rebuilt chunks, want 6", len(rebuilt))
+	}
+	for i := range chunks {
+		if !bytes.Equal(chunks[i].Data, rebuilt[i].Data) {
+			t.Errorf("chunk %d differs after reconstruction", i)
+		}
+	}
+}
+
+// TestPropertyRoundTrip drives random (k, n, payload) through the codec.
+func TestPropertyRoundTrip(t *testing.T) {
+	check := func(kSeed, nSeed uint8, data []byte) bool {
+		k := int(kSeed)%20 + 1
+		n := k + int(nSeed)%20
+		codec, err := NewCodec(k, n)
+		if err != nil {
+			return false
+		}
+		chunks, err := codec.Encode(data)
+		if err != nil {
+			return false
+		}
+		// Use every k-th rotation as the subset.
+		subset := make([]Chunk, 0, k)
+		for i := 0; i < k; i++ {
+			subset = append(subset, chunks[(i*2+1)%n])
+		}
+		// Deduplicate indices (rotation may collide when n < 2k).
+		seen := map[int]bool{}
+		uniq := subset[:0]
+		for _, c := range subset {
+			if !seen[c.Index] {
+				seen[c.Index] = true
+				uniq = append(uniq, c)
+			}
+		}
+		for i := 0; len(uniq) < k && i < n; i++ {
+			if !seen[chunks[i].Index] {
+				seen[chunks[i].Index] = true
+				uniq = append(uniq, chunks[i])
+			}
+		}
+		got, err := codec.Decode(uniq, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode100KB(b *testing.B) {
+	codec, err := NewCodec(11, 32) // f+1=11 of n=32
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 100*1024)
+	rand.New(rand.NewSource(5)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode100KB(b *testing.B) {
+	codec, err := NewCodec(11, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 100*1024)
+	rand.New(rand.NewSource(5)).Read(data)
+	chunks, _ := codec.Encode(data)
+	parity := chunks[21:32]
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(parity, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package erasure
+
+import "errors"
+
+// ErrSingular is returned when a decode matrix cannot be inverted, which
+// means the supplied chunk set does not span the data.
+var ErrSingular = errors.New("erasure: singular decode matrix")
+
+// matrix is a dense row-major GF(2^8) matrix.
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m *matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+func (m *matrix) swapRows(r1, r2 int) {
+	if r1 == r2 {
+		return
+	}
+	a, b := m.row(r1), m.row(r2)
+	for i := range a {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+// identity returns the k×k identity matrix.
+func identity(k int) *matrix {
+	m := newMatrix(k, k)
+	for i := 0; i < k; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols Vandermonde matrix with row i being
+// [1, i, i², …]; any k rows are linearly independent for distinct i < 256.
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfExp(byte(r), c))
+		}
+	}
+	return m
+}
+
+// mul returns m × other.
+func (m *matrix) mul(other *matrix) *matrix {
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < other.cols; c++ {
+			var acc byte
+			for k := 0; k < m.cols; k++ {
+				acc ^= gfMul(m.at(r, k), other.at(k, c))
+			}
+			out.set(r, c, acc)
+		}
+	}
+	return out
+}
+
+// subMatrix returns rows [rmin,rmax) and cols [cmin,cmax) as a copy.
+func (m *matrix) subMatrix(rmin, rmax, cmin, cmax int) *matrix {
+	out := newMatrix(rmax-rmin, cmax-cmin)
+	for r := rmin; r < rmax; r++ {
+		for c := cmin; c < cmax; c++ {
+			out.set(r-rmin, c-cmin, m.at(r, c))
+		}
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination, or ErrSingular.
+func (m *matrix) invert() (*matrix, error) {
+	if m.rows != m.cols {
+		return nil, errors.New("erasure: cannot invert non-square matrix")
+	}
+	k := m.rows
+	work := newMatrix(k, 2*k)
+	for r := 0; r < k; r++ {
+		copy(work.row(r)[:k], m.row(r))
+		work.set(r, k+r, 1)
+	}
+	for col := 0; col < k; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < k; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work.swapRows(col, pivot)
+		// Scale the pivot row to 1.
+		inv := gfInv(work.at(col, col))
+		row := work.row(col)
+		for i := range row {
+			row[i] = gfMul(row[i], inv)
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.at(r, col)
+			if factor == 0 {
+				continue
+			}
+			target := work.row(r)
+			mulSliceAdd(factor, row, target)
+		}
+	}
+	return work.subMatrix(0, k, k, 2*k), nil
+}

@@ -1,0 +1,157 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the codec.
+var (
+	ErrInvalidParams = errors.New("erasure: invalid code parameters")
+	ErrTooFewChunks  = errors.New("erasure: not enough chunks to reconstruct")
+	ErrChunkSize     = errors.New("erasure: inconsistent chunk sizes")
+	ErrShortData     = errors.New("erasure: encoded length does not match")
+)
+
+// Chunk is one erasure-coded piece of a message along with its index in the
+// code (0..n-1). Indices < k carry systematic data.
+type Chunk struct {
+	Index int
+	Data  []byte
+}
+
+// Codec is a systematic (k, n) Reed–Solomon code: Split a message into k
+// data chunks, extend to n total chunks; any k chunks reconstruct.
+type Codec struct {
+	k, n   int
+	encode *matrix // n×k; top k×k block is the identity
+}
+
+// NewCodec builds a (k, n) codec. Requires 1 <= k <= n <= 256.
+func NewCodec(k, n int) (*Codec, error) {
+	if k < 1 || n < k || n > fieldSize {
+		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidParams, k, n)
+	}
+	// Build a systematic encoding matrix: take the n×k Vandermonde matrix V,
+	// and normalize so the top k×k block becomes the identity: E = V · (V_top)^-1.
+	// Any k rows of E remain invertible because row operations preserve that
+	// property of the Vandermonde construction.
+	v := vandermonde(n, k)
+	top := v.subMatrix(0, k, 0, k)
+	topInv, err := top.invert()
+	if err != nil {
+		// Vandermonde top block with distinct points is always invertible.
+		return nil, fmt.Errorf("erasure: internal setup failure: %w", err)
+	}
+	return &Codec{k: k, n: n, encode: v.mul(topInv)}, nil
+}
+
+// K returns the number of data chunks needed for reconstruction.
+func (c *Codec) K() int { return c.k }
+
+// N returns the total number of chunks produced.
+func (c *Codec) N() int { return c.n }
+
+// ChunkSize returns the chunk length for a message of dataLen bytes.
+func (c *Codec) ChunkSize(dataLen int) int { return (dataLen + c.k - 1) / c.k }
+
+// Encode splits data into k systematic chunks plus n-k parity chunks.
+// The message length is restored by Decode callers via the original length.
+func (c *Codec) Encode(data []byte) ([]Chunk, error) {
+	size := c.ChunkSize(len(data))
+	if size == 0 {
+		size = 1 // allow encoding the empty message
+	}
+	// Systematic chunks: zero-padded slices of the message.
+	shards := make([][]byte, c.n)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, size)
+		start := i * size
+		if start < len(data) {
+			end := start + size
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(shards[i], data[start:end])
+		}
+	}
+	// Parity chunks: row i of the encode matrix times the data chunks.
+	for i := c.k; i < c.n; i++ {
+		shards[i] = make([]byte, size)
+		row := c.encode.row(i)
+		for j := 0; j < c.k; j++ {
+			mulSliceAdd(row[j], shards[j], shards[i])
+		}
+	}
+	out := make([]Chunk, c.n)
+	for i, s := range shards {
+		out[i] = Chunk{Index: i, Data: s}
+	}
+	return out, nil
+}
+
+// Decode reconstructs the original message of length dataLen from any k
+// distinct valid chunks.
+func (c *Codec) Decode(chunks []Chunk, dataLen int) ([]byte, error) {
+	if len(chunks) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewChunks, len(chunks), c.k)
+	}
+	size := c.ChunkSize(dataLen)
+	if size == 0 {
+		size = 1
+	}
+	// Select the first k distinct in-range chunks.
+	seen := make(map[int]struct{}, c.k)
+	sel := make([]Chunk, 0, c.k)
+	for _, ch := range chunks {
+		if ch.Index < 0 || ch.Index >= c.n {
+			continue
+		}
+		if _, dup := seen[ch.Index]; dup {
+			continue
+		}
+		if len(ch.Data) != size {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrChunkSize, ch.Index, len(ch.Data), size)
+		}
+		seen[ch.Index] = struct{}{}
+		sel = append(sel, ch)
+		if len(sel) == c.k {
+			break
+		}
+	}
+	if len(sel) < c.k {
+		return nil, fmt.Errorf("%w: only %d distinct valid chunks", ErrTooFewChunks, len(sel))
+	}
+	// Build the k×k decode matrix from the encode rows of the selected chunks.
+	sub := newMatrix(c.k, c.k)
+	for r, ch := range sel {
+		copy(sub.row(r), c.encode.row(ch.Index))
+	}
+	inv, err := sub.invert()
+	if err != nil {
+		return nil, err
+	}
+	// data_j = sum_r inv[j][r] * chunk_r
+	data := make([]byte, c.k*size)
+	for j := 0; j < c.k; j++ {
+		dst := data[j*size : (j+1)*size]
+		row := inv.row(j)
+		for r := 0; r < c.k; r++ {
+			mulSliceAdd(row[r], sel[r].Data, dst)
+		}
+	}
+	if dataLen > len(data) {
+		return nil, fmt.Errorf("%w: reconstructed %d bytes, want %d", ErrShortData, len(data), dataLen)
+	}
+	return data[:dataLen], nil
+}
+
+// Reconstruct recomputes all n chunks from any k valid chunks; useful for a
+// replica that wants to re-serve parity after recovering the data.
+func (c *Codec) Reconstruct(chunks []Chunk, dataLen int) ([]Chunk, error) {
+	data, err := c.Decode(chunks, dataLen)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encode(data)
+}

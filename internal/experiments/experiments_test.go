@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCalibrationSmallScale checks the two systems land in the paper's
+// processing-bound regime at n=16: both near the ~1.3e5 req/s peak.
+func TestCalibrationSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	leo, err := LeopardThroughput(16, 2000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := HotStuffThroughput(16, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=16: leopard=%.0f req/s (lat %v, leader %.0f Mbps), hotstuff=%.0f req/s (lat %v, leader %.0f Mbps)",
+		leo.Throughput, leo.MeanLat, leo.LeaderMbps, hs.Throughput, hs.MeanLat, hs.LeaderMbps)
+	if leo.Throughput < 5e4 {
+		t.Errorf("Leopard throughput %.0f too low at n=16", leo.Throughput)
+	}
+	if hs.Throughput < 5e4 {
+		t.Errorf("HotStuff throughput %.0f too low at n=16", hs.Throughput)
+	}
+}
+
+// TestLeopardBeatsHotStuffAtScale reproduces the headline crossover: at
+// n=128, Leopard sustains high throughput while HotStuff's leader egress
+// saturates.
+func TestLeopardBeatsHotStuffAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	const n = 128
+	dbSize, bftSize, hsBatch := TableII(n)
+	leo, err := LeopardThroughput(n, dbSize, bftSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := HotStuffThroughput(n, hsBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=%d: leopard=%.0f req/s, hotstuff=%.0f req/s, ratio=%.1f",
+		n, leo.Throughput, hs.Throughput, leo.Throughput/hs.Throughput)
+	if leo.Throughput < 1.5*hs.Throughput {
+		t.Errorf("Leopard %.0f should clearly beat HotStuff %.0f at n=%d", leo.Throughput, hs.Throughput, n)
+	}
+}

@@ -1,0 +1,276 @@
+// Package harness wires protocol replicas onto the simulated network,
+// attaches workload generators and latency trackers, and runs measured
+// experiments. Every figure/table reproduction in bench_test.go and
+// cmd/leopard-sim is built on this package.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"leopard/internal/metrics"
+	"leopard/internal/protocol"
+	"leopard/internal/simnet"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+	"leopard/internal/workload"
+)
+
+// BuildFunc constructs the replica with the given id.
+type BuildFunc func(id types.ReplicaID) (protocol.Replica, error)
+
+// Options configures a cluster experiment.
+type Options struct {
+	N           int
+	Net         simnet.Config
+	Build       BuildFunc
+	PayloadSize int
+	// SaturationDepth keeps each non-leader replica's pending pool topped
+	// up to this many requests (closed-loop saturation). Zero disables.
+	SaturationDepth int
+	// RequestRate submits this many requests per second, spread across
+	// non-leader replicas (open loop). Zero disables.
+	RequestRate float64
+	// InjectEvery is the injection granularity (default 5ms).
+	InjectEvery time.Duration
+	// SubmitToLeader routes all requests to the current leader instead of
+	// the non-leader replicas. Leader-dissemination protocols (HotStuff,
+	// PBFT) batch at the leader, so their clients submit there.
+	SubmitToLeader bool
+	// LatencySample tracks client latency for one request in every
+	// LatencySample (by client id). 1 (default) tracks everything; large
+	// simulations use a sparse sample to stay within memory. Throughput is
+	// always counted exactly, via executions observed at replica 0.
+	LatencySample int
+}
+
+// Cluster is a running simulated deployment.
+type Cluster struct {
+	Net      *simnet.Network
+	Replicas []protocol.Replica
+	Tracker  *workload.Tracker
+	Gen      *workload.Generator
+
+	opts        Options
+	submittedTo map[types.RequestID]types.ReplicaID
+	injecting   bool
+	ratePending float64
+	executed    int64 // requests executed at the observer (replica 0)
+}
+
+// NewCluster builds n replicas, wires them onto a simnet and registers
+// executors/trackers. Call Start, then Run*.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.N < 4 {
+		return nil, fmt.Errorf("harness: need at least 4 replicas, got %d", opts.N)
+	}
+	if opts.Build == nil {
+		return nil, fmt.Errorf("harness: missing Build function")
+	}
+	if opts.InjectEvery <= 0 {
+		opts.InjectEvery = 5 * time.Millisecond
+	}
+	if opts.PayloadSize <= 0 {
+		opts.PayloadSize = 128
+	}
+	if opts.LatencySample <= 0 {
+		opts.LatencySample = 1
+	}
+	c := &Cluster{
+		Tracker:     workload.NewTracker(),
+		Gen:         workload.NewGenerator(opts.PayloadSize, 64),
+		opts:        opts,
+		submittedTo: make(map[types.RequestID]types.ReplicaID),
+	}
+	nodes := make([]transport.Node, opts.N)
+	c.Replicas = make([]protocol.Replica, opts.N)
+	for i := 0; i < opts.N; i++ {
+		id := types.ReplicaID(i)
+		r, err := opts.Build(id)
+		if err != nil {
+			return nil, fmt.Errorf("harness: build replica %d: %w", i, err)
+		}
+		r.SetExecutor(c.executorFor(id))
+		c.Replicas[i] = r
+		nodes[i] = r
+	}
+	net, err := simnet.New(opts.Net, nodes)
+	if err != nil {
+		return nil, err
+	}
+	c.Net = net
+	return c, nil
+}
+
+// sampled reports whether a request participates in latency tracking.
+func (c *Cluster) sampled(id types.RequestID) bool {
+	return id.Client%uint64(c.opts.LatencySample) == 0
+}
+
+// executorFor returns the execution callback for replica id. Replica 0 is
+// the throughput observer (every replica executes the same log, so one
+// counter suffices); latency acks are recorded when the replica a sampled
+// request was submitted to executes it (that replica answers the client,
+// so its execution time is the client-visible confirmation).
+func (c *Cluster) executorFor(id types.ReplicaID) protocol.ExecuteFunc {
+	return func(sn types.SeqNum, reqs []types.Request) {
+		if id == 0 {
+			c.executed += int64(len(reqs))
+		}
+		now := c.Net.Now()
+		for _, r := range reqs {
+			rid := r.ID()
+			if !c.sampled(rid) {
+				continue
+			}
+			if owner, ok := c.submittedTo[rid]; ok && owner == id {
+				c.Tracker.Acked(rid, now)
+				delete(c.submittedTo, rid)
+			}
+		}
+	}
+}
+
+// Start initializes the network and begins workload injection.
+func (c *Cluster) Start() {
+	c.Net.Start()
+	if c.opts.SaturationDepth > 0 || c.opts.RequestRate > 0 {
+		c.injecting = true
+		c.scheduleInjection(c.Net.Now())
+	}
+}
+
+// StopInjection halts workload injection (used to drain at the end).
+func (c *Cluster) StopInjection() { c.injecting = false }
+
+func (c *Cluster) scheduleInjection(at time.Duration) {
+	c.Net.ScheduleCall(at, func(now time.Duration) {
+		if !c.injecting {
+			return
+		}
+		c.inject(now)
+		c.scheduleInjection(now + c.opts.InjectEvery)
+	})
+}
+
+// inject tops pools up (saturation) or feeds the configured rate.
+func (c *Cluster) inject(now time.Duration) {
+	leader := c.Replicas[0].Leader()
+	targets := func(id types.ReplicaID) bool {
+		if c.opts.SubmitToLeader {
+			return id == leader
+		}
+		return id != leader
+	}
+	if c.opts.SaturationDepth > 0 {
+		for i, r := range c.Replicas {
+			if !targets(types.ReplicaID(i)) {
+				continue
+			}
+			for r.PendingRequests() < c.opts.SaturationDepth {
+				c.submit(now, types.ReplicaID(i), r)
+			}
+		}
+	}
+	if c.opts.RequestRate > 0 {
+		c.ratePending += c.opts.RequestRate * c.opts.InjectEvery.Seconds()
+		i := 0
+		for c.ratePending >= 1 {
+			id := types.ReplicaID(i % c.opts.N)
+			i++
+			if !targets(id) {
+				continue
+			}
+			c.submit(now, id, c.Replicas[id])
+			c.ratePending--
+		}
+	}
+}
+
+func (c *Cluster) submit(now time.Duration, id types.ReplicaID, r protocol.Replica) {
+	req := c.Gen.Next()
+	if r.SubmitRequest(now, req) {
+		if c.sampled(req.ID()) {
+			c.Tracker.Submitted(req.ID(), now)
+			c.submittedTo[req.ID()] = id
+		}
+		// Account the client's bytes into the replica's ingress figures
+		// (Table III's "Reqs. from Clients" row).
+		c.Net.Stats(id).AddReceived(transport.ClassRequest, req.Size())
+	}
+}
+
+// SubmitN submits exactly count fresh requests to replica id right now
+// (bypassing the injection loop); used by controlled fault experiments.
+func (c *Cluster) SubmitN(id types.ReplicaID, count int) {
+	for i := 0; i < count; i++ {
+		c.submit(c.Net.Now(), id, c.Replicas[id])
+	}
+}
+
+// RunUntil advances the network in steps of the given granularity until
+// cond returns true or the deadline passes; it reports whether cond held.
+func (c *Cluster) RunUntil(deadline, step time.Duration, cond func() bool) bool {
+	for c.Net.Now() < deadline {
+		if cond() {
+			return true
+		}
+		c.Net.Run(c.Net.Now() + step)
+	}
+	return cond()
+}
+
+// Warmup runs the cluster for d, then clears bandwidth counters and sets
+// the latency cutoff, so measurements exclude ramp-up.
+func (c *Cluster) Warmup(d time.Duration) {
+	c.Net.Run(c.Net.Now() + d)
+	c.Net.ResetStats()
+	c.Tracker.SetMeasureFrom(c.Net.Now())
+}
+
+// Result summarizes one measured run.
+type Result struct {
+	N          int
+	Elapsed    time.Duration
+	Confirmed  int64
+	Throughput float64 // requests per second
+	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P99Lat     time.Duration
+}
+
+// MeasureFor runs the cluster for d and returns throughput/latency over
+// exactly that window.
+func (c *Cluster) MeasureFor(d time.Duration) Result {
+	before := c.executed
+	start := c.Net.Now()
+	c.Net.Run(start + d)
+	elapsed := c.Net.Now() - start
+	confirmed := c.executed - before
+	lat := c.Tracker.Latency()
+	return Result{
+		N:          c.opts.N,
+		Elapsed:    elapsed,
+		Confirmed:  confirmed,
+		Throughput: metrics.Throughput(confirmed, elapsed),
+		MeanLat:    lat.Mean(),
+		P50Lat:     lat.Percentile(50),
+		P99Lat:     lat.Percentile(99),
+	}
+}
+
+// LeaderStats returns the bandwidth counters of the current leader.
+func (c *Cluster) LeaderStats() *metrics.Bandwidth {
+	return c.Net.Stats(c.Replicas[0].Leader())
+}
+
+// NonLeaderStats returns the bandwidth counters of the first non-leader.
+func (c *Cluster) NonLeaderStats() *metrics.Bandwidth {
+	leader := c.Replicas[0].Leader()
+	for i := range c.Replicas {
+		if types.ReplicaID(i) != leader {
+			return c.Net.Stats(types.ReplicaID(i))
+		}
+	}
+	return c.Net.Stats(0)
+}

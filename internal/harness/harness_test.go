@@ -1,0 +1,139 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/harness"
+	"leopard/internal/leopard"
+	"leopard/internal/protocol"
+	"leopard/internal/simnet"
+	"leopard/internal/types"
+)
+
+func options(t *testing.T, n int) harness.Options {
+	t.Helper()
+	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := crypto.NewEd25519Suite(n, []byte("harness-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.Options{
+		N:   n,
+		Net: simnet.DefaultConfig(),
+		Build: func(id types.ReplicaID) (protocol.Replica, error) {
+			return leopard.NewNode(leopard.Config{
+				ID: id, Quorum: q, Suite: suite,
+				DatablockSize: 20, BFTBlockSize: 2,
+			})
+		},
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := harness.NewCluster(harness.Options{N: 2}); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := harness.NewCluster(harness.Options{N: 4}); err == nil {
+		t.Error("missing Build accepted")
+	}
+}
+
+func TestSaturationProducesThroughput(t *testing.T) {
+	opts := options(t, 4)
+	opts.SaturationDepth = 100
+	c, err := harness.NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Warmup(200 * time.Millisecond)
+	res := c.MeasureFor(time.Second)
+	if res.Confirmed == 0 || res.Throughput == 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.Elapsed != time.Second {
+		t.Errorf("elapsed = %v, want 1s", res.Elapsed)
+	}
+}
+
+func TestOpenLoopRateIsRespected(t *testing.T) {
+	opts := options(t, 4)
+	opts.RequestRate = 2000 // well below capacity
+	c, err := harness.NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Warmup(500 * time.Millisecond)
+	res := c.MeasureFor(2 * time.Second)
+	// Confirmed rate should track the offered rate within 15%.
+	if res.Throughput < 1700 || res.Throughput > 2300 {
+		t.Errorf("throughput %.0f, want ~2000 (open loop)", res.Throughput)
+	}
+	if res.MeanLat <= 0 {
+		t.Error("no latency measured at low rate")
+	}
+}
+
+func TestStopInjectionDrains(t *testing.T) {
+	opts := options(t, 4)
+	opts.SaturationDepth = 50
+	c, err := harness.NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Net.Run(500 * time.Millisecond)
+	c.StopInjection()
+	before := c.MeasureFor(time.Second).Confirmed
+	if before == 0 {
+		t.Fatal("nothing confirmed while draining")
+	}
+	// After draining, no new confirmations.
+	later := c.MeasureFor(time.Second).Confirmed
+	if later > int64(4*50) {
+		t.Errorf("%d confirmations after injection stopped; expected only the drained tail", later)
+	}
+}
+
+func TestLeaderAndNonLeaderStats(t *testing.T) {
+	opts := options(t, 4)
+	opts.SaturationDepth = 100
+	c, err := harness.NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.MeasureFor(time.Second)
+	if c.LeaderStats() == c.NonLeaderStats() {
+		t.Error("leader and non-leader stats must differ")
+	}
+	if c.LeaderStats().Total() == 0 {
+		t.Error("leader recorded no traffic")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	opts := options(t, 4)
+	opts.SaturationDepth = 100
+	c, err := harness.NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	node := c.Replicas[0].(*leopard.Node)
+	ok := c.RunUntil(10*time.Second, 10*time.Millisecond, func() bool {
+		return node.ExecutedTo() >= 3
+	})
+	if !ok {
+		t.Fatal("condition never met")
+	}
+	if c.Net.Now() >= 10*time.Second {
+		t.Error("RunUntil ran to the deadline despite the condition holding")
+	}
+}

@@ -1,0 +1,176 @@
+package leopard_test
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/leopard"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// TestForgedProofRejected: a confirmation proof that does not verify must
+// not confirm a block.
+func TestForgedProofRejected(t *testing.T) {
+	r := newRouter(t, 4, nil)
+	r.submit(2, 10, 0)
+	// Intercept the leader's round-2 proof and corrupt it before delivery
+	// to replica 0; also suppress the genuine copy.
+	r.drop = func(from, to types.ReplicaID, msg transport.Message) bool {
+		p, ok := msg.(*leopard.ProofMsg)
+		if !ok || p.Round != 2 || to != 0 {
+			return false
+		}
+		bad := *p
+		bad.Proof = crypto.Proof{Sig: append([]byte(nil), p.Proof.Sig...)}
+		if len(bad.Proof.Sig) > 0 {
+			bad.Proof.Sig[0] ^= 0xff
+		}
+		r.nodes[0].Deliver(r.now, from, &bad)
+		return true
+	}
+	r.advance(100*time.Millisecond, 5*time.Millisecond)
+	if got := r.nodes[0].Stats().ConfirmedBlocks; got != 0 {
+		t.Fatalf("replica 0 confirmed %d blocks from forged proofs", got)
+	}
+	// The rest of the cluster is unaffected.
+	if got := r.nodes[2].Stats().ConfirmedRequests; got < 10 {
+		t.Fatalf("replica 2 confirmed only %d", got)
+	}
+}
+
+// TestForgedTimeoutSharesCannotForceViewChange: f+1 timeout messages with
+// invalid shares must not drag honest replicas out of the view.
+func TestForgedTimeoutSharesCannotForceViewChange(t *testing.T) {
+	r := newRouter(t, 4, nil)
+	for sender := types.ReplicaID(2); sender <= 3; sender++ {
+		forged := &leopard.TimeoutMsg{
+			View:  1,
+			Share: crypto.Share{Signer: sender, Sig: make([]byte, 64)},
+		}
+		r.nodes[0].Deliver(r.now, sender, forged)
+	}
+	r.advance(100*time.Millisecond, 5*time.Millisecond)
+	if r.nodes[0].View() != 1 || r.nodes[0].InViewChange() {
+		t.Fatal("forged timeout shares moved replica 0 out of view 1")
+	}
+}
+
+// TestNewViewFromWrongLeaderIgnored: only the round-robin leader of the
+// target view may announce it.
+func TestNewViewFromWrongLeaderIgnored(t *testing.T) {
+	r := newRouter(t, 4, nil)
+	// Replica 3 (not the leader of view 2, which is replica 2) sends an
+	// empty new-view for view 2.
+	nv := &leopard.NewViewMsg{NewView: 2}
+	r.nodes[0].Deliver(r.now, 3, nv)
+	if r.nodes[0].View() != 1 {
+		t.Fatal("replica accepted a new-view from the wrong leader")
+	}
+	// Even from the right sender, a new-view without 2f+1 valid
+	// view-change messages must be rejected.
+	r.nodes[0].Deliver(r.now, 2, &leopard.NewViewMsg{NewView: 2})
+	if r.nodes[0].View() != 1 {
+		t.Fatal("replica accepted a new-view without quorum evidence")
+	}
+}
+
+// TestQueryServedOncePerRequester: repeated queries for the same digest
+// from the same replica are answered at most once (anti-amplification).
+func TestQueryServedOncePerRequester(t *testing.T) {
+	r := newRouter(t, 4, nil)
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 2, Counter: 1},
+		Requests: []types.Request{{ClientID: 1, Seq: 1, Payload: []byte("q")}},
+	}
+	digest := crypto.HashDatablock(db)
+	r.nodes[0].Deliver(r.now, 2, &leopard.DatablockMsg{Block: db, Digest: digest})
+
+	count := 0
+	for i := 0; i < 5; i++ {
+		outs := r.nodes[0].Deliver(r.now, 3, &leopard.QueryMsg{Digests: []types.Hash{digest}})
+		for _, env := range outs {
+			if _, ok := env.Msg.(*leopard.RespMsg); ok {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("served %d responses to repeated queries, want 1", count)
+	}
+}
+
+// TestQueryForUnknownDigestIgnored: queries for datablocks we do not hold
+// produce no response.
+func TestQueryForUnknownDigestIgnored(t *testing.T) {
+	r := newRouter(t, 4, nil)
+	outs := r.nodes[0].Deliver(r.now, 3, &leopard.QueryMsg{Digests: []types.Hash{{0xde, 0xad}}})
+	if len(outs) != 0 {
+		t.Fatalf("produced %d envelopes for an unknown digest", len(outs))
+	}
+}
+
+// TestVoteFromImpersonatedSignerRejected: the leader must reject a vote
+// whose share claims a different signer than the channel it arrived on.
+func TestVoteFromImpersonatedSignerRejected(t *testing.T) {
+	const n = 4
+	r := newRouter(t, n, nil)
+	r.submit(2, 10, 0)
+	// Stop round-1 votes from replica 3 and replay them as if replica 0
+	// had also cast them (double-counting attack): the leader must not
+	// count the same share under two identities.
+	r.drop = func(from, to types.ReplicaID, msg transport.Message) bool {
+		v, ok := msg.(*leopard.VoteMsg)
+		if !ok || v.Round != 1 || from != 3 {
+			return false
+		}
+		// Deliver the original, then a replay claiming to be from 0.
+		r.nodes[to].Deliver(r.now, 3, v)
+		r.nodes[to].Deliver(r.now, 0, v)
+		return true
+	}
+	r.advance(100*time.Millisecond, 5*time.Millisecond)
+	// Progress continues (the genuine quorum exists), and safety tests
+	// elsewhere ensure no double-counting; here we just require liveness
+	// wasn't broken by the replay.
+	if got := r.nodes[1].Stats().ConfirmedBlocks; got == 0 {
+		t.Fatal("no blocks confirmed under vote-replay attack")
+	}
+}
+
+// TestCheckpointProofForgeryRejected: an invalid checkpoint certificate
+// must not advance the watermark.
+func TestCheckpointProofForgeryRejected(t *testing.T) {
+	r := newRouter(t, 4, nil)
+	forged := &leopard.CheckpointProofMsg{
+		Seq:       50,
+		StateHash: types.Hash{1},
+		Proof:     crypto.Proof{Sig: make([]byte, 300)},
+	}
+	r.nodes[0].Deliver(r.now, 3, forged)
+	r.submit(2, 10, 0)
+	r.advance(100*time.Millisecond, 5*time.Millisecond)
+	// Had the forged checkpoint (seq 50) been accepted, the watermark
+	// would exclude new proposals at seq 1.. and nothing would confirm.
+	if got := r.nodes[0].Stats().ConfirmedRequests; got < 10 {
+		t.Fatalf("forged checkpoint disrupted progress: confirmed %d", got)
+	}
+}
+
+// TestDeterministicRuns: two identical router schedules produce identical
+// protocol outcomes.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (types.SeqNum, int64) {
+		r := newRouter(t, 4, nil)
+		r.submit(2, 30, 0)
+		r.submit(3, 30, 0)
+		r.advance(150*time.Millisecond, 5*time.Millisecond)
+		return r.nodes[0].ExecutedTo(), r.nodes[0].Stats().ConfirmedRequests
+	}
+	e1, c1 := run()
+	e2, c2 := run()
+	if e1 != e2 || c1 != c2 {
+		t.Fatalf("non-deterministic runs: (%d,%d) vs (%d,%d)", e1, c1, e2, c2)
+	}
+}

@@ -1,0 +1,142 @@
+// Package analysis implements the closed-form communication-cost model of
+// Leopard's §V-B: per-replica costs cL and cR, the scaling factor SF, and
+// the scaling-up effectiveness γ, for Leopard and for the leader-
+// dissemination baselines (PBFT/SBFT/HotStuff-style). The Table I bench
+// evaluates this model and tests cross-check it against traffic measured on
+// the simulator.
+package analysis
+
+// Params are the protocol and workload parameters of the model.
+type Params struct {
+	N       int     // number of replicas
+	Payload float64 // bytes per request
+	Alpha   float64 // α: bytes per datablock
+	Beta    float64 // β: hash size in bytes (32 for SHA-256)
+	Kappa   float64 // κ: vote size in bytes (48 for threshold BLS)
+	Tau     float64 // τ: datablock links per BFTblock
+}
+
+// DefaultParams returns the paper's evaluation parameters for scale n with
+// a datablock of dbRequests requests.
+func DefaultParams(n, dbRequests int) Params {
+	return Params{
+		N:       n,
+		Payload: 128,
+		Alpha:   float64(dbRequests) * 128,
+		Beta:    32,
+		Kappa:   48,
+		Tau:     100,
+	}
+}
+
+// agreementOverheadPerPayloadByte is (β + 4κ/τ)/α: the agreement-plane
+// bytes per payload byte in Leopard.
+func (p Params) agreementOverheadPerPayloadByte() float64 {
+	return (p.Beta + 4*p.Kappa/p.Tau) / p.Alpha
+}
+
+// LeopardLeaderCost returns cL/(Λ·payload): the leader's communication
+// bytes per payload byte (paper eq. 2).
+func LeopardLeaderCost(p Params) float64 {
+	return p.agreementOverheadPerPayloadByte()*float64(p.N-1) + 1
+}
+
+// LeopardReplicaCost returns cR/(Λ·payload): a non-leader replica's
+// communication bytes per payload byte (paper eq. 3).
+func LeopardReplicaCost(p Params) float64 {
+	return 2 + p.agreementOverheadPerPayloadByte()
+}
+
+// LeopardScalingFactor returns SF = max(cL, cR)/(Λ·payload) (paper §V-B).
+func LeopardScalingFactor(p Params) float64 {
+	l, r := LeopardLeaderCost(p), LeopardReplicaCost(p)
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// LeopardGamma returns the scaling-up effectiveness Λ∆/C∆ (paper eq. 4):
+// the throughput gained per unit of added per-replica bandwidth.
+func LeopardGamma(p Params) float64 {
+	return 1 / LeopardScalingFactor(p)
+}
+
+// LeaderDisseminationScalingFactor returns the scaling factor of protocols
+// where the leader sends every request to all n-1 replicas (PBFT, SBFT,
+// HotStuff): SF = n-1 + vote overhead; the leader term dominates.
+func LeaderDisseminationScalingFactor(p Params, votesPerDecision float64, allToAll bool) float64 {
+	// Leader: disseminate payload to n-1 replicas, plus receive votes.
+	batchBytes := p.Payload * p.Tau // interpretation: τ requests per proposal
+	voteOverhead := votesPerDecision * p.Kappa / batchBytes
+	leader := float64(p.N-1) * (1 + voteOverhead)
+	replica := 1.0 + voteOverhead
+	if allToAll {
+		// PBFT: every replica multicasts each vote round to n-1 peers.
+		replica = 1.0 + voteOverhead*float64(p.N-1)*2
+	}
+	if leader > replica {
+		return leader
+	}
+	return replica
+}
+
+// LeaderDisseminationGamma is γ for leader-dissemination protocols; it
+// approaches 0 as n grows (at most 1/(n-1)).
+func LeaderDisseminationGamma(p Params, votesPerDecision float64, allToAll bool) float64 {
+	return 1 / LeaderDisseminationScalingFactor(p, votesPerDecision, allToAll)
+}
+
+// AdaptiveAlpha returns α = λ·(n-1), the paper's recipe for a constant
+// scaling factor: datablock size growing linearly with scale.
+func AdaptiveAlpha(n int, lambda float64) float64 {
+	return lambda * float64(n-1)
+}
+
+// ExpectedThroughput returns C/SF: the bandwidth-limited throughput (in
+// requests/sec) for per-replica capacity capBps (bits per second).
+func ExpectedThroughput(p Params, sf float64, capBps float64) float64 {
+	if sf <= 0 {
+		return 0
+	}
+	bytesPerSec := capBps / 8
+	return bytesPerSec / sf / p.Payload
+}
+
+// RetrievalResponseBytes returns the size of one erasure-coded retrieval
+// response: α/(f+1) + β·log2(n) (paper §V-B case (b)).
+func RetrievalResponseBytes(p Params) float64 {
+	f := float64((p.N - 1) / 3)
+	logN := 0.0
+	for v := 1; v < p.N; v *= 2 {
+		logN++
+	}
+	return p.Alpha/(f+1) + p.Beta*logN
+}
+
+// RetrievalRecoverBytes returns the cost of recovering one datablock from
+// f+1 responses.
+func RetrievalRecoverBytes(p Params) float64 {
+	f := float64((p.N - 1) / 3)
+	return (f + 1) * RetrievalResponseBytes(p) / 1 // f+1 chunks needed
+}
+
+// TableIRow is one row of the paper's Table I.
+type TableIRow struct {
+	Protocol         string
+	LeaderCost       string // amortized communication at the leader
+	ReplicaCost      string
+	ScalingFactor    string
+	VotingOptimistic int
+	VotingFaulty     int
+}
+
+// TableI returns the qualitative comparison of Table I.
+func TableI() []TableIRow {
+	return []TableIRow{
+		{"PBFT", "O(n)", "O(1)", "O(n)", 2, 2},
+		{"SBFT", "O(n)", "O(1)", "O(n)", 1, 2},
+		{"HotStuff", "O(n)", "O(1)", "O(n)", 1, 1},
+		{"Leopard", "O(1)", "O(1)", "O(1)", 2, 3},
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeopardConstantScalingFactorWithAdaptiveAlpha(t *testing.T) {
+	// With α = λ(n-1) and β + 4κ/τ <= λ, SF must stay bounded by a small
+	// constant as n grows — the paper's headline analytical result.
+	lambda := 64.0 // bytes per (n-1); β + 4κ/τ = 32 + 1.92 < 64
+	var prev float64
+	for _, n := range []int{16, 64, 256, 600, 2048} {
+		p := DefaultParams(n, 1)
+		p.Alpha = AdaptiveAlpha(n, lambda)
+		sf := LeopardScalingFactor(p)
+		if sf > 3.0 {
+			t.Errorf("n=%d: SF=%f exceeds the constant bound", n, sf)
+		}
+		if prev != 0 && math.Abs(sf-prev) > 0.5 {
+			t.Errorf("n=%d: SF jumped from %f to %f", n, prev, sf)
+		}
+		prev = sf
+	}
+}
+
+func TestLeaderDisseminationScalingFactorGrowsLinearly(t *testing.T) {
+	p128 := DefaultParams(128, 2000)
+	p600 := DefaultParams(600, 2000)
+	sf128 := LeaderDisseminationScalingFactor(p128, 1, false)
+	sf600 := LeaderDisseminationScalingFactor(p600, 1, false)
+	ratio := sf600 / sf128
+	wantRatio := float64(600-1) / float64(128-1)
+	if math.Abs(ratio-wantRatio) > 0.1 {
+		t.Errorf("SF ratio = %f, want ~%f (linear in n)", ratio, wantRatio)
+	}
+}
+
+func TestLeopardBeatsLeaderDisseminationAtScale(t *testing.T) {
+	for _, n := range []int{64, 128, 300, 600} {
+		p := DefaultParams(n, 4000)
+		leo := LeopardScalingFactor(p)
+		hs := LeaderDisseminationScalingFactor(p, 1, false)
+		if leo >= hs {
+			t.Errorf("n=%d: Leopard SF %f >= HotStuff SF %f", n, leo, hs)
+		}
+	}
+	// Expected throughput gap at n=300 should be >= 5x with Table II
+	// batch parameters (the paper's headline 5x claim).
+	p := DefaultParams(300, 4000)
+	p.Tau = 300
+	leoTp := ExpectedThroughput(p, LeopardScalingFactor(p), 9.8e9)
+	hsTp := ExpectedThroughput(p, LeaderDisseminationScalingFactor(p, 1, false), 9.8e9)
+	if leoTp < 5*hsTp {
+		t.Errorf("throughput gap %.1fx at n=300, want >= 5x (leo=%.0f hs=%.0f)", leoTp/hsTp, leoTp, hsTp)
+	}
+}
+
+func TestGammaBehaviour(t *testing.T) {
+	// Leopard's γ approaches 1/2 at large n with adaptive α.
+	p := DefaultParams(600, 1)
+	p.Alpha = AdaptiveAlpha(600, 64)
+	gamma := LeopardGamma(p)
+	if gamma < 0.33 || gamma > 0.51 {
+		t.Errorf("Leopard γ = %f, want ~1/2", gamma)
+	}
+	// Leader-dissemination γ tends to 0 like 1/(n-1).
+	g16 := LeaderDisseminationGamma(DefaultParams(16, 1), 1, false)
+	g600 := LeaderDisseminationGamma(DefaultParams(600, 1), 1, false)
+	if g600 >= g16 {
+		t.Error("baseline γ must shrink with n")
+	}
+	if g600 > 1.0/599*1.1 {
+		t.Errorf("baseline γ = %f, want <= ~1/(n-1)", g600)
+	}
+}
+
+func TestLeopardReplicaCostDominatesAtAdaptiveAlpha(t *testing.T) {
+	// With a large enough α the non-leader cost (2 + ε) exceeds the
+	// leader cost (1 + ε'), making the *replica* the binding constraint —
+	// the workload-balancing goal of the design.
+	p := DefaultParams(300, 4000)
+	if LeopardReplicaCost(p) <= LeopardLeaderCost(p) {
+		t.Skip("leader still dominates at this α; acceptable for small α")
+	}
+	sf := LeopardScalingFactor(p)
+	if sf != LeopardReplicaCost(p) {
+		t.Errorf("SF %f should equal replica cost %f", sf, LeopardReplicaCost(p))
+	}
+}
+
+func TestExpectedThroughputMatchesPaperScale(t *testing.T) {
+	// Order-of-magnitude check: Leopard at n=600 with Table II parameters
+	// on 9.8 Gbps should support >= 1e5 req/s.
+	p := DefaultParams(600, 4000)
+	p.Tau = 400
+	tp := ExpectedThroughput(p, LeopardScalingFactor(p), 9.8e9)
+	if tp < 1e5 {
+		t.Errorf("expected throughput %.0f req/s, want >= 1e5", tp)
+	}
+}
+
+func TestRetrievalCosts(t *testing.T) {
+	// Responding cost per replica must drop sharply with n (erasure
+	// amortization): Fig. 12's 163 KB -> 8 KB trend.
+	p4 := DefaultParams(4, 2000)
+	p128 := DefaultParams(128, 2000)
+	r4 := RetrievalResponseBytes(p4)
+	r128 := RetrievalResponseBytes(p128)
+	if r128 >= r4/10 {
+		t.Errorf("response bytes %f (n=4) -> %f (n=128): want >= 10x drop", r4, r128)
+	}
+	// Recovering cost stays roughly flat (the +β·logn term only).
+	c4 := RetrievalRecoverBytes(p4)
+	c128 := RetrievalRecoverBytes(p128)
+	if c128 > 1.5*c4 {
+		t.Errorf("recover bytes grew %f -> %f: want near-flat", c4, c128)
+	}
+}
+
+func TestExpectedThroughputZeroSF(t *testing.T) {
+	if got := ExpectedThroughput(DefaultParams(4, 1), 0, 1e9); got != 0 {
+		t.Errorf("zero SF must yield 0, got %f", got)
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last.Protocol != "Leopard" || last.ScalingFactor != "O(1)" {
+		t.Errorf("Leopard row wrong: %+v", last)
+	}
+	if last.VotingOptimistic != 2 || last.VotingFaulty != 3 {
+		t.Errorf("Leopard voting rounds wrong: %+v", last)
+	}
+	for _, r := range rows[:3] {
+		if r.ScalingFactor != "O(n)" {
+			t.Errorf("%s scaling factor %s, want O(n)", r.Protocol, r.ScalingFactor)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package leopard
+
+import (
+	"encoding/binary"
+
+	"leopard/internal/crypto"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// checkpointDigest derives the digest replicas threshold-sign for a
+// checkpoint: H("checkpoint" || sn || stateHash).
+func checkpointDigest(sn types.SeqNum, state types.Hash) types.Hash {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(sn))
+	return crypto.HashConcat([]byte("leopard/checkpoint"), buf[:], state[:])
+}
+
+// maybeCheckpoint emits this replica's checkpoint share after executing a
+// block at a multiple of the checkpoint interval (Alg. 4). The state hash
+// is the running execution chain hash, identical at every honest replica
+// that executed the same prefix.
+func (n *Node) maybeCheckpoint(sn types.SeqNum, out []transport.Envelope) []transport.Envelope {
+	if uint64(sn)%uint64(n.cfg.CheckpointEvery) != 0 {
+		return out
+	}
+	st := n.execState
+	digest := checkpointDigest(sn, st)
+	n.cpDigest[sn] = digest
+	share, err := n.suite.Sign(n.cfg.ID, digest)
+	if err != nil {
+		return out
+	}
+	msg := &CheckpointMsg{Seq: sn, StateHash: st, Share: share}
+	if n.isLeader() {
+		return n.collectCheckpoint(n.cfg.ID, msg, out)
+	}
+	return append(out, transport.Unicast(n.Leader(), msg))
+}
+
+// handleCheckpoint collects checkpoint shares at the leader.
+func (n *Node) handleCheckpoint(from types.ReplicaID, m *CheckpointMsg, out []transport.Envelope) []transport.Envelope {
+	if !n.isLeader() {
+		return out
+	}
+	return n.collectCheckpoint(from, m, out)
+}
+
+func (n *Node) collectCheckpoint(from types.ReplicaID, m *CheckpointMsg, out []transport.Envelope) []transport.Envelope {
+	if m.Seq <= n.lw {
+		return out // already garbage-collected
+	}
+	digest := checkpointDigest(m.Seq, m.StateHash)
+	if err := n.suite.VerifyShare(digest, m.Share); err != nil || m.Share.Signer != from {
+		return out
+	}
+	shares := n.cpShares[m.Seq]
+	if shares == nil {
+		shares = make(map[types.ReplicaID]crypto.Share, n.q.Quorum())
+		n.cpShares[m.Seq] = shares
+	}
+	if _, dup := shares[from]; dup {
+		return out
+	}
+	shares[from] = m.Share
+	if len(shares) < n.q.Quorum() {
+		return out
+	}
+	all := make([]crypto.Share, 0, len(shares))
+	for _, s := range shares {
+		all = append(all, s)
+	}
+	proof, err := n.suite.Combine(digest, all)
+	if err != nil {
+		return out
+	}
+	cp := &CheckpointProofMsg{Seq: m.Seq, StateHash: m.StateHash, Proof: proof}
+	out = append(out, transport.Broadcast(cp))
+	n.applyCheckpoint(cp)
+	return out
+}
+
+// handleCheckpointProof verifies and applies a stable checkpoint.
+func (n *Node) handleCheckpointProof(from types.ReplicaID, m *CheckpointProofMsg, out []transport.Envelope) []transport.Envelope {
+	if m.Seq <= n.lw {
+		return out
+	}
+	digest := checkpointDigest(m.Seq, m.StateHash)
+	if err := n.suite.VerifyProof(digest, m.Proof); err != nil {
+		return out
+	}
+	n.applyCheckpoint(m)
+	return out
+}
+
+// applyCheckpoint advances the low watermark to the checkpoint and garbage
+// collects instances, datablocks and vote bookkeeping below it.
+func (n *Node) applyCheckpoint(cp *CheckpointProofMsg) {
+	if cp.Seq <= n.lw {
+		return
+	}
+	n.lastCheckpoint = cp
+	// The watermark always advances: a quorum has executed past cp.Seq, so
+	// nothing at or below it will be proposed again. Data pruning inside
+	// advanceWatermark is limited to this replica's own executed prefix,
+	// so a lagging replica keeps what it still needs to catch up.
+	n.advanceWatermark(cp)
+}
+
+func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
+	old := n.lw
+	n.lw = cp.Seq
+	for sn := old + 1; sn <= cp.Seq; sn++ {
+		if inst := n.instances[sn]; inst != nil && inst.block != nil {
+			for _, h := range inst.block.Content {
+				if sn <= n.executedTo {
+					n.dbPool.Remove(h)
+					delete(n.confirmedDBs, h)
+					delete(n.readySet, h)
+					delete(n.linked, h)
+				}
+			}
+		}
+		if sn <= n.executedTo {
+			delete(n.instances, sn)
+		}
+		delete(n.votedSeq, sn)
+		delete(n.cpShares, sn)
+		delete(n.cpDigest, sn)
+	}
+	// Drop buffered proofs that can no longer matter.
+	for id := range n.pendingProof {
+		if id.Seq <= n.lw {
+			delete(n.pendingProof, id)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package leopard implements the Leopard BFT protocol (Hu et al., ICDCS
+// 2022): a leader-based, partially synchronous protocol that preserves high
+// throughput at large scales by decoupling consensus proposals into
+// datablocks (request packages disseminated by every replica) and BFTblocks
+// (leader proposals carrying only datablock hashes).
+//
+// The package contains the full normal case (Alg. 1–2), the ready round and
+// committee-based datablock retrieval with erasure codes (Alg. 3), the
+// checkpoint/garbage-collection protocol (Alg. 4) and the PBFT-style
+// view-change (Appendix A). Nodes are event-driven state machines driven by
+// a transport (internal/simnet in simulations, internal/transport/tcp in
+// deployments).
+package leopard
+
+import (
+	"errors"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/types"
+)
+
+// Default protocol parameters. Batch sizes follow the paper's Table II.
+const (
+	DefaultDatablockSize   = 2000 // requests per datablock
+	DefaultBFTBlockSize    = 100  // datablock links per BFTblock (τ)
+	DefaultMaxParallel     = 100  // k: max parallel agreement instances
+	DefaultOutstandingDBs  = 8    // per-replica datablock flow-control window
+	DefaultRetrievalAfter  = 20 * time.Millisecond
+	DefaultViewChangeAfter = 2 * time.Second
+	DefaultProposeEvery    = 2 * time.Millisecond
+	DefaultBatchTimeout    = 20 * time.Millisecond
+)
+
+// Config parameterizes a Leopard replica.
+type Config struct {
+	// ID is this replica's identity (0..n-1).
+	ID types.ReplicaID
+	// Quorum holds n and f.
+	Quorum types.QuorumParams
+	// Suite provides the (2f+1, n)-threshold signatures.
+	Suite crypto.Suite
+
+	// DatablockSize is the number of requests packed per datablock. The
+	// paper's α (bits per datablock) is DatablockSize × payload.
+	DatablockSize int
+	// BFTBlockSize is τ: the number of datablock links per BFTblock.
+	BFTBlockSize int
+	// MaxParallel is k: the watermark window of parallel agreement
+	// instances (valid sn satisfies lw < sn <= lw+k).
+	MaxParallel int
+	// CheckpointEvery is the checkpoint period in executed blocks; the
+	// paper uses k/2. Zero derives it from MaxParallel.
+	CheckpointEvery int
+	// MaxOutstandingDatablocks bounds how many of this replica's own
+	// datablocks may be unconfirmed at once (flow control under
+	// saturation). Zero means DefaultOutstandingDBs.
+	MaxOutstandingDatablocks int
+
+	// RetrievalTimeout is how long to wait for a linked-but-missing
+	// datablock to arrive before multicasting a Query.
+	RetrievalTimeout time.Duration
+	// ViewChangeTimeout is how long confirmation progress may stall while
+	// work is pending before this replica votes to change the view.
+	ViewChangeTimeout time.Duration
+	// ProposeInterval paces the leader: it proposes at most once per
+	// interval per tick even if more ready datablocks are available.
+	ProposeInterval time.Duration
+
+	// BatchTimeout bounds how long pending requests wait before being
+	// packed into a partial datablock, and how long ready datablocks wait
+	// before the leader proposes a partial BFTblock.
+	BatchTimeout time.Duration
+	// TrustDigests makes receivers use the digest cached in DatablockMsg
+	// instead of recomputing it. Only safe in simulations where all nodes
+	// share one process; real deployments must leave it false.
+	TrustDigests bool
+	// SkipRequestDedup disables the per-request confirmed-set bookkeeping
+	// that rejects client resubmissions of already-confirmed requests.
+	// Simulations with unique synthetic request streams enable this to
+	// avoid billions of map operations; deployments leave it false.
+	SkipRequestDedup bool
+
+	// DisableReadyRound skips the extra voting round before linking
+	// datablocks (ablation A2). Unsafe against selective attacks.
+	DisableReadyRound bool
+	// LeaderRetrieval answers queries only at the leader instead of the
+	// erasure-coded committee (ablation A1, the paper's "intuitive
+	// solution").
+	LeaderRetrieval bool
+}
+
+// Validate checks the configuration and fills defaults in place.
+func (c *Config) Validate() error {
+	if !c.Quorum.Valid() {
+		return errors.New("leopard: invalid quorum parameters")
+	}
+	if int(c.ID) >= c.Quorum.N {
+		return errors.New("leopard: replica id out of range")
+	}
+	if c.Suite == nil {
+		return errors.New("leopard: missing crypto suite")
+	}
+	if c.DatablockSize <= 0 {
+		c.DatablockSize = DefaultDatablockSize
+	}
+	if c.BFTBlockSize <= 0 {
+		c.BFTBlockSize = DefaultBFTBlockSize
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = DefaultMaxParallel
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = c.MaxParallel / 2
+		if c.CheckpointEvery == 0 {
+			c.CheckpointEvery = 1
+		}
+	}
+	if c.MaxOutstandingDatablocks <= 0 {
+		c.MaxOutstandingDatablocks = DefaultOutstandingDBs
+	}
+	if c.RetrievalTimeout <= 0 {
+		c.RetrievalTimeout = DefaultRetrievalAfter
+	}
+	if c.ViewChangeTimeout <= 0 {
+		c.ViewChangeTimeout = DefaultViewChangeAfter
+	}
+	if c.ProposeInterval <= 0 {
+		c.ProposeInterval = DefaultProposeEvery
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = DefaultBatchTimeout
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package leopard
+
+import (
+	"leopard/internal/crypto"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// maybePackDatablocks implements the generation loop of Alg. 1: extract
+// pending requests, build a datablock, multicast it. Non-leader replicas
+// only; pacing is by the outstanding-datablock window, and partial blocks
+// are packed once requests have waited BatchTimeout.
+func (n *Node) maybePackDatablocks(out []transport.Envelope) []transport.Envelope {
+	if n.isLeader() || n.inViewChange {
+		return out
+	}
+	for len(n.myOutstanding) < n.cfg.MaxOutstandingDatablocks {
+		full := n.reqPool.Len() >= n.cfg.DatablockSize
+		stale := n.reqPool.Len() > 0 && n.now-n.lastPack >= n.cfg.BatchTimeout
+		if !full && !stale {
+			break
+		}
+		reqs, oldest := n.reqPool.Extract(n.cfg.DatablockSize)
+		if len(reqs) == 0 {
+			break
+		}
+		n.dbCounter++
+		db := &types.Datablock{
+			Ref:      types.DatablockRef{Generator: n.cfg.ID, Counter: n.dbCounter},
+			Requests: reqs,
+		}
+		digest := crypto.HashDatablock(db)
+		n.dbPool.Add(digest, db)
+		n.myOutstanding[digest] = struct{}{}
+		n.myDBPacked[digest] = n.now
+		n.stats.DatablocksMade++
+		n.stages.Add(StageGeneration, n.now-oldest)
+		n.lastPack = n.now
+		out = append(out, transport.Broadcast(&DatablockMsg{Block: db, Digest: digest}))
+		// The generator holds its own datablock; announce readiness.
+		out = n.sendReady(digest, out)
+	}
+	return out
+}
+
+// sendReady routes a ready announcement for digest to the current leader,
+// or applies it locally when this replica is the leader.
+func (n *Node) sendReady(digest types.Hash, out []transport.Envelope) []transport.Envelope {
+	if n.isLeader() {
+		n.recordReady(digest, n.cfg.ID)
+		return out
+	}
+	return append(out, transport.Unicast(n.Leader(), &ReadyMsg{Digest: digest}))
+}
+
+// handleDatablock implements datablock verification (Alg. 1, lines 11-16):
+// accept unless a datablock with the same counter from the same generator
+// was already received, then announce readiness to the leader.
+func (n *Node) handleDatablock(from types.ReplicaID, m *DatablockMsg, out []transport.Envelope) []transport.Envelope {
+	if m.Block == nil || m.Block.Ref.Generator != from {
+		// Replicas may only disseminate their own datablocks; channel
+		// authentication makes the generator field trustworthy.
+		return out
+	}
+	digest := m.Digest
+	if !n.cfg.TrustDigests || digest.IsZero() {
+		digest = crypto.HashDatablock(m.Block)
+	}
+	return n.acceptDatablock(digest, m.Block, from, out)
+}
+
+// acceptDatablock admits a datablock into the pool (from dissemination or
+// retrieval), announces readiness, and unblocks anything waiting on it.
+func (n *Node) acceptDatablock(digest types.Hash, db *types.Datablock, from types.ReplicaID, out []transport.Envelope) []transport.Envelope {
+	if !n.dbPool.Add(digest, db) {
+		return out // duplicate digest or duplicate (generator, counter)
+	}
+	if n.isLeader() {
+		// The leader counts itself and the generator as holders.
+		n.recordReady(digest, n.cfg.ID)
+		n.recordReady(digest, db.Ref.Generator)
+	} else {
+		out = n.sendReady(digest, out)
+	}
+	out = n.resolveMissing(digest, out)
+	return out
+}
+
+// handleReady collects ready votes at the leader (Alg. 3, Ready step). A
+// datablock moves to the ready queue once 2f+1 distinct replicas hold it,
+// guaranteeing f+1 honest holders for the retrieval committee.
+func (n *Node) handleReady(from types.ReplicaID, m *ReadyMsg, out []transport.Envelope) []transport.Envelope {
+	if !n.isLeader() {
+		return out
+	}
+	n.recordReady(m.Digest, from)
+	return out
+}
+
+// recordReady adds one holder vote and enqueues the datablock for linking
+// when the quorum is met (or immediately under the A2 ablation).
+func (n *Node) recordReady(digest types.Hash, from types.ReplicaID) {
+	if _, done := n.readySet[digest]; done {
+		return
+	}
+	votes := n.readyVotes[digest]
+	if votes == nil {
+		votes = make(map[types.ReplicaID]struct{}, n.q.Quorum())
+		n.readyVotes[digest] = votes
+	}
+	votes[from] = struct{}{}
+	enough := len(votes) >= n.q.Quorum() || n.cfg.DisableReadyRound
+	if enough && n.dbPool.Has(digest) {
+		n.readySet[digest] = struct{}{}
+		n.readyQueue = append(n.readyQueue, digest)
+		delete(n.readyVotes, digest)
+	}
+}

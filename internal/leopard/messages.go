@@ -1,0 +1,264 @@
+package leopard
+
+import (
+	"leopard/internal/crypto"
+	"leopard/internal/merkle"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// Wire-size constants for fixed headers; payload-bearing fields are counted
+// from their actual lengths. β = 32 (SHA-256) matches the paper.
+const (
+	hashSize   = 32
+	hdrSize    = 8 // kind tag + length framing
+	seqViewLen = 16
+)
+
+// DatablockMsg carries a datablock from its generator to all replicas
+// (Alg. 1, line 7). Digest caches H(Block); receivers recompute it unless
+// Config.TrustDigests is set (simulation-only CPU optimization).
+type DatablockMsg struct {
+	Block  *types.Datablock
+	Digest types.Hash
+}
+
+var _ transport.Message = (*DatablockMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *DatablockMsg) WireSize() int { return hdrSize + m.Block.Size() }
+
+// Class implements transport.Message.
+func (m *DatablockMsg) Class() transport.Class { return transport.ClassDatablock }
+
+// ReadyMsg tells the leader that the sender holds the datablock with the
+// given digest (Alg. 3, Ready step). Channel authentication suffices; no
+// transferable signature is needed because only the leader consumes it.
+type ReadyMsg struct {
+	Digest types.Hash
+}
+
+var _ transport.Message = (*ReadyMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *ReadyMsg) WireSize() int { return hdrSize + hashSize }
+
+// Class implements transport.Message.
+func (m *ReadyMsg) Class() transport.Class { return transport.ClassVote }
+
+// BFTblockMsg is the leader's consensus proposal with its own first-round
+// share (Alg. 2, pre-prepare).
+type BFTblockMsg struct {
+	Block       *types.BFTblock
+	LeaderShare crypto.Share
+}
+
+var _ transport.Message = (*BFTblockMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *BFTblockMsg) WireSize() int {
+	return hdrSize + m.Block.Size() + len(m.LeaderShare.Sig)
+}
+
+// Class implements transport.Message.
+func (m *BFTblockMsg) Class() transport.Class { return transport.ClassBFTblock }
+
+// VoteMsg is a threshold-signature share sent to the leader. Round 1 votes
+// sign H(block); round 2 votes sign H(σ1).
+type VoteMsg struct {
+	Block  types.BlockID
+	Round  int // 1 or 2
+	Digest types.Hash
+	Share  crypto.Share
+}
+
+var _ transport.Message = (*VoteMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *VoteMsg) WireSize() int { return hdrSize + seqViewLen + 1 + hashSize + len(m.Share.Sig) }
+
+// Class implements transport.Message.
+func (m *VoteMsg) Class() transport.Class { return transport.ClassVote }
+
+// ProofMsg carries a combined proof from the leader: round 1 notarizes,
+// round 2 confirms.
+type ProofMsg struct {
+	Block  types.BlockID
+	Round  int
+	Digest types.Hash
+	Proof  crypto.Proof
+}
+
+var _ transport.Message = (*ProofMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *ProofMsg) WireSize() int { return hdrSize + seqViewLen + 1 + hashSize + len(m.Proof.Sig) }
+
+// Class implements transport.Message.
+func (m *ProofMsg) Class() transport.Class { return transport.ClassProof }
+
+// QueryMsg asks the committee for missing datablocks (Alg. 3, Query step).
+type QueryMsg struct {
+	Digests []types.Hash
+}
+
+var _ transport.Message = (*QueryMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *QueryMsg) WireSize() int { return hdrSize + hashSize*len(m.Digests) }
+
+// Class implements transport.Message.
+func (m *QueryMsg) Class() transport.Class { return transport.ClassRetrieval }
+
+// RespMsg answers a query with one erasure chunk plus a Merkle inclusion
+// proof (Alg. 3, Response step).
+type RespMsg struct {
+	Digest  types.Hash // digest of the requested datablock
+	Root    types.Hash // Merkle root over all chunks
+	Chunk   []byte
+	Index   int
+	Proof   merkle.Proof
+	DataLen int // original encoded length, needed to decode
+}
+
+var _ transport.Message = (*RespMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *RespMsg) WireSize() int {
+	return hdrSize + 2*hashSize + len(m.Chunk) + 8 + m.Proof.Size()
+}
+
+// Class implements transport.Message.
+func (m *RespMsg) Class() transport.Class { return transport.ClassRetrieval }
+
+// FullBlockMsg is the ablation-A1 leader response: the whole datablock.
+type FullBlockMsg struct {
+	Digest types.Hash
+	Block  *types.Datablock
+}
+
+var _ transport.Message = (*FullBlockMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *FullBlockMsg) WireSize() int { return hdrSize + hashSize + m.Block.Size() }
+
+// Class implements transport.Message.
+func (m *FullBlockMsg) Class() transport.Class { return transport.ClassRetrieval }
+
+// CheckpointMsg is a replica's checkpoint share (Alg. 4).
+type CheckpointMsg struct {
+	Seq       types.SeqNum
+	StateHash types.Hash
+	Share     crypto.Share
+}
+
+var _ transport.Message = (*CheckpointMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *CheckpointMsg) WireSize() int { return hdrSize + 8 + hashSize + len(m.Share.Sig) }
+
+// Class implements transport.Message.
+func (m *CheckpointMsg) Class() transport.Class { return transport.ClassCheckpoint }
+
+// CheckpointProofMsg is the leader's combined checkpoint certificate.
+type CheckpointProofMsg struct {
+	Seq       types.SeqNum
+	StateHash types.Hash
+	Proof     crypto.Proof
+}
+
+var _ transport.Message = (*CheckpointProofMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *CheckpointProofMsg) WireSize() int { return hdrSize + 8 + hashSize + len(m.Proof.Sig) }
+
+// Class implements transport.Message.
+func (m *CheckpointProofMsg) Class() transport.Class { return transport.ClassCheckpoint }
+
+// TimeoutMsg votes to leave view View (view-change trigger).
+type TimeoutMsg struct {
+	View  types.View
+	Share crypto.Share // share over the timeout digest, binds the view
+}
+
+var _ transport.Message = (*TimeoutMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *TimeoutMsg) WireSize() int { return hdrSize + 8 + len(m.Share.Sig) }
+
+// Class implements transport.Message.
+func (m *TimeoutMsg) Class() transport.Class { return transport.ClassViewChange }
+
+// NotarizedBlock is a block header carried by view-change messages together
+// with its notarization proof.
+type NotarizedBlock struct {
+	Block     *types.BFTblock
+	Digest    types.Hash
+	Notarized crypto.Proof
+	Confirmed *crypto.Proof // non-nil if the sender saw a confirmation
+}
+
+// WireSize returns the carried bytes.
+func (nb *NotarizedBlock) WireSize() int {
+	s := nb.Block.Size() + hashSize + len(nb.Notarized.Sig)
+	if nb.Confirmed != nil {
+		s += len(nb.Confirmed.Sig)
+	}
+	return s
+}
+
+// ViewChangeMsg is sent to the next leader: <view-change, v+1, lc, B>.
+type ViewChangeMsg struct {
+	NewView    types.View
+	Checkpoint *CheckpointProofMsg // lc: latest stable checkpoint, may be nil
+	Blocks     []NotarizedBlock    // notarized/confirmed blocks above lw
+	Sender     types.ReplicaID
+	Share      crypto.Share // signature over the message digest
+}
+
+var _ transport.Message = (*ViewChangeMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *ViewChangeMsg) WireSize() int {
+	s := hdrSize + 8 + 4 + len(m.Share.Sig)
+	if m.Checkpoint != nil {
+		s += m.Checkpoint.WireSize()
+	}
+	for i := range m.Blocks {
+		s += m.Blocks[i].WireSize()
+	}
+	return s
+}
+
+// Class implements transport.Message.
+func (m *ViewChangeMsg) Class() transport.Class { return transport.ClassViewChange }
+
+// CarriesPayload implements transport.PayloadCarrier: view-change messages
+// carry every outstanding notarized block header and can reach megabytes,
+// so they use the bulk lane of the network model.
+func (m *ViewChangeMsg) CarriesPayload() bool { return true }
+
+// NewViewMsg is broadcast by the new leader: <new-view, v+1, V>.
+type NewViewMsg struct {
+	NewView types.View
+	Proofs  []ViewChangeMsg // V: 2f+1 view-change messages
+	Share   crypto.Share
+}
+
+var _ transport.Message = (*NewViewMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *NewViewMsg) WireSize() int {
+	s := hdrSize + 8 + len(m.Share.Sig)
+	for i := range m.Proofs {
+		s += m.Proofs[i].WireSize()
+	}
+	return s
+}
+
+// Class implements transport.Message.
+func (m *NewViewMsg) Class() transport.Class { return transport.ClassViewChange }
+
+// CarriesPayload implements transport.PayloadCarrier: new-view messages
+// embed 2f+1 view-change messages (O(n) of them at O(n) size each).
+func (m *NewViewMsg) CarriesPayload() bool { return true }

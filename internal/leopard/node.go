@@ -1,0 +1,385 @@
+package leopard
+
+import (
+	"sort"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/mempool"
+	"leopard/internal/metrics"
+	"leopard/internal/protocol"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// instance is one agreement instance (one BFTblock).
+type instance struct {
+	block        *types.BFTblock
+	digest       types.Hash // H(m)
+	sigma1Digest types.Hash // H(σ1), defined once notarized
+	state        types.BlockState
+	missing      map[types.Hash]struct{} // linked datablocks not yet held
+	voted1       bool
+	voted2       bool
+	proposedAt   time.Duration
+
+	// Leader-only vote collection.
+	vote1Shares []crypto.Share
+	vote1Seen   map[types.ReplicaID]struct{}
+	vote2Shares []crypto.Share
+	vote2Seen   map[types.ReplicaID]struct{}
+
+	notarized *crypto.Proof
+	confirmed *crypto.Proof
+}
+
+// retrievalState tracks recovery of one missing datablock (Alg. 3).
+type retrievalState struct {
+	firstMissing time.Duration
+	queried      bool
+	queriedAt    time.Duration
+	// chunks maps Merkle root -> chunk index -> chunk bytes. Responses
+	// under different roots are collected separately; a root whose decode
+	// fails the digest check is discarded.
+	chunks  map[types.Hash]map[int][]byte
+	dataLen map[types.Hash]int
+	waiters map[types.SeqNum]struct{}
+}
+
+type servedKey struct {
+	digest    types.Hash
+	requester types.ReplicaID
+}
+
+// pendingProof buffers a proof that arrived before its BFTblock (possible
+// across view changes).
+type pendingProof struct {
+	round  int
+	digest types.Hash
+	proof  crypto.Proof
+}
+
+// Stats are the per-node counters the experiments read.
+type Stats struct {
+	ConfirmedRequests int64
+	ConfirmedBlocks   int64
+	ExecutedBlocks    int64
+	DatablocksMade    int64
+	DatablocksHeld    int64
+	Retrievals        int64 // datablocks recovered via Alg. 3
+	ViewChanges       int64
+	View              types.View
+	Stages            *metrics.StageTimer
+}
+
+// Node is a Leopard replica. It implements transport.Node and must be
+// driven from a single goroutine (simnet does this; the TCP runtime
+// serializes events onto one apply loop).
+type Node struct {
+	cfg    Config
+	suite  crypto.Suite
+	q      types.QuorumParams
+	now    time.Duration
+	execFn protocol.ExecuteFunc
+
+	// Request and datablock pools.
+	reqPool   *mempool.RequestPool
+	dbPool    *mempool.DatablockPool
+	dbCounter uint64
+	// myOutstanding holds digests of this replica's own datablocks that
+	// are not yet confirmed (flow-control window).
+	myOutstanding map[types.Hash]struct{}
+	// myDBPacked records when each of this replica's datablocks was
+	// packed, feeding the Table IV stage breakdown.
+	myDBPacked map[types.Hash]time.Duration
+	lastPack   time.Duration
+
+	// Leader state.
+	readyVotes  map[types.Hash]map[types.ReplicaID]struct{}
+	readySet    map[types.Hash]struct{} // enqueued or linked
+	readyQueue  []types.Hash
+	linked      map[types.Hash]struct{}
+	nextSeq     types.SeqNum
+	lastPropose time.Duration
+
+	// Agreement state.
+	view         types.View
+	lw           types.SeqNum
+	instances    map[types.SeqNum]*instance
+	votedSeq     map[types.SeqNum]types.Hash // per-view first-vote lock
+	pendingProof map[types.BlockID][]pendingProof
+
+	// Confirmed log and execution.
+	log        map[types.SeqNum]*types.BFTblock
+	executedTo types.SeqNum
+	// execState is the running chain hash over executed block digests; it
+	// is the checkpointed "execution state" (the consensus layer is
+	// application-agnostic, as in the paper).
+	execState types.Hash
+
+	// Retrieval state.
+	missing map[types.Hash]*retrievalState
+	served  map[servedKey]struct{}
+
+	// Checkpoints.
+	lastCheckpoint *CheckpointProofMsg
+	cpShares       map[types.SeqNum]map[types.ReplicaID]crypto.Share
+	cpDigest       map[types.SeqNum]types.Hash
+
+	// View change.
+	inViewChange bool
+	pendingView  types.View // target view while a view change is in flight
+	vcStartedAt  time.Duration
+	sentTimeout  map[types.View]bool
+	timeoutVotes map[types.View]map[types.ReplicaID]struct{}
+	vcMsgs       map[types.View]map[types.ReplicaID]*ViewChangeMsg
+	expectedRedo map[types.SeqNum]types.Hash // content digests promised by new-view
+	lastProgress time.Duration
+	sentNewView  map[types.View]bool
+	// futureBlocks buffers proposals for views this replica has not
+	// entered yet (control-plane messages can overtake the new-view
+	// announcement); replayed on entering the view. Bounded.
+	futureBlocks []*BFTblockMsg
+	// confirmedDBs tracks datablock digests already confirmed in some
+	// block, so replicas re-announce only outstanding ones after a view
+	// change. Pruned with the watermark.
+	confirmedDBs map[types.Hash]struct{}
+
+	stats  Stats
+	stages metrics.StageTimer
+
+	// Byzantine hooks used by tests and the fault-injection harness.
+	// selectiveTargets, when non-nil, restricts datablock broadcasts to
+	// the given replicas (the paper's selective attack). The slice is kept
+	// sorted so simulation runs stay deterministic.
+	selectiveTargets map[types.ReplicaID]struct{}
+	selectiveOrder   []types.ReplicaID
+	silent           bool // drop all outbound protocol messages
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// NewNode builds a Leopard replica from cfg.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:           cfg,
+		suite:         cfg.Suite,
+		q:             cfg.Quorum,
+		reqPool:       mempool.NewRequestPool(),
+		dbPool:        mempool.NewDatablockPool(),
+		myOutstanding: make(map[types.Hash]struct{}),
+		myDBPacked:    make(map[types.Hash]time.Duration),
+		readyVotes:    make(map[types.Hash]map[types.ReplicaID]struct{}),
+		readySet:      make(map[types.Hash]struct{}),
+		linked:        make(map[types.Hash]struct{}),
+		nextSeq:       1,
+		view:          1,
+		instances:     make(map[types.SeqNum]*instance),
+		votedSeq:      make(map[types.SeqNum]types.Hash),
+		pendingProof:  make(map[types.BlockID][]pendingProof),
+		log:           make(map[types.SeqNum]*types.BFTblock),
+		missing:       make(map[types.Hash]*retrievalState),
+		served:        make(map[servedKey]struct{}),
+		cpShares:      make(map[types.SeqNum]map[types.ReplicaID]crypto.Share),
+		cpDigest:      make(map[types.SeqNum]types.Hash),
+		sentTimeout:   make(map[types.View]bool),
+		timeoutVotes:  make(map[types.View]map[types.ReplicaID]struct{}),
+		vcMsgs:        make(map[types.View]map[types.ReplicaID]*ViewChangeMsg),
+		sentNewView:   make(map[types.View]bool),
+		confirmedDBs:  make(map[types.Hash]struct{}),
+	}
+	n.stats.Stages = &n.stages
+	return n, nil
+}
+
+// ID implements transport.Node.
+func (n *Node) ID() types.ReplicaID { return n.cfg.ID }
+
+// SetExecutor registers the execution callback invoked for every confirmed
+// block in log order. Must be called before Start.
+func (n *Node) SetExecutor(fn protocol.ExecuteFunc) { n.execFn = fn }
+
+// View returns the current view number.
+func (n *Node) View() types.View { return n.view }
+
+// InViewChange reports whether the replica has stopped the normal case and
+// is waiting for a new view to form.
+func (n *Node) InViewChange() bool { return n.inViewChange }
+
+// Leader returns the leader of the current view.
+func (n *Node) Leader() types.ReplicaID { return types.LeaderOf(n.view, n.q.N) }
+
+// isLeader reports whether this replica leads the current view.
+func (n *Node) isLeader() bool { return n.Leader() == n.cfg.ID }
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	s := n.stats
+	s.View = n.view
+	s.DatablocksHeld = int64(n.dbPool.Len())
+	return s
+}
+
+// PendingRequests returns the mempool depth.
+func (n *Node) PendingRequests() int { return n.reqPool.Len() }
+
+// ExecutedTo returns the highest consecutively executed serial number.
+func (n *Node) ExecutedTo() types.SeqNum { return n.executedTo }
+
+// LogBlock returns the confirmed block at sn, if any. Part of the public
+// API so applications can audit the output log.
+func (n *Node) LogBlock(sn types.SeqNum) (*types.BFTblock, bool) {
+	b, ok := n.log[sn]
+	return b, ok
+}
+
+// Datablock returns a datablock by digest from the local pool.
+func (n *Node) Datablock(h types.Hash) (*types.Datablock, bool) { return n.dbPool.Get(h) }
+
+// Stage names for the Table IV latency breakdown.
+const (
+	StageGeneration    = "datablock_generation"
+	StageDissemination = "datablock_dissemination"
+	StageAgreement     = "agreement"
+)
+
+// SubmitRequest adds a client request to this replica's mempool. Returns
+// false if the request is a duplicate.
+func (n *Node) SubmitRequest(now time.Duration, req types.Request) bool {
+	n.observe(now)
+	return n.reqPool.Add(req, now)
+}
+
+// SetSelectiveAttack makes this (faulty) replica send its datablocks only
+// to the listed targets, the paper's §V-B selective attack. Nil restores
+// honest behaviour.
+func (n *Node) SetSelectiveAttack(targets []types.ReplicaID) {
+	if targets == nil {
+		n.selectiveTargets = nil
+		n.selectiveOrder = nil
+		return
+	}
+	n.selectiveTargets = make(map[types.ReplicaID]struct{}, len(targets))
+	n.selectiveOrder = nil
+	for _, t := range targets {
+		if _, dup := n.selectiveTargets[t]; dup {
+			continue
+		}
+		n.selectiveTargets[t] = struct{}{}
+		n.selectiveOrder = append(n.selectiveOrder, t)
+	}
+	sort.Slice(n.selectiveOrder, func(i, j int) bool {
+		return n.selectiveOrder[i] < n.selectiveOrder[j]
+	})
+}
+
+// SetSilent makes the node drop all outbound messages (crash-like fault
+// while still consuming input). Used by fault-injection tests.
+func (n *Node) SetSilent(v bool) { n.silent = v }
+
+// observe advances the node clock.
+func (n *Node) observe(now time.Duration) {
+	if now > n.now {
+		n.now = now
+	}
+}
+
+// Start implements transport.Node.
+func (n *Node) Start(now time.Duration) []transport.Envelope {
+	n.observe(now)
+	n.lastProgress = now
+	return nil
+}
+
+// Tick implements transport.Node.
+func (n *Node) Tick(now time.Duration) []transport.Envelope {
+	n.observe(now)
+	var out []transport.Envelope
+	out = n.maybePackDatablocks(out)
+	if n.isLeader() && !n.inViewChange {
+		out = n.maybePropose(out)
+	}
+	out = n.checkRetrievalTimers(out)
+	out = n.checkViewChangeTimer(out)
+	return n.filterOut(out)
+}
+
+// Deliver implements transport.Node.
+func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+	n.observe(now)
+	var out []transport.Envelope
+	switch m := msg.(type) {
+	case *DatablockMsg:
+		out = n.handleDatablock(from, m, out)
+	case *ReadyMsg:
+		out = n.handleReady(from, m, out)
+	case *BFTblockMsg:
+		out = n.handleBFTblock(from, m, out)
+	case *VoteMsg:
+		out = n.handleVote(from, m, out)
+	case *ProofMsg:
+		out = n.handleProof(from, m, out)
+	case *QueryMsg:
+		out = n.handleQuery(from, m, out)
+	case *RespMsg:
+		out = n.handleResp(from, m, out)
+	case *FullBlockMsg:
+		out = n.handleFullBlock(from, m, out)
+	case *CheckpointMsg:
+		out = n.handleCheckpoint(from, m, out)
+	case *CheckpointProofMsg:
+		out = n.handleCheckpointProof(from, m, out)
+	case *TimeoutMsg:
+		out = n.handleTimeout(from, m, out)
+	case *ViewChangeMsg:
+		out = n.handleViewChange(from, m, out)
+	case *NewViewMsg:
+		out = n.handleNewView(from, m, out)
+	}
+	return n.filterOut(out)
+}
+
+// filterOut applies the Byzantine output hooks. A selective attacker sends
+// its datablocks only to its chosen targets and ignores retrieval queries
+// from everyone else (it "sends its packages to a small subset of replicas
+// and ignores others", §IV-A2).
+func (n *Node) filterOut(out []transport.Envelope) []transport.Envelope {
+	if n.silent {
+		return nil
+	}
+	if n.selectiveTargets == nil {
+		return out
+	}
+	// Broadcast expansion can grow the list, so build a fresh slice
+	// rather than filtering in place.
+	filtered := make([]transport.Envelope, 0, len(out))
+	for _, env := range out {
+		switch env.Msg.(type) {
+		case *DatablockMsg:
+			if env.Broadcast {
+				for _, t := range n.selectiveOrder {
+					if t != n.cfg.ID {
+						filtered = append(filtered, transport.Unicast(t, env.Msg))
+					}
+				}
+				continue
+			}
+			if _, ok := n.selectiveTargets[env.To]; ok {
+				filtered = append(filtered, env)
+			}
+		case *RespMsg, *FullBlockMsg:
+			if !env.Broadcast {
+				if _, ok := n.selectiveTargets[env.To]; !ok {
+					continue // ignore retrieval from non-targets
+				}
+			}
+			filtered = append(filtered, env)
+		default:
+			filtered = append(filtered, env)
+		}
+	}
+	return filtered
+}

@@ -1,0 +1,242 @@
+package leopard
+
+import (
+	"sort"
+
+	"leopard/internal/codec"
+	"leopard/internal/crypto"
+	"leopard/internal/erasure"
+	"leopard/internal/merkle"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// noteMissing registers a datablock digest as missing and starts its
+// retrieval timer (Alg. 3, Query step).
+func (n *Node) noteMissing(h types.Hash, waiter types.SeqNum) {
+	r := n.missing[h]
+	if r == nil {
+		r = &retrievalState{
+			firstMissing: n.now,
+			chunks:       make(map[types.Hash]map[int][]byte),
+			dataLen:      make(map[types.Hash]int),
+			waiters:      make(map[types.SeqNum]struct{}),
+		}
+		n.missing[h] = r
+	}
+	r.waiters[waiter] = struct{}{}
+}
+
+// checkRetrievalTimers multicasts a batched Query for every missing
+// datablock whose timer expired; stale queries are re-sent.
+func (n *Node) checkRetrievalTimers(out []transport.Envelope) []transport.Envelope {
+	var due []types.Hash
+	for h, r := range n.missing {
+		fresh := !r.queried && n.now-r.firstMissing >= n.cfg.RetrievalTimeout
+		retry := r.queried && n.now-r.queriedAt >= 8*n.cfg.RetrievalTimeout
+		if fresh || retry {
+			due = append(due, h)
+		}
+	}
+	if len(due) == 0 {
+		return out
+	}
+	sort.Slice(due, func(i, j int) bool {
+		for b := 0; b < len(due[i]); b++ {
+			if due[i][b] != due[j][b] {
+				return due[i][b] < due[j][b]
+			}
+		}
+		return false
+	})
+	for _, h := range due {
+		r := n.missing[h]
+		r.queried = true
+		r.queriedAt = n.now
+	}
+	return append(out, transport.Broadcast(&QueryMsg{Digests: due}))
+}
+
+// rsCodec returns the (f+1, n) Reed–Solomon codec shared by retrieval. The
+// GF(2^8) code supports at most 256 chunks, so for n > 256 the retrieval
+// committee is the first 256 replicas (same 256-shard ceiling as the
+// Reed–Solomon library the paper's implementation used); the paper's
+// retrieval experiments run at n <= 128.
+func (n *Node) rsCodec() (*erasure.Codec, error) {
+	shards := n.q.N
+	if shards > 256 {
+		shards = 256
+	}
+	return erasure.NewCodec(n.q.Small(), shards)
+}
+
+// handleQuery serves erasure chunks for datablocks this replica holds
+// (Alg. 3, Response step). Each (digest, requester) pair is served at most
+// once, bounding the amplification a Byzantine querier can cause.
+func (n *Node) handleQuery(from types.ReplicaID, m *QueryMsg, out []transport.Envelope) []transport.Envelope {
+	for _, digest := range m.Digests {
+		key := servedKey{digest: digest, requester: from}
+		if _, done := n.served[key]; done {
+			continue
+		}
+		db, ok := n.dbPool.Get(digest)
+		if !ok {
+			continue
+		}
+		n.served[key] = struct{}{}
+		if n.cfg.LeaderRetrieval {
+			// Ablation A1: only the leader answers, with the full block.
+			if n.isLeader() {
+				out = append(out, transport.Unicast(from, &FullBlockMsg{Digest: digest, Block: db}))
+			}
+			continue
+		}
+		resp, err := n.buildResponse(digest, db)
+		if err != nil {
+			continue
+		}
+		out = append(out, transport.Unicast(from, resp))
+	}
+	return out
+}
+
+// buildResponse erasure-codes the datablock, builds the Merkle tree over
+// the chunks, and returns this replica's chunk with its inclusion proof.
+func (n *Node) buildResponse(digest types.Hash, db *types.Datablock) (*RespMsg, error) {
+	rs, err := n.rsCodec()
+	if err != nil {
+		return nil, err
+	}
+	data := codec.MarshalDatablock(db)
+	chunks, err := rs.Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	leaves := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		leaves[i] = c.Data
+	}
+	tree, err := merkle.New(leaves)
+	if err != nil {
+		return nil, err
+	}
+	idx := int(n.cfg.ID)
+	proof, err := tree.Prove(idx)
+	if err != nil {
+		return nil, err
+	}
+	return &RespMsg{
+		Digest:  digest,
+		Root:    tree.Root(),
+		Chunk:   chunks[idx].Data,
+		Index:   idx,
+		Proof:   proof,
+		DataLen: len(data),
+	}, nil
+}
+
+// handleResp collects chunks; once f+1 chunks agree under one Merkle root,
+// the datablock is decoded, digest-checked and admitted (Alg. 3, lines
+// 22-28).
+func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out []transport.Envelope) []transport.Envelope {
+	r := n.missing[m.Digest]
+	if r == nil {
+		return out
+	}
+	if m.Index != int(from) {
+		return out // each replica serves the chunk at its own index
+	}
+	if err := merkle.Verify(m.Root, m.Proof, m.Chunk); err != nil || m.Proof.Index != m.Index {
+		return out
+	}
+	byRoot := r.chunks[m.Root]
+	if byRoot == nil {
+		byRoot = make(map[int][]byte)
+		r.chunks[m.Root] = byRoot
+		r.dataLen[m.Root] = m.DataLen
+	}
+	if r.dataLen[m.Root] != m.DataLen {
+		return out // inconsistent responders under this root; ignore
+	}
+	byRoot[m.Index] = m.Chunk
+	if len(byRoot) < n.q.Small() {
+		return out
+	}
+	db, ok := n.decodeRoot(m.Digest, byRoot, r.dataLen[m.Root])
+	if !ok {
+		// The root was bogus (only possible with >= f+1 colluding faulty
+		// responders under an invalid root, or a corrupted chunk set);
+		// discard it and keep waiting for an honest root.
+		delete(r.chunks, m.Root)
+		delete(r.dataLen, m.Root)
+		return out
+	}
+	n.stats.Retrievals++
+	return n.acceptDatablock(m.Digest, db, db.Ref.Generator, out)
+}
+
+// decodeRoot attempts to reconstruct and digest-check a datablock from f+1
+// chunks collected under one root.
+func (n *Node) decodeRoot(digest types.Hash, byRoot map[int][]byte, dataLen int) (*types.Datablock, bool) {
+	rs, err := n.rsCodec()
+	if err != nil {
+		return nil, false
+	}
+	chunks := make([]erasure.Chunk, 0, len(byRoot))
+	for idx, data := range byRoot {
+		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Index < chunks[j].Index })
+	data, err := rs.Decode(chunks, dataLen)
+	if err != nil {
+		return nil, false
+	}
+	db, err := codec.UnmarshalDatablock(data)
+	if err != nil {
+		return nil, false
+	}
+	if crypto.HashDatablock(db) != digest {
+		return nil, false
+	}
+	return db, true
+}
+
+// handleFullBlock processes the ablation-A1 leader response.
+func (n *Node) handleFullBlock(from types.ReplicaID, m *FullBlockMsg, out []transport.Envelope) []transport.Envelope {
+	if n.missing[m.Digest] == nil || m.Block == nil {
+		return out
+	}
+	if crypto.HashDatablock(m.Block) != m.Digest {
+		return out
+	}
+	n.stats.Retrievals++
+	return n.acceptDatablock(m.Digest, m.Block, m.Block.Ref.Generator, out)
+}
+
+// resolveMissing is called when a previously missing datablock arrives by
+// any path: it unblocks first-round votes and execution.
+func (n *Node) resolveMissing(h types.Hash, out []transport.Envelope) []transport.Envelope {
+	r := n.missing[h]
+	if r == nil {
+		return out
+	}
+	delete(n.missing, h)
+	waiters := make([]types.SeqNum, 0, len(r.waiters))
+	for sn := range r.waiters {
+		waiters = append(waiters, sn)
+	}
+	sort.Slice(waiters, func(i, j int) bool { return waiters[i] < waiters[j] })
+	for _, sn := range waiters {
+		inst := n.instances[sn]
+		if inst == nil || inst.block == nil {
+			continue
+		}
+		if inst.missing != nil {
+			delete(inst.missing, h)
+		}
+		if len(inst.missing) == 0 && !inst.voted1 && !n.inViewChange {
+			out = n.castVote1(inst, out)
+		}
+	}
+	return n.tryExecute(out)
+}

@@ -1,0 +1,126 @@
+package leopard_test
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/leopard"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// router delivers envelopes among nodes synchronously in FIFO order, with
+// no bandwidth model. It gives protocol-logic tests precise control over
+// time and message schedules (drop/reorder hooks) without simnet.
+type router struct {
+	t     *testing.T
+	nodes []*leopard.Node
+	now   time.Duration
+	// drop, when set, suppresses matching deliveries.
+	drop func(from, to types.ReplicaID, msg transport.Message) bool
+
+	queue []routedMsg
+}
+
+type routedMsg struct {
+	from, to types.ReplicaID
+	msg      transport.Message
+}
+
+// newRouter builds n Leopard nodes with the given config mutator.
+func newRouter(t *testing.T, n int, mutate func(*leopard.Config)) *router {
+	t.Helper()
+	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := crypto.NewEd25519Suite(n, []byte("router-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &router{t: t}
+	for i := 0; i < n; i++ {
+		cfg := leopard.Config{
+			ID:            types.ReplicaID(i),
+			Quorum:        q,
+			Suite:         suite,
+			DatablockSize: 10,
+			BFTBlockSize:  2,
+			BatchTimeout:  5 * time.Millisecond,
+			// Long VC timeout by default so logic tests control it.
+			ViewChangeTimeout: time.Hour,
+			RetrievalTimeout:  10 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		node, err := leopard.NewNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nodes = append(r.nodes, node)
+	}
+	for _, node := range r.nodes {
+		r.enqueue(node.ID(), node.Start(r.now))
+	}
+	r.flush()
+	return r
+}
+
+func (r *router) enqueue(from types.ReplicaID, outs []transport.Envelope) {
+	for _, env := range outs {
+		if env.Msg == nil {
+			continue
+		}
+		if env.Broadcast {
+			for i := range r.nodes {
+				to := types.ReplicaID(i)
+				if to != from {
+					r.queue = append(r.queue, routedMsg{from: from, to: to, msg: env.Msg})
+				}
+			}
+			continue
+		}
+		r.queue = append(r.queue, routedMsg{from: from, to: env.To, msg: env.Msg})
+	}
+}
+
+// flush delivers queued messages (and any they generate) to exhaustion.
+func (r *router) flush() {
+	for len(r.queue) > 0 {
+		m := r.queue[0]
+		r.queue = r.queue[1:]
+		if int(m.to) >= len(r.nodes) {
+			continue
+		}
+		if r.drop != nil && r.drop(m.from, m.to, m.msg) {
+			continue
+		}
+		outs := r.nodes[m.to].Deliver(r.now, m.from, m.msg)
+		r.enqueue(m.to, outs)
+	}
+}
+
+// advance moves time forward in tick-sized steps, ticking every node and
+// flushing after each step.
+func (r *router) advance(d, step time.Duration) {
+	deadline := r.now + d
+	for r.now < deadline {
+		r.now += step
+		for _, node := range r.nodes {
+			r.enqueue(node.ID(), node.Tick(r.now))
+		}
+		r.flush()
+	}
+}
+
+// submit feeds count requests to the given node's mempool.
+func (r *router) submit(to types.ReplicaID, count int, firstSeq uint64) {
+	for i := 0; i < count; i++ {
+		req := types.Request{ClientID: uint64(to) + 1, Seq: firstSeq + uint64(i), Payload: make([]byte, 32)}
+		if !r.nodes[to].SubmitRequest(r.now, req) {
+			r.t.Fatalf("request %d rejected at %d", i, to)
+		}
+	}
+}

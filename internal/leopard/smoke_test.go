@@ -1,0 +1,63 @@
+package leopard_test
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/harness"
+	"leopard/internal/leopard"
+	"leopard/internal/protocol"
+	"leopard/internal/simnet"
+	"leopard/internal/types"
+)
+
+// buildCluster wires an n-replica Leopard cluster over simnet with the
+// Ed25519 suite and small batches suitable for tests.
+func buildCluster(t *testing.T, n int, mutate func(*leopard.Config)) *harness.Cluster {
+	t.Helper()
+	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := crypto.NewEd25519Suite(n, []byte("test-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netCfg := simnet.DefaultConfig()
+	netCfg.TickInterval = 2 * time.Millisecond
+	cluster, err := harness.NewCluster(harness.Options{
+		N:               n,
+		Net:             netCfg,
+		PayloadSize:     128,
+		SaturationDepth: 200,
+		Build: func(id types.ReplicaID) (protocol.Replica, error) {
+			cfg := leopard.Config{
+				ID:            id,
+				Quorum:        q,
+				Suite:         suite,
+				DatablockSize: 50,
+				BFTBlockSize:  4,
+				BatchTimeout:  10 * time.Millisecond,
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			return leopard.NewNode(cfg)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+func TestSmokeConfirmsRequests(t *testing.T) {
+	cluster := buildCluster(t, 4, nil)
+	cluster.Start()
+	res := cluster.MeasureFor(2 * time.Second)
+	if res.Confirmed == 0 {
+		t.Fatalf("no requests confirmed in %v", res.Elapsed)
+	}
+	t.Logf("n=4 confirmed=%d throughput=%.0f req/s meanLat=%v", res.Confirmed, res.Throughput, res.MeanLat)
+}

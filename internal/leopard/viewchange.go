@@ -1,0 +1,431 @@
+package leopard
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"leopard/internal/crypto"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// timeoutDigest is what replicas sign to vote for leaving view v.
+func timeoutDigest(v types.View) types.Hash {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	return crypto.HashConcat([]byte("leopard/timeout"), buf[:])
+}
+
+// viewChangeDigest binds a view-change message's contents for signing.
+func viewChangeDigest(m *ViewChangeMsg) types.Hash {
+	var buf []byte
+	var tmp [8]byte
+	buf = append(buf, []byte("leopard/viewchange")...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(m.NewView))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(m.Sender))
+	buf = append(buf, tmp[:4]...)
+	if m.Checkpoint != nil {
+		binary.BigEndian.PutUint64(tmp[:], uint64(m.Checkpoint.Seq))
+		buf = append(buf, tmp[:]...)
+		buf = append(buf, m.Checkpoint.StateHash[:]...)
+	}
+	for i := range m.Blocks {
+		buf = append(buf, m.Blocks[i].Digest[:]...)
+	}
+	return crypto.HashBytes(buf)
+}
+
+// newViewDigest binds a new-view message for the leader's signature.
+func newViewDigest(m *NewViewMsg) types.Hash {
+	var buf []byte
+	var tmp [8]byte
+	buf = append(buf, []byte("leopard/newview")...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(m.NewView))
+	buf = append(buf, tmp[:]...)
+	for i := range m.Proofs {
+		d := viewChangeDigest(&m.Proofs[i])
+		buf = append(buf, d[:]...)
+	}
+	return crypto.HashBytes(buf)
+}
+
+// hasPendingWork reports whether there is anything to make progress on; an
+// idle system must not trigger view changes.
+func (n *Node) hasPendingWork() bool {
+	if n.reqPool.Len() > 0 || len(n.myOutstanding) > 0 || len(n.readyQueue) > 0 {
+		return true
+	}
+	for _, inst := range n.instances {
+		if inst.block != nil && inst.state < types.StateConfirmed {
+			return true
+		}
+	}
+	return false
+}
+
+// checkViewChangeTimer implements the view-change trigger: if confirmation
+// progress stalls while work is pending, vote to leave the current view;
+// if an in-flight view change itself stalls, escalate to the next view.
+func (n *Node) checkViewChangeTimer(out []transport.Envelope) []transport.Envelope {
+	if n.inViewChange {
+		if n.now-n.vcStartedAt >= 4*n.cfg.ViewChangeTimeout {
+			target := n.pendingView // leave the failed target view too
+			out = n.voteTimeout(target, out)
+		}
+		return out
+	}
+	if !n.hasPendingWork() {
+		n.lastProgress = n.now
+		return out
+	}
+	if n.now-n.lastProgress >= n.cfg.ViewChangeTimeout {
+		out = n.voteTimeout(n.view, out)
+	}
+	return out
+}
+
+// voteTimeout broadcasts this replica's timeout vote for view v (once) and
+// enters the view change for v+1.
+func (n *Node) voteTimeout(v types.View, out []transport.Envelope) []transport.Envelope {
+	if n.sentTimeout[v] || v < n.view {
+		return out
+	}
+	share, err := n.suite.Sign(n.cfg.ID, timeoutDigest(v))
+	if err != nil {
+		return out
+	}
+	n.sentTimeout[v] = true
+	n.recordTimeout(v, n.cfg.ID)
+	out = append(out, transport.Broadcast(&TimeoutMsg{View: v, Share: share}))
+	return n.startViewChange(v+1, out)
+}
+
+// handleTimeout records another replica's timeout vote; f+1 votes for the
+// current (or a later) view are proof the leader is faulty, so this replica
+// joins (Appendix A, trigger condition 2).
+func (n *Node) handleTimeout(from types.ReplicaID, m *TimeoutMsg, out []transport.Envelope) []transport.Envelope {
+	if m.View < n.view {
+		return out
+	}
+	if err := n.suite.VerifyShare(timeoutDigest(m.View), m.Share); err != nil || m.Share.Signer != from {
+		return out
+	}
+	n.recordTimeout(m.View, from)
+	if len(n.timeoutVotes[m.View]) >= n.q.Small() && !n.sentTimeout[m.View] {
+		out = n.voteTimeout(m.View, out)
+	}
+	return out
+}
+
+func (n *Node) recordTimeout(v types.View, from types.ReplicaID) {
+	votes := n.timeoutVotes[v]
+	if votes == nil {
+		votes = make(map[types.ReplicaID]struct{}, n.q.Small())
+		n.timeoutVotes[v] = votes
+	}
+	votes[from] = struct{}{}
+}
+
+// startViewChange moves this replica into the view change targeting the
+// given view and sends its view-change message to the new leader.
+func (n *Node) startViewChange(target types.View, out []transport.Envelope) []transport.Envelope {
+	if target <= n.view || (n.inViewChange && target <= n.pendingView) {
+		return out
+	}
+	n.inViewChange = true
+	n.pendingView = target
+	n.vcStartedAt = n.now
+
+	msg := n.buildViewChangeMsg(target)
+	newLeader := types.LeaderOf(target, n.q.N)
+	if newLeader == n.cfg.ID {
+		return n.collectViewChange(n.cfg.ID, msg, out)
+	}
+	return append(out, transport.Unicast(newLeader, msg))
+}
+
+// buildViewChangeMsg assembles <view-change, v+1, lc, B> (Appendix A).
+func (n *Node) buildViewChangeMsg(target types.View) *ViewChangeMsg {
+	msg := &ViewChangeMsg{
+		NewView:    target,
+		Checkpoint: n.lastCheckpoint,
+		Sender:     n.cfg.ID,
+	}
+	sns := make([]types.SeqNum, 0, len(n.instances))
+	for sn, inst := range n.instances {
+		if sn > n.lw && inst.block != nil && inst.notarized != nil {
+			sns = append(sns, sn)
+		}
+	}
+	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
+	for _, sn := range sns {
+		inst := n.instances[sn]
+		msg.Blocks = append(msg.Blocks, NotarizedBlock{
+			Block:     inst.block,
+			Digest:    inst.digest,
+			Notarized: *inst.notarized,
+			Confirmed: inst.confirmed,
+		})
+	}
+	share, err := n.suite.Sign(n.cfg.ID, viewChangeDigest(msg))
+	if err == nil {
+		msg.Share = share
+	}
+	return msg
+}
+
+// validViewChangeMsg verifies a view-change message's signature, checkpoint
+// proof and notarization proofs.
+func (n *Node) validViewChangeMsg(from types.ReplicaID, m *ViewChangeMsg) bool {
+	if m.Sender != from {
+		return false
+	}
+	if err := n.suite.VerifyShare(viewChangeDigest(m), m.Share); err != nil || m.Share.Signer != from {
+		return false
+	}
+	if m.Checkpoint != nil {
+		d := checkpointDigest(m.Checkpoint.Seq, m.Checkpoint.StateHash)
+		if err := n.suite.VerifyProof(d, m.Checkpoint.Proof); err != nil {
+			return false
+		}
+	}
+	for i := range m.Blocks {
+		nb := &m.Blocks[i]
+		if nb.Block == nil {
+			return false
+		}
+		if crypto.HashBFTblock(nb.Block) != nb.Digest {
+			return false
+		}
+		if err := n.suite.VerifyProof(nb.Digest, nb.Notarized); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// handleViewChange collects view-change messages at the would-be leader of
+// the target view; 2f+1 of them produce the new-view message.
+func (n *Node) handleViewChange(from types.ReplicaID, m *ViewChangeMsg, out []transport.Envelope) []transport.Envelope {
+	if types.LeaderOf(m.NewView, n.q.N) != n.cfg.ID || m.NewView <= n.view {
+		return out
+	}
+	return n.collectViewChange(from, m, out)
+}
+
+func (n *Node) collectViewChange(from types.ReplicaID, m *ViewChangeMsg, out []transport.Envelope) []transport.Envelope {
+	if n.sentNewView[m.NewView] {
+		return out
+	}
+	if !n.validViewChangeMsg(from, m) {
+		return out
+	}
+	msgs := n.vcMsgs[m.NewView]
+	if msgs == nil {
+		msgs = make(map[types.ReplicaID]*ViewChangeMsg, n.q.Quorum())
+		n.vcMsgs[m.NewView] = msgs
+	}
+	msgs[from] = m
+	if len(msgs) < n.q.Quorum() {
+		return out
+	}
+	// Assemble the new-view message with 2f+1 view-change messages, in
+	// sender order for determinism.
+	n.sentNewView[m.NewView] = true
+	senders := make([]types.ReplicaID, 0, len(msgs))
+	for id := range msgs {
+		senders = append(senders, id)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	nv := &NewViewMsg{NewView: m.NewView}
+	for _, id := range senders[:n.q.Quorum()] {
+		nv.Proofs = append(nv.Proofs, *msgs[id])
+	}
+	share, err := n.suite.Sign(n.cfg.ID, newViewDigest(nv))
+	if err != nil {
+		return out
+	}
+	nv.Share = share
+	out = append(out, transport.Broadcast(nv))
+	return n.enterNewView(nv, out)
+}
+
+// handleNewView validates a new-view message and enters the new view.
+func (n *Node) handleNewView(from types.ReplicaID, m *NewViewMsg, out []transport.Envelope) []transport.Envelope {
+	if m.NewView <= n.view || types.LeaderOf(m.NewView, n.q.N) != from {
+		return out
+	}
+	if err := n.suite.VerifyShare(newViewDigest(m), m.Share); err != nil || m.Share.Signer != from {
+		return out
+	}
+	seen := make(map[types.ReplicaID]struct{}, len(m.Proofs))
+	for i := range m.Proofs {
+		vc := &m.Proofs[i]
+		if vc.NewView != m.NewView || !n.validViewChangeMsg(vc.Sender, vc) {
+			return out
+		}
+		if _, dup := seen[vc.Sender]; dup {
+			return out
+		}
+		seen[vc.Sender] = struct{}{}
+	}
+	if len(seen) < n.q.Quorum() {
+		return out
+	}
+	return n.enterNewView(m, out)
+}
+
+// redoPlan is the deterministic block selection derived from a new-view
+// message: for every serial number above the recovered watermark up to the
+// highest notarized one, either a carried notarized block (highest view
+// wins) or a dummy empty block.
+type redoPlan struct {
+	lw     types.SeqNum
+	maxSN  types.SeqNum
+	chosen map[types.SeqNum]*types.BFTblock // nil entry = dummy
+	cp     *CheckpointProofMsg
+}
+
+// computeRedo derives the redo plan from the 2f+1 view-change messages.
+func computeRedo(m *NewViewMsg) redoPlan {
+	plan := redoPlan{chosen: make(map[types.SeqNum]*types.BFTblock)}
+	bestView := make(map[types.SeqNum]types.View)
+	for i := range m.Proofs {
+		vc := &m.Proofs[i]
+		if vc.Checkpoint != nil && vc.Checkpoint.Seq > plan.lw {
+			plan.lw = vc.Checkpoint.Seq
+			plan.cp = vc.Checkpoint
+		}
+		for j := range vc.Blocks {
+			nb := &vc.Blocks[j]
+			sn := nb.Block.Seq
+			if sn > plan.maxSN {
+				plan.maxSN = sn
+			}
+			if v, ok := bestView[sn]; !ok || nb.Block.View > v {
+				bestView[sn] = nb.Block.View
+				plan.chosen[sn] = nb.Block
+			}
+		}
+	}
+	return plan
+}
+
+// enterNewView installs the new view, recomputes the redo plan, and (when
+// this replica is the new leader) re-proposes the carried blocks.
+func (n *Node) enterNewView(m *NewViewMsg, out []transport.Envelope) []transport.Envelope {
+	plan := computeRedo(m)
+
+	n.view = m.NewView
+	n.inViewChange = false
+	n.pendingView = 0
+	n.lastProgress = n.now
+	n.stats.ViewChanges++
+	if plan.cp != nil && plan.cp.Seq > n.lw {
+		n.applyCheckpoint(plan.cp)
+	}
+
+	// Reset per-view agreement state. The confirmed log survives; every
+	// unconfirmed instance will be re-agreed via the redo plan.
+	n.instances = make(map[types.SeqNum]*instance)
+	n.votedSeq = make(map[types.SeqNum]types.Hash)
+	n.pendingProof = make(map[types.BlockID][]pendingProof)
+	n.expectedRedo = make(map[types.SeqNum]types.Hash)
+	n.readyVotes = make(map[types.Hash]map[types.ReplicaID]struct{})
+	n.readySet = make(map[types.Hash]struct{})
+	n.readyQueue = nil
+	n.linked = make(map[types.Hash]struct{})
+	n.lastPropose = n.now
+
+	// Record what the new leader must propose for each redo slot, so an
+	// equivocating new leader is caught by handleBFTblock.
+	redoBlocks := make([]*types.BFTblock, 0, int(plan.maxSN-n.lw))
+	for sn := n.lw + 1; sn <= plan.maxSN; sn++ {
+		var blk *types.BFTblock
+		if prev, ok := plan.chosen[sn]; ok {
+			blk = &types.BFTblock{View: n.view, Seq: sn, Content: prev.Content}
+		} else {
+			blk = &types.BFTblock{View: n.view, Seq: sn} // dummy filler
+		}
+		n.expectedRedo[sn] = crypto.HashBFTblock(blk)
+		redoBlocks = append(redoBlocks, blk)
+	}
+
+	// Replay proposals that overtook the new-view announcement.
+	replay := n.futureBlocks
+	n.futureBlocks = nil
+	for _, m := range replay {
+		if m.Block.View == n.view {
+			out = n.handleBFTblock(types.LeaderOf(m.Block.View, n.q.N), m, out)
+		} else if m.Block.View > n.view && len(n.futureBlocks) < 4*n.cfg.MaxParallel {
+			n.futureBlocks = append(n.futureBlocks, m)
+		}
+	}
+
+	if n.isLeader() {
+		n.nextSeq = plan.maxSN + 1
+		if n.nextSeq <= n.lw {
+			n.nextSeq = n.lw + 1
+		}
+		for _, blk := range redoBlocks {
+			if _, confirmed := n.log[blk.Seq]; confirmed {
+				// Already confirmed locally; still re-propose so lagging
+				// replicas converge (cheap: content is only hashes).
+				var err error
+				if out, err = n.propose(blk, out); err != nil {
+					return out
+				}
+				continue
+			}
+			var err error
+			if out, err = n.propose(blk, out); err != nil {
+				return out
+			}
+		}
+	}
+
+	// Re-announce held, unconfirmed datablocks to the new leader so its
+	// ready queue can be rebuilt.
+	out = n.reannounceDatablocks(out)
+	return out
+}
+
+// unconfirmedPooled returns the sorted digests of pooled datablocks that
+// have not appeared in any confirmed block yet.
+func (n *Node) unconfirmedPooled() []types.Hash {
+	all := n.dbPool.Digests()
+	out := all[:0]
+	for _, h := range all {
+		if _, done := n.confirmedDBs[h]; !done {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for b := 0; b < len(out[i]); b++ {
+			if out[i][b] != out[j][b] {
+				return out[i][b] < out[j][b]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// reannounceDatablocks sends Ready for every pooled datablock that has not
+// been confirmed yet, rebuilding the new leader's ready state.
+func (n *Node) reannounceDatablocks(out []transport.Envelope) []transport.Envelope {
+	digests := n.unconfirmedPooled()
+	for _, h := range digests {
+		out = n.sendReady(h, out)
+	}
+	if n.isLeader() {
+		// The leader also re-credits generators for blocks it holds.
+		for _, h := range digests {
+			if db, ok := n.dbPool.Get(h); ok {
+				n.recordReady(h, db.Ref.Generator)
+			}
+		}
+	}
+	return out
+}

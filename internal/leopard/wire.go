@@ -1,0 +1,308 @@
+package leopard
+
+import (
+	"fmt"
+
+	"leopard/internal/codec"
+	"leopard/internal/crypto"
+	"leopard/internal/merkle"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// WireCodec adapts EncodeMessage/DecodeMessage to the codec interface the
+// TCP transport expects.
+type WireCodec struct{}
+
+// Encode serializes a Leopard message.
+func (WireCodec) Encode(msg transport.Message) ([]byte, error) { return EncodeMessage(msg) }
+
+// Decode parses a Leopard message.
+func (WireCodec) Decode(buf []byte) (transport.Message, error) { return DecodeMessage(buf) }
+
+// Wire kinds for the TCP transport. Values are part of the wire contract.
+const (
+	kindDatablock uint8 = iota + 1
+	kindReady
+	kindBFTblock
+	kindVote
+	kindProof
+	kindQuery
+	kindResp
+	kindFullBlock
+	kindCheckpoint
+	kindCheckpointProof
+	kindTimeout
+	kindViewChange
+	kindNewView
+)
+
+func writeShare(w *codec.Writer, s crypto.Share) {
+	w.U32(uint32(s.Signer))
+	w.Bytes(s.Sig)
+}
+
+func readShare(r *codec.Reader) crypto.Share {
+	return crypto.Share{Signer: types.ReplicaID(r.U32()), Sig: r.Bytes()}
+}
+
+func writeProof(w *codec.Writer, p crypto.Proof) { w.Bytes(p.Sig) }
+
+func readProof(r *codec.Reader) crypto.Proof { return crypto.Proof{Sig: r.Bytes()} }
+
+func writeBlockID(w *codec.Writer, id types.BlockID) {
+	w.U64(uint64(id.View))
+	w.U64(uint64(id.Seq))
+}
+
+func readBlockID(r *codec.Reader) types.BlockID {
+	return types.BlockID{View: types.View(r.U64()), Seq: types.SeqNum(r.U64())}
+}
+
+func writeMerkleProof(w *codec.Writer, p merkle.Proof) {
+	w.U32(uint32(p.Index))
+	w.U32(uint32(len(p.Steps)))
+	for _, s := range p.Steps {
+		w.Hash(s.Hash)
+		if s.Right {
+			w.U8(1)
+		} else {
+			w.U8(0)
+		}
+	}
+}
+
+func readMerkleProof(r *codec.Reader) merkle.Proof {
+	p := merkle.Proof{Index: int(r.U32())}
+	count := int(r.U32())
+	if count > 64 { // a 2^64-leaf tree is impossible
+		return merkle.Proof{}
+	}
+	for i := 0; i < count; i++ {
+		step := merkle.ProofStep{Hash: r.Hash(), Right: r.U8() == 1}
+		p.Steps = append(p.Steps, step)
+	}
+	return p
+}
+
+// EncodeMessage serializes any Leopard protocol message into a frame body
+// beginning with its wire kind.
+func EncodeMessage(msg transport.Message) ([]byte, error) {
+	w := &codec.Writer{Buf: make([]byte, 0, msg.WireSize()+16)}
+	switch m := msg.(type) {
+	case *DatablockMsg:
+		w.U8(kindDatablock)
+		w.Buf = append(w.Buf, codec.MarshalDatablock(m.Block)...)
+	case *ReadyMsg:
+		w.U8(kindReady)
+		w.Hash(m.Digest)
+	case *BFTblockMsg:
+		w.U8(kindBFTblock)
+		codec.MarshalBFTblock(w, m.Block)
+		writeShare(w, m.LeaderShare)
+	case *VoteMsg:
+		w.U8(kindVote)
+		writeBlockID(w, m.Block)
+		w.U8(uint8(m.Round))
+		w.Hash(m.Digest)
+		writeShare(w, m.Share)
+	case *ProofMsg:
+		w.U8(kindProof)
+		writeBlockID(w, m.Block)
+		w.U8(uint8(m.Round))
+		w.Hash(m.Digest)
+		writeProof(w, m.Proof)
+	case *QueryMsg:
+		w.U8(kindQuery)
+		w.U32(uint32(len(m.Digests)))
+		for _, h := range m.Digests {
+			w.Hash(h)
+		}
+	case *RespMsg:
+		w.U8(kindResp)
+		w.Hash(m.Digest)
+		w.Hash(m.Root)
+		w.Bytes(m.Chunk)
+		w.U32(uint32(m.Index))
+		w.U32(uint32(m.DataLen))
+		writeMerkleProof(w, m.Proof)
+	case *FullBlockMsg:
+		w.U8(kindFullBlock)
+		w.Hash(m.Digest)
+		w.Buf = append(w.Buf, codec.MarshalDatablock(m.Block)...)
+	case *CheckpointMsg:
+		w.U8(kindCheckpoint)
+		w.U64(uint64(m.Seq))
+		w.Hash(m.StateHash)
+		writeShare(w, m.Share)
+	case *CheckpointProofMsg:
+		w.U8(kindCheckpointProof)
+		w.U64(uint64(m.Seq))
+		w.Hash(m.StateHash)
+		writeProof(w, m.Proof)
+	case *TimeoutMsg:
+		w.U8(kindTimeout)
+		w.U64(uint64(m.View))
+		writeShare(w, m.Share)
+	case *ViewChangeMsg:
+		w.U8(kindViewChange)
+		encodeViewChange(w, m)
+	case *NewViewMsg:
+		w.U8(kindNewView)
+		w.U64(uint64(m.NewView))
+		w.U32(uint32(len(m.Proofs)))
+		for i := range m.Proofs {
+			encodeViewChange(w, &m.Proofs[i])
+		}
+		writeShare(w, m.Share)
+	default:
+		return nil, fmt.Errorf("leopard: cannot encode message type %T", msg)
+	}
+	return w.Buf, nil
+}
+
+func encodeViewChange(w *codec.Writer, m *ViewChangeMsg) {
+	w.U64(uint64(m.NewView))
+	w.U32(uint32(m.Sender))
+	if m.Checkpoint != nil {
+		w.U8(1)
+		w.U64(uint64(m.Checkpoint.Seq))
+		w.Hash(m.Checkpoint.StateHash)
+		writeProof(w, m.Checkpoint.Proof)
+	} else {
+		w.U8(0)
+	}
+	w.U32(uint32(len(m.Blocks)))
+	for i := range m.Blocks {
+		nb := &m.Blocks[i]
+		codec.MarshalBFTblock(w, nb.Block)
+		w.Hash(nb.Digest)
+		writeProof(w, nb.Notarized)
+		if nb.Confirmed != nil {
+			w.U8(1)
+			writeProof(w, *nb.Confirmed)
+		} else {
+			w.U8(0)
+		}
+	}
+	writeShare(w, m.Share)
+}
+
+func decodeViewChange(r *codec.Reader) (*ViewChangeMsg, error) {
+	m := &ViewChangeMsg{
+		NewView: types.View(r.U64()),
+		Sender:  types.ReplicaID(r.U32()),
+	}
+	if r.U8() == 1 {
+		m.Checkpoint = &CheckpointProofMsg{
+			Seq:       types.SeqNum(r.U64()),
+			StateHash: r.Hash(),
+			Proof:     readProof(r),
+		}
+	}
+	count := int(r.U32())
+	if count > codec.MaxElements {
+		return nil, fmt.Errorf("leopard: view-change carries %d blocks", count)
+	}
+	for i := 0; i < count; i++ {
+		block, err := codec.UnmarshalBFTblock(r)
+		if err != nil {
+			return nil, err
+		}
+		nb := NotarizedBlock{Block: block, Digest: r.Hash(), Notarized: readProof(r)}
+		if r.U8() == 1 {
+			p := readProof(r)
+			nb.Confirmed = &p
+		}
+		m.Blocks = append(m.Blocks, nb)
+	}
+	m.Share = readShare(r)
+	return m, r.Err()
+}
+
+// DecodeMessage parses a frame body produced by EncodeMessage.
+func DecodeMessage(buf []byte) (transport.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("leopard: empty frame")
+	}
+	r := &codec.Reader{Buf: buf[1:]}
+	var msg transport.Message
+	switch buf[0] {
+	case kindDatablock:
+		db, err := codec.UnmarshalDatablock(buf[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &DatablockMsg{Block: db}, nil
+	case kindReady:
+		msg = &ReadyMsg{Digest: r.Hash()}
+	case kindBFTblock:
+		block, err := codec.UnmarshalBFTblock(r)
+		if err != nil {
+			return nil, err
+		}
+		msg = &BFTblockMsg{Block: block, LeaderShare: readShare(r)}
+	case kindVote:
+		msg = &VoteMsg{Block: readBlockID(r), Round: int(r.U8()), Digest: r.Hash(), Share: readShare(r)}
+	case kindProof:
+		msg = &ProofMsg{Block: readBlockID(r), Round: int(r.U8()), Digest: r.Hash(), Proof: readProof(r)}
+	case kindQuery:
+		count := int(r.U32())
+		if count > codec.MaxElements {
+			return nil, fmt.Errorf("leopard: query carries %d digests", count)
+		}
+		q := &QueryMsg{}
+		for i := 0; i < count; i++ {
+			q.Digests = append(q.Digests, r.Hash())
+		}
+		msg = q
+	case kindResp:
+		msg = &RespMsg{
+			Digest:  r.Hash(),
+			Root:    r.Hash(),
+			Chunk:   r.Bytes(),
+			Index:   int(r.U32()),
+			DataLen: int(r.U32()),
+			Proof:   readMerkleProof(r),
+		}
+	case kindFullBlock:
+		if len(buf) < 1+32 {
+			return nil, fmt.Errorf("leopard: truncated full-block frame")
+		}
+		digest := r.Hash()
+		db, err := codec.UnmarshalDatablock(buf[1+32:])
+		if err != nil {
+			return nil, err
+		}
+		return &FullBlockMsg{Digest: digest, Block: db}, nil
+	case kindCheckpoint:
+		msg = &CheckpointMsg{Seq: types.SeqNum(r.U64()), StateHash: r.Hash(), Share: readShare(r)}
+	case kindCheckpointProof:
+		msg = &CheckpointProofMsg{Seq: types.SeqNum(r.U64()), StateHash: r.Hash(), Proof: readProof(r)}
+	case kindTimeout:
+		msg = &TimeoutMsg{View: types.View(r.U64()), Share: readShare(r)}
+	case kindViewChange:
+		return decodeViewChange(r)
+	case kindNewView:
+		nv := &NewViewMsg{NewView: types.View(r.U64())}
+		count := int(r.U32())
+		if count > codec.MaxElements {
+			return nil, fmt.Errorf("leopard: new-view carries %d proofs", count)
+		}
+		for i := 0; i < count; i++ {
+			vc, err := decodeViewChange(r)
+			if err != nil {
+				return nil, err
+			}
+			nv.Proofs = append(nv.Proofs, *vc)
+		}
+		nv.Share = readShare(r)
+		msg = nv
+	default:
+		return nil, fmt.Errorf("leopard: unknown wire kind %d", buf[0])
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,129 @@
+package leopard
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"leopard/internal/crypto"
+	"leopard/internal/merkle"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+func roundTrip(t *testing.T, msg transport.Message) transport.Message {
+	t.Helper()
+	buf, err := EncodeMessage(msg)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestWireRoundTripAllKinds(t *testing.T) {
+	share := crypto.Share{Signer: 3, Sig: []byte("sig-bytes")}
+	proof := crypto.Proof{Sig: []byte("proof-bytes")}
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 2, Counter: 7},
+		Requests: []types.Request{{ClientID: 1, Seq: 2, Payload: []byte("pay")}},
+	}
+	block := &types.BFTblock{View: 1, Seq: 9, Content: []types.Hash{{1}, {2}}}
+	cp := &CheckpointProofMsg{Seq: 50, StateHash: types.Hash{9}, Proof: proof}
+	vc := ViewChangeMsg{
+		NewView:    4,
+		Checkpoint: cp,
+		Sender:     3,
+		Blocks: []NotarizedBlock{
+			{Block: block, Digest: types.Hash{5}, Notarized: proof},
+			{Block: block, Digest: types.Hash{6}, Notarized: proof, Confirmed: &proof},
+		},
+		Share: share,
+	}
+
+	msgs := []transport.Message{
+		&DatablockMsg{Block: db},
+		&ReadyMsg{Digest: types.Hash{1, 2}},
+		&BFTblockMsg{Block: block, LeaderShare: share},
+		&VoteMsg{Block: block.ID(), Round: 2, Digest: types.Hash{3}, Share: share},
+		&ProofMsg{Block: block.ID(), Round: 1, Digest: types.Hash{4}, Proof: proof},
+		&QueryMsg{Digests: []types.Hash{{7}, {8}}},
+		&RespMsg{
+			Digest: types.Hash{1}, Root: types.Hash{2},
+			Chunk: []byte("chunk"), Index: 3, DataLen: 100,
+			Proof: merkle.Proof{Index: 3, Steps: []merkle.ProofStep{{Hash: types.Hash{9}, Right: true}}},
+		},
+		&FullBlockMsg{Digest: crypto.HashDatablock(db), Block: db},
+		&CheckpointMsg{Seq: 10, StateHash: types.Hash{5}, Share: share},
+		cp,
+		&TimeoutMsg{View: 2, Share: share},
+		&vc,
+		&NewViewMsg{NewView: 4, Proofs: []ViewChangeMsg{vc}, Share: share},
+	}
+	for _, msg := range msgs {
+		got := roundTrip(t, msg)
+		switch want := msg.(type) {
+		case *DatablockMsg:
+			gd := got.(*DatablockMsg)
+			if gd.Block.Ref != want.Block.Ref || len(gd.Block.Requests) != len(want.Block.Requests) {
+				t.Errorf("datablock round trip mismatch")
+			}
+		default:
+			if !reflect.DeepEqual(got, msg) {
+				t.Errorf("%T round trip mismatch:\n got %#v\nwant %#v", msg, got, msg)
+			}
+		}
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	if _, err := DecodeMessage(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := DecodeMessage([]byte{0xff, 1, 2, 3}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Truncations of a valid frame must all error (or decode cleanly for
+	// prefix-complete messages), never panic.
+	buf, err := EncodeMessage(&VoteMsg{Block: types.BlockID{View: 1, Seq: 2}, Round: 1, Digest: types.Hash{1}, Share: crypto.Share{Signer: 1, Sig: []byte("abc")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := DecodeMessage(buf[:cut]); err == nil {
+			t.Fatalf("truncated vote at %d accepted", cut)
+		}
+	}
+}
+
+// TestPropertyWireGarbage fuzzes the decoder with random bytes.
+func TestPropertyWireGarbage(t *testing.T) {
+	check := func(data []byte) bool {
+		_, _ = DecodeMessage(data) // must not panic
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireSizeUpperBoundsEncoding(t *testing.T) {
+	// WireSize drives the bandwidth model; it should be close to (and for
+	// safety at least) the real encoded size for bulk messages.
+	db := &types.Datablock{Ref: types.DatablockRef{Generator: 1, Counter: 1}}
+	for i := 0; i < 100; i++ {
+		db.Requests = append(db.Requests, types.Request{ClientID: 1, Seq: uint64(i), Payload: bytes.Repeat([]byte{1}, 128)})
+	}
+	msg := &DatablockMsg{Block: db}
+	encoded, err := EncodeMessage(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.WireSize() < len(encoded)-64 {
+		t.Errorf("WireSize %d far below encoded size %d", msg.WireSize(), len(encoded))
+	}
+}

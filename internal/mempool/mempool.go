@@ -1,0 +1,164 @@
+// Package mempool buffers pending client requests (FIFO with dedup) and
+// datablocks awaiting consensus. Both pools are used by the protocol state
+// machines, which are single-threaded, so the pools are not synchronized.
+package mempool
+
+import (
+	"container/list"
+	"time"
+
+	"leopard/internal/types"
+)
+
+// entry pairs a pending request with its enqueue time, so batching code can
+// report how long requests waited (Table IV's generation stage).
+type entry struct {
+	req types.Request
+	at  time.Duration
+}
+
+// RequestPool is a FIFO of pending requests with duplicate suppression.
+// The zero value is not usable; create with NewRequestPool.
+type RequestPool struct {
+	fifo    *list.List
+	present map[types.RequestID]struct{}
+	// confirmed remembers ids whose requests were already confirmed so a
+	// late duplicate is not re-admitted. Bounded by pruning in Confirm.
+	confirmed map[types.RequestID]struct{}
+	maxSeen   int
+	bytes     int
+}
+
+// NewRequestPool creates an empty pool.
+func NewRequestPool() *RequestPool {
+	return &RequestPool{
+		fifo:      list.New(),
+		present:   make(map[types.RequestID]struct{}),
+		confirmed: make(map[types.RequestID]struct{}),
+	}
+}
+
+// Add enqueues a request at time now unless it is already pending or
+// confirmed. It reports whether the request was admitted.
+func (p *RequestPool) Add(r types.Request, now time.Duration) bool {
+	id := r.ID()
+	if _, ok := p.present[id]; ok {
+		return false
+	}
+	if _, ok := p.confirmed[id]; ok {
+		return false
+	}
+	p.present[id] = struct{}{}
+	p.fifo.PushBack(entry{req: r, at: now})
+	p.bytes += r.Size()
+	if p.fifo.Len() > p.maxSeen {
+		p.maxSeen = p.fifo.Len()
+	}
+	return true
+}
+
+// Len returns the number of pending requests.
+func (p *RequestPool) Len() int { return p.fifo.Len() }
+
+// Bytes returns the total wire size of pending requests.
+func (p *RequestPool) Bytes() int { return p.bytes }
+
+// Extract removes and returns up to max requests in FIFO order, along with
+// the enqueue time of the oldest extracted request (zero when none).
+func (p *RequestPool) Extract(max int) ([]types.Request, time.Duration) {
+	if max <= 0 {
+		return nil, 0
+	}
+	n := max
+	if l := p.fifo.Len(); l < n {
+		n = l
+	}
+	var oldest time.Duration
+	out := make([]types.Request, 0, n)
+	for i := 0; i < n; i++ {
+		front := p.fifo.Front()
+		e := front.Value.(entry)
+		p.fifo.Remove(front)
+		delete(p.present, e.req.ID())
+		p.bytes -= e.req.Size()
+		if i == 0 {
+			oldest = e.at
+		}
+		out = append(out, e.req)
+	}
+	return out, oldest
+}
+
+// MarkConfirmed records that a request finished consensus, so future
+// duplicates are rejected. The confirmed set is pruned at pruneLimit.
+func (p *RequestPool) MarkConfirmed(id types.RequestID) {
+	const pruneLimit = 1 << 20
+	if len(p.confirmed) >= pruneLimit {
+		// Reset wholesale: clients that resubmit after this window re-run
+		// consensus harmlessly (consensus output dedup is the backstop).
+		p.confirmed = make(map[types.RequestID]struct{})
+	}
+	p.confirmed[id] = struct{}{}
+}
+
+// DatablockPool stores accepted datablocks, indexed both by digest and by
+// (generator, counter) for duplicate-counter suppression (Leopard Alg. 1).
+type DatablockPool struct {
+	byHash map[types.Hash]*types.Datablock
+	byRef  map[types.DatablockRef]types.Hash
+}
+
+// NewDatablockPool creates an empty pool.
+func NewDatablockPool() *DatablockPool {
+	return &DatablockPool{
+		byHash: make(map[types.Hash]*types.Datablock),
+		byRef:  make(map[types.DatablockRef]types.Hash),
+	}
+}
+
+// Add stores the datablock under its digest. It reports false if a
+// datablock with the same (generator, counter) or digest already exists.
+func (p *DatablockPool) Add(h types.Hash, d *types.Datablock) bool {
+	if _, ok := p.byHash[h]; ok {
+		return false
+	}
+	if _, ok := p.byRef[d.Ref]; ok {
+		return false
+	}
+	p.byHash[h] = d
+	p.byRef[d.Ref] = h
+	return true
+}
+
+// Get returns the datablock with digest h, if present.
+func (p *DatablockPool) Get(h types.Hash) (*types.Datablock, bool) {
+	d, ok := p.byHash[h]
+	return d, ok
+}
+
+// Has reports whether digest h is present.
+func (p *DatablockPool) Has(h types.Hash) bool {
+	_, ok := p.byHash[h]
+	return ok
+}
+
+// Remove deletes the datablock with digest h (garbage collection).
+func (p *DatablockPool) Remove(h types.Hash) {
+	if d, ok := p.byHash[h]; ok {
+		delete(p.byRef, d.Ref)
+		delete(p.byHash, h)
+	}
+}
+
+// Len returns the number of stored datablocks.
+func (p *DatablockPool) Len() int { return len(p.byHash) }
+
+// Digests returns all stored digests in unspecified order; callers that
+// need determinism must sort.
+func (p *DatablockPool) Digests() []types.Hash {
+	out := make([]types.Hash, 0, len(p.byHash))
+	for h := range p.byHash {
+		out = append(out, h)
+	}
+	return out
+}

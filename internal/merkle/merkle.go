@@ -1,0 +1,141 @@
+// Package merkle implements a binary Merkle tree with inclusion proofs.
+//
+// Leopard's retrieval mechanism (Alg. 3) builds a Merkle tree over the
+// erasure-coded chunks of a datablock so that a replica can verify each
+// received chunk individually against the tree root before decoding.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"leopard/internal/types"
+)
+
+// Errors returned by proof verification.
+var (
+	ErrEmptyTree    = errors.New("merkle: tree has no leaves")
+	ErrIndexRange   = errors.New("merkle: leaf index out of range")
+	ErrProofInvalid = errors.New("merkle: proof does not verify against root")
+)
+
+// Domain-separation prefixes prevent second-preimage attacks where an inner
+// node is presented as a leaf.
+var (
+	leafPrefix  = []byte{0x00}
+	innerPrefix = []byte{0x01}
+)
+
+// Tree is an immutable Merkle tree over a fixed set of leaves. Odd nodes at
+// each level are promoted (not duplicated), so the tree is well-defined for
+// any leaf count >= 1.
+type Tree struct {
+	levels [][]types.Hash // levels[0] = leaf hashes, last level = [root]
+}
+
+func hashLeaf(index int, data []byte) types.Hash {
+	h := sha256.New()
+	h.Write(leafPrefix)
+	var idx [4]byte
+	binary.BigEndian.PutUint32(idx[:], uint32(index))
+	h.Write(idx[:])
+	h.Write(data)
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func hashInner(left, right types.Hash) types.Hash {
+	h := sha256.New()
+	h.Write(innerPrefix)
+	h.Write(left[:])
+	h.Write(right[:])
+	var out types.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// New builds a tree over the given leaves.
+func New(leaves [][]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmptyTree
+	}
+	level := make([]types.Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = hashLeaf(i, l)
+	}
+	t := &Tree{levels: [][]types.Hash{level}}
+	for len(level) > 1 {
+		next := make([]types.Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashInner(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // promote odd node
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() types.Hash { return t.levels[len(t.levels)-1][0] }
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling hash on the path from a leaf to the root.
+type ProofStep struct {
+	Hash  types.Hash
+	Right bool // sibling is on the right of the running hash
+}
+
+// Proof is an inclusion proof for one leaf.
+type Proof struct {
+	Index int
+	Steps []ProofStep
+}
+
+// Size returns the wire size of the proof in bytes (β·logn in the paper's
+// cost model, plus the 4-byte index).
+func (p Proof) Size() int { return 4 + len(p.Steps)*(32+1) }
+
+// Prove returns the inclusion proof for leaf index.
+func (t *Tree) Prove(index int) (Proof, error) {
+	if index < 0 || index >= t.LeafCount() {
+		return Proof{}, fmt.Errorf("%w: %d of %d", ErrIndexRange, index, t.LeafCount())
+	}
+	p := Proof{Index: index}
+	pos := index
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sibling := pos ^ 1
+		if sibling < len(level) {
+			p.Steps = append(p.Steps, ProofStep{Hash: level[sibling], Right: sibling > pos})
+		}
+		pos /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that leafData is the leaf at proof.Index under root.
+func Verify(root types.Hash, proof Proof, leafData []byte) error {
+	if proof.Index < 0 {
+		return ErrIndexRange
+	}
+	running := hashLeaf(proof.Index, leafData)
+	for _, step := range proof.Steps {
+		if step.Right {
+			running = hashInner(running, step.Hash)
+		} else {
+			running = hashInner(step.Hash, running)
+		}
+	}
+	if running != root {
+		return ErrProofInvalid
+	}
+	return nil
+}

@@ -1,0 +1,412 @@
+// Package pbft implements the PBFT normal case (Castro & Liskov, OSDI'99)
+// as a second baseline: leader-disseminated pre-prepares carrying full
+// request batches, followed by all-to-all prepare and commit votes. Its
+// quadratic vote traffic and O(n) leader dissemination cost anchor the
+// Table I comparison of amortized costs and scaling factors.
+//
+// Scope: the normal case plus checkpointing of executed sequence numbers.
+// View changes are not implemented — the Leopard paper's Table I compares
+// the protocols under an honest leader after GST, which is what this
+// package reproduces; fault experiments use Leopard and HotStuff.
+package pbft
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/mempool"
+	"leopard/internal/protocol"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// Default parameters.
+const (
+	DefaultBatchSize    = 800
+	DefaultBatchTimeout = 10 * time.Millisecond
+	DefaultMaxParallel  = 64
+)
+
+// Config parameterizes a PBFT replica.
+type Config struct {
+	ID     types.ReplicaID
+	Quorum types.QuorumParams
+	Suite  crypto.Suite // used for per-message authenticators (no aggregation)
+	// BatchSize is the number of requests per pre-prepare.
+	BatchSize int
+	// BatchTimeout bounds how long a partial batch waits.
+	BatchTimeout time.Duration
+	// MaxParallel bounds in-flight sequence numbers (watermark window).
+	MaxParallel int
+}
+
+// Validate checks cfg and fills defaults.
+func (c *Config) Validate() error {
+	if !c.Quorum.Valid() {
+		return errors.New("pbft: invalid quorum parameters")
+	}
+	if int(c.ID) >= c.Quorum.N {
+		return errors.New("pbft: replica id out of range")
+	}
+	if c.Suite == nil {
+		return errors.New("pbft: missing crypto suite")
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = DefaultBatchTimeout
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = DefaultMaxParallel
+	}
+	return nil
+}
+
+// PrePrepareMsg is the leader's proposal with the full request batch.
+type PrePrepareMsg struct {
+	View     types.View
+	Seq      types.SeqNum
+	Requests []types.Request
+	Digest   types.Hash // cached batch digest
+	Share    crypto.Share
+}
+
+var _ transport.Message = (*PrePrepareMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *PrePrepareMsg) WireSize() int {
+	s := 16 + 32 + len(m.Share.Sig)
+	for _, r := range m.Requests {
+		s += r.Size()
+	}
+	return s
+}
+
+// Class implements transport.Message.
+func (m *PrePrepareMsg) Class() transport.Class { return transport.ClassBFTblock }
+
+// CarriesPayload implements transport.PayloadCarrier: PBFT pre-prepares
+// embed the full request batch, so they occupy the processing stage.
+func (m *PrePrepareMsg) CarriesPayload() bool { return true }
+
+// VoteMsg is a prepare or commit vote, multicast to all replicas.
+type VoteMsg struct {
+	Phase  int // 1 = prepare, 2 = commit
+	View   types.View
+	Seq    types.SeqNum
+	Digest types.Hash
+	Share  crypto.Share
+}
+
+var _ transport.Message = (*VoteMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *VoteMsg) WireSize() int { return 1 + 16 + 32 + len(m.Share.Sig) }
+
+// Class implements transport.Message.
+func (m *VoteMsg) Class() transport.Class { return transport.ClassVote }
+
+func batchDigest(view types.View, seq types.SeqNum, reqs []types.Request) types.Hash {
+	var buf []byte
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(view))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(seq))
+	buf = append(buf, tmp[:]...)
+	for _, r := range reqs {
+		h := crypto.HashRequest(r)
+		buf = append(buf, h[:]...)
+	}
+	return crypto.HashBytes(buf)
+}
+
+func voteDigest(phase int, view types.View, seq types.SeqNum, d types.Hash) types.Hash {
+	var buf [17]byte
+	buf[0] = byte(phase)
+	binary.BigEndian.PutUint64(buf[1:], uint64(view))
+	binary.BigEndian.PutUint64(buf[9:], uint64(seq))
+	return crypto.HashConcat([]byte("pbft/vote"), buf[:], d[:])
+}
+
+// slot is one in-flight sequence number.
+type slot struct {
+	digest    types.Hash
+	requests  []types.Request
+	preprep   bool
+	prepared  bool
+	committed bool
+	prepares  map[types.ReplicaID]struct{}
+	commits   map[types.ReplicaID]struct{}
+	sentPrep  bool
+	sentComm  bool
+}
+
+// Stats are the node's counters.
+type Stats struct {
+	ExecutedBatches  int64
+	ExecutedRequests int64
+}
+
+// Node is a PBFT replica (normal case).
+type Node struct {
+	cfg   Config
+	suite crypto.Suite
+	q     types.QuorumParams
+	now   time.Duration
+
+	reqPool *mempool.RequestPool
+	execFn  protocol.ExecuteFunc
+
+	view        types.View
+	nextSeq     types.SeqNum
+	executedTo  types.SeqNum
+	slots       map[types.SeqNum]*slot
+	lastPropose time.Duration
+
+	stats Stats
+
+	// TrustDigests skips recomputing batch digests (simulation only).
+	TrustDigests bool
+	// SkipRequestDedup disables confirmed-request bookkeeping, as in
+	// leopard.Config.SkipRequestDedup.
+	SkipRequestDedup bool
+}
+
+var (
+	_ transport.Node   = (*Node)(nil)
+	_ protocol.Replica = (*Node)(nil)
+)
+
+// NewNode builds a PBFT replica.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:     cfg,
+		suite:   cfg.Suite,
+		q:       cfg.Quorum,
+		reqPool: mempool.NewRequestPool(),
+		view:    1,
+		nextSeq: 1,
+		slots:   make(map[types.SeqNum]*slot),
+	}, nil
+}
+
+// ID implements transport.Node.
+func (n *Node) ID() types.ReplicaID { return n.cfg.ID }
+
+// Leader implements protocol.Replica.
+func (n *Node) Leader() types.ReplicaID { return types.LeaderOf(n.view, n.q.N) }
+
+func (n *Node) isLeader() bool { return n.Leader() == n.cfg.ID }
+
+// SetExecutor implements protocol.Replica.
+func (n *Node) SetExecutor(fn protocol.ExecuteFunc) { n.execFn = fn }
+
+// PendingRequests implements protocol.Replica.
+func (n *Node) PendingRequests() int { return n.reqPool.Len() }
+
+// SubmitRequest implements protocol.Replica.
+func (n *Node) SubmitRequest(now time.Duration, req types.Request) bool {
+	n.observe(now)
+	return n.reqPool.Add(req, now)
+}
+
+// Stats returns the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+func (n *Node) observe(now time.Duration) {
+	if now > n.now {
+		n.now = now
+	}
+}
+
+// Start implements transport.Node.
+func (n *Node) Start(now time.Duration) []transport.Envelope {
+	n.observe(now)
+	return nil
+}
+
+// Tick implements transport.Node.
+func (n *Node) Tick(now time.Duration) []transport.Envelope {
+	n.observe(now)
+	var out []transport.Envelope
+	if n.isLeader() {
+		out = n.maybePropose(out)
+	}
+	return out
+}
+
+// Deliver implements transport.Node.
+func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+	n.observe(now)
+	var out []transport.Envelope
+	switch m := msg.(type) {
+	case *PrePrepareMsg:
+		out = n.handlePrePrepare(from, m, out)
+	case *VoteMsg:
+		out = n.handleVote(from, m, out)
+	}
+	return out
+}
+
+func (n *Node) getSlot(seq types.SeqNum) *slot {
+	s := n.slots[seq]
+	if s == nil {
+		s = &slot{
+			prepares: make(map[types.ReplicaID]struct{}, n.q.Quorum()),
+			commits:  make(map[types.ReplicaID]struct{}, n.q.Quorum()),
+		}
+		n.slots[seq] = s
+	}
+	return s
+}
+
+// maybePropose batches pending requests into pre-prepares.
+func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
+	for {
+		if n.nextSeq > n.executedTo+types.SeqNum(n.cfg.MaxParallel) {
+			return out
+		}
+		full := n.reqPool.Len() >= n.cfg.BatchSize
+		stale := n.reqPool.Len() > 0 && n.now-n.lastPropose >= n.cfg.BatchTimeout
+		if !full && !stale {
+			return out
+		}
+		reqs, _ := n.reqPool.Extract(n.cfg.BatchSize)
+		if len(reqs) == 0 {
+			return out
+		}
+		seq := n.nextSeq
+		n.nextSeq++
+		n.lastPropose = n.now
+		digest := batchDigest(n.view, seq, reqs)
+		share, err := n.suite.Sign(n.cfg.ID, digest)
+		if err != nil {
+			return out
+		}
+		s := n.getSlot(seq)
+		s.digest = digest
+		s.requests = reqs
+		s.preprep = true
+		out = append(out, transport.Broadcast(&PrePrepareMsg{
+			View: n.view, Seq: seq, Requests: reqs, Digest: digest, Share: share,
+		}))
+		// The leader participates in both vote phases.
+		out = n.sendPrepare(seq, s, out)
+	}
+}
+
+// handlePrePrepare accepts the leader's proposal and multicasts a prepare.
+func (n *Node) handlePrePrepare(from types.ReplicaID, m *PrePrepareMsg, out []transport.Envelope) []transport.Envelope {
+	if from != n.Leader() || m.View != n.view {
+		return out
+	}
+	if m.Seq <= n.executedTo || m.Seq > n.executedTo+types.SeqNum(4*n.cfg.MaxParallel) {
+		return out
+	}
+	digest := m.Digest
+	if !n.TrustDigests || digest.IsZero() {
+		digest = batchDigest(m.View, m.Seq, m.Requests)
+	}
+	if err := n.suite.VerifyShare(digest, m.Share); err != nil || m.Share.Signer != from {
+		return out
+	}
+	s := n.getSlot(m.Seq)
+	if s.preprep {
+		return out // duplicate or equivocation: keep the first
+	}
+	s.preprep = true
+	s.digest = digest
+	s.requests = m.Requests
+	out = n.sendPrepare(m.Seq, s, out)
+	return n.checkQuorums(m.Seq, s, out)
+}
+
+// sendPrepare multicasts this replica's prepare vote for seq.
+func (n *Node) sendPrepare(seq types.SeqNum, s *slot, out []transport.Envelope) []transport.Envelope {
+	if s.sentPrep {
+		return out
+	}
+	d := voteDigest(1, n.view, seq, s.digest)
+	share, err := n.suite.Sign(n.cfg.ID, d)
+	if err != nil {
+		return out
+	}
+	s.sentPrep = true
+	s.prepares[n.cfg.ID] = struct{}{}
+	return append(out, transport.Broadcast(&VoteMsg{
+		Phase: 1, View: n.view, Seq: seq, Digest: s.digest, Share: share,
+	}))
+}
+
+// handleVote records prepare/commit votes (all-to-all pattern).
+func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out []transport.Envelope) []transport.Envelope {
+	if m.View != n.view || m.Seq <= n.executedTo {
+		return out
+	}
+	d := voteDigest(m.Phase, m.View, m.Seq, m.Digest)
+	if err := n.suite.VerifyShare(d, m.Share); err != nil || m.Share.Signer != from {
+		return out
+	}
+	s := n.getSlot(m.Seq)
+	switch m.Phase {
+	case 1:
+		s.prepares[from] = struct{}{}
+	case 2:
+		s.commits[from] = struct{}{}
+	default:
+		return out
+	}
+	return n.checkQuorums(m.Seq, s, out)
+}
+
+// checkQuorums advances a slot through prepared -> committed -> executed.
+func (n *Node) checkQuorums(seq types.SeqNum, s *slot, out []transport.Envelope) []transport.Envelope {
+	if s.preprep && !s.prepared && len(s.prepares) >= n.q.Quorum() {
+		s.prepared = true
+		if !s.sentComm {
+			d := voteDigest(2, n.view, seq, s.digest)
+			share, err := n.suite.Sign(n.cfg.ID, d)
+			if err == nil {
+				s.sentComm = true
+				s.commits[n.cfg.ID] = struct{}{}
+				out = append(out, transport.Broadcast(&VoteMsg{
+					Phase: 2, View: n.view, Seq: seq, Digest: s.digest, Share: share,
+				}))
+			}
+		}
+	}
+	if s.prepared && !s.committed && len(s.commits) >= n.q.Quorum() {
+		s.committed = true
+		out = n.tryExecute(out)
+	}
+	return out
+}
+
+// tryExecute runs the longest consecutive committed prefix.
+func (n *Node) tryExecute(out []transport.Envelope) []transport.Envelope {
+	for {
+		next := n.executedTo + 1
+		s, ok := n.slots[next]
+		if !ok || !s.committed {
+			return out
+		}
+		if n.execFn != nil {
+			n.execFn(next, s.requests)
+		}
+		if !n.SkipRequestDedup {
+			for _, r := range s.requests {
+				n.reqPool.MarkConfirmed(r.ID())
+			}
+		}
+		n.stats.ExecutedBatches++
+		n.stats.ExecutedRequests += int64(len(s.requests))
+		delete(n.slots, next)
+		n.executedTo = next
+	}
+}

@@ -1,0 +1,296 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// testMsg is a sized message for transport tests. It defaults to the bulk
+// datablock class so bandwidth-queue tests exercise FIFO behaviour; set
+// class for control-message (priority) behaviour.
+type testMsg struct {
+	size  int
+	tag   int
+	class transport.Class
+}
+
+func (m *testMsg) WireSize() int { return m.size }
+func (m *testMsg) Class() transport.Class {
+	if m.class != 0 {
+		return m.class
+	}
+	return transport.ClassDatablock
+}
+
+// echoNode records deliveries and can send on start or tick.
+type echoNode struct {
+	id       types.ReplicaID
+	onStart  []transport.Envelope
+	got      []int
+	gotAt    []time.Duration
+	gotFrom  []types.ReplicaID
+	tickSend []transport.Envelope
+	ticks    int
+}
+
+func (n *echoNode) ID() types.ReplicaID { return n.id }
+func (n *echoNode) Start(now time.Duration) []transport.Envelope {
+	return n.onStart
+}
+func (n *echoNode) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+	m := msg.(*testMsg)
+	n.got = append(n.got, m.tag)
+	n.gotAt = append(n.gotAt, now)
+	n.gotFrom = append(n.gotFrom, from)
+	return nil
+}
+func (n *echoNode) Tick(now time.Duration) []transport.Envelope {
+	n.ticks++
+	out := n.tickSend
+	n.tickSend = nil
+	return out
+}
+
+func newTestNet(t *testing.T, cfg Config, count int) (*Network, []*echoNode) {
+	t.Helper()
+	nodes := make([]*echoNode, count)
+	tnodes := make([]transport.Node, count)
+	for i := range nodes {
+		nodes[i] = &echoNode{id: types.ReplicaID(i)}
+		tnodes[i] = nodes[i]
+	}
+	net, err := New(cfg, tnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, nodes
+}
+
+func TestDeliveryTimeIncludesBandwidthAndLatency(t *testing.T) {
+	cfg := Config{
+		EgressBps:  8e6, // 1 MB/s
+		IngressBps: 8e6,
+		Latency:    10 * time.Millisecond,
+	}
+	net, nodes := newTestNet(t, cfg, 2)
+	nodes[0].onStart = []transport.Envelope{transport.Unicast(1, &testMsg{size: 1000, tag: 1})}
+	net.Start()
+	net.Run(time.Second)
+
+	if len(nodes[1].got) != 1 {
+		t.Fatalf("node 1 received %d messages", len(nodes[1].got))
+	}
+	// 1000 bytes at 1 MB/s = 1 ms egress + 10 ms latency + 1 ms ingress.
+	want := 12 * time.Millisecond
+	got := nodes[1].gotAt[0]
+	if got < want || got > want+time.Millisecond {
+		t.Errorf("delivered at %v, want ~%v", got, want)
+	}
+}
+
+func TestEgressSerializesBroadcast(t *testing.T) {
+	// A broadcast of b bytes to n-1 peers occupies the egress pipe
+	// (n-1)*b/rate seconds: the last receiver sees it much later than the
+	// first. This is the leader-bottleneck mechanism of the paper.
+	cfg := Config{EgressBps: 8e6, IngressBps: 8e9, Latency: 0}
+	net, nodes := newTestNet(t, cfg, 5)
+	nodes[0].onStart = []transport.Envelope{transport.Broadcast(&testMsg{size: 1000, tag: 1})}
+	net.Start()
+	net.Run(time.Second)
+
+	first := nodes[1].gotAt[0]
+	last := nodes[4].gotAt[0]
+	if last <= first {
+		t.Fatalf("broadcast did not serialize: first=%v last=%v", first, last)
+	}
+	// 4 copies at 1 ms each: last should arrive ~4 ms in.
+	if last < 3900*time.Microsecond || last > 4200*time.Microsecond {
+		t.Errorf("last delivery at %v, want ~4ms", last)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two senders each send 1000 B to node 2 simultaneously; the second
+	// transfer must queue behind the first at the receiver's ingress.
+	cfg := Config{EgressBps: 8e9, IngressBps: 8e6, Latency: 0}
+	net, nodes := newTestNet(t, cfg, 3)
+	nodes[0].onStart = []transport.Envelope{transport.Unicast(2, &testMsg{size: 1000, tag: 1})}
+	nodes[1].onStart = []transport.Envelope{transport.Unicast(2, &testMsg{size: 1000, tag: 2})}
+	net.Start()
+	net.Run(time.Second)
+
+	if len(nodes[2].got) != 2 {
+		t.Fatalf("received %d messages", len(nodes[2].got))
+	}
+	gap := nodes[2].gotAt[1] - nodes[2].gotAt[0]
+	if gap < 900*time.Microsecond {
+		t.Errorf("ingress did not serialize: gap %v, want ~1ms", gap)
+	}
+}
+
+func TestPerPairFIFOOrder(t *testing.T) {
+	cfg := Config{EgressBps: 8e6, IngressBps: 8e6, Latency: time.Millisecond}
+	net, nodes := newTestNet(t, cfg, 2)
+	nodes[0].onStart = []transport.Envelope{
+		transport.Unicast(1, &testMsg{size: 5000, tag: 1}), // large first
+		transport.Unicast(1, &testMsg{size: 10, tag: 2}),   // small second
+	}
+	net.Start()
+	net.Run(time.Second)
+	if len(nodes[1].got) != 2 || nodes[1].got[0] != 1 || nodes[1].got[1] != 2 {
+		t.Fatalf("bulk messages reordered: %v", nodes[1].got)
+	}
+}
+
+func TestControlTrafficPreemptsBulk(t *testing.T) {
+	// A small control message (vote) sent after a large bulk transfer must
+	// not wait behind it: real stacks interleave flows (priority queuing).
+	cfg := Config{EgressBps: 8e6, IngressBps: 8e6, Latency: 0}
+	net, nodes := newTestNet(t, cfg, 2)
+	nodes[0].onStart = []transport.Envelope{
+		transport.Unicast(1, &testMsg{size: 1000000, tag: 1}), // 1s of bulk
+		transport.Unicast(1, &testMsg{size: 100, tag: 2, class: transport.ClassVote}),
+	}
+	net.Start()
+	net.Run(5 * time.Second)
+	if len(nodes[1].got) != 2 {
+		t.Fatalf("received %d messages", len(nodes[1].got))
+	}
+	if nodes[1].got[0] != 2 {
+		t.Fatal("control message did not preempt the bulk transfer")
+	}
+	if nodes[1].gotAt[0] > 10*time.Millisecond {
+		t.Errorf("control message delayed to %v", nodes[1].gotAt[0])
+	}
+}
+
+func TestFilterDropsMessages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TickInterval = 0
+	net, nodes := newTestNet(t, cfg, 3)
+	nodes[0].onStart = []transport.Envelope{transport.Broadcast(&testMsg{size: 10, tag: 1})}
+	net.SetFilter(func(now time.Duration, from, to types.ReplicaID, msg transport.Message) bool {
+		return to != 2 // drop everything to node 2
+	})
+	net.Start()
+	net.Run(time.Second)
+	if len(nodes[1].got) != 1 {
+		t.Error("node 1 should have received the broadcast")
+	}
+	if len(nodes[2].got) != 0 {
+		t.Error("filter failed to drop")
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TickInterval = 0
+	net, nodes := newTestNet(t, cfg, 2)
+	net.Start()
+	net.Crash(1)
+	net.ScheduleCall(10*time.Millisecond, func(now time.Duration) {
+		net.dispatch(0, transport.Unicast(1, &testMsg{size: 10, tag: 1}))
+	})
+	net.Run(20 * time.Millisecond)
+	if len(nodes[1].got) != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	net.Restart(1)
+	net.ScheduleCall(30*time.Millisecond, func(now time.Duration) {
+		net.dispatch(0, transport.Unicast(1, &testMsg{size: 10, tag: 2}))
+	})
+	net.Run(50 * time.Millisecond)
+	if len(nodes[1].got) != 1 || nodes[1].got[0] != 2 {
+		t.Fatalf("restarted node got %v, want [2]", nodes[1].got)
+	}
+}
+
+func TestTicksFireAtInterval(t *testing.T) {
+	cfg := Config{EgressBps: 1e9, IngressBps: 1e9, TickInterval: 10 * time.Millisecond}
+	net, nodes := newTestNet(t, cfg, 2)
+	net.Start()
+	net.Run(100 * time.Millisecond)
+	if nodes[0].ticks < 9 || nodes[0].ticks > 11 {
+		t.Errorf("got %d ticks in 100ms at 10ms interval", nodes[0].ticks)
+	}
+	// Ticking must survive across Run calls.
+	before := nodes[0].ticks
+	net.Run(200 * time.Millisecond)
+	if nodes[0].ticks <= before {
+		t.Error("ticks stopped after the first Run window")
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TickInterval = 0
+	net, nodes := newTestNet(t, cfg, 3)
+	nodes[0].onStart = []transport.Envelope{transport.Broadcast(&testMsg{size: 500, tag: 1})}
+	net.Start()
+	net.Run(time.Second)
+	if got := net.Stats(0).TotalSent(); got != 1000 {
+		t.Errorf("sender counted %d bytes, want 1000", got)
+	}
+	if got := net.Stats(1).TotalReceived(); got != 500 {
+		t.Errorf("receiver counted %d bytes, want 500", got)
+	}
+	net.ResetStats()
+	if net.Stats(0).Total() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestSelfSendIgnored(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TickInterval = 0
+	net, nodes := newTestNet(t, cfg, 2)
+	nodes[0].onStart = []transport.Envelope{transport.Unicast(0, &testMsg{size: 10, tag: 1})}
+	net.Start()
+	net.Run(time.Second)
+	if len(nodes[0].got) != 0 {
+		t.Error("self-send must be dropped")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		cfg := DefaultConfig()
+		cfg.Jitter = time.Millisecond
+		cfg.TickInterval = 0
+		net, nodes := newTestNet(t, cfg, 4)
+		nodes[0].onStart = []transport.Envelope{transport.Broadcast(&testMsg{size: 100, tag: 1})}
+		nodes[1].onStart = []transport.Envelope{transport.Broadcast(&testMsg{size: 200, tag: 2})}
+		net.Start()
+		net.Run(time.Second)
+		var all []time.Duration
+		for _, n := range nodes {
+			all = append(all, n.gotAt...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v: not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNodeIDMismatchRejected(t *testing.T) {
+	nodes := []transport.Node{&echoNode{id: 5}}
+	if _, err := New(DefaultConfig(), nodes); err == nil {
+		t.Fatal("mismatched node id accepted")
+	}
+}
+
+func TestInvalidCapacityRejected(t *testing.T) {
+	if _, err := New(Config{EgressBps: 0, IngressBps: 1}, nil); err == nil {
+		t.Fatal("zero egress accepted")
+	}
+}

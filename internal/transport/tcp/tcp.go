@@ -1,0 +1,377 @@
+// Package tcp hosts an event-driven protocol node (transport.Node) over
+// real TCP connections, for deployments and integration tests of the kind
+// the paper ran on EC2. Frames are length-prefixed; each replica dials
+// every peer and uses the dialed connection for sending, while accepted
+// connections are receive-only, so no connection-ownership races exist.
+//
+// Peer identity is announced in a hello frame. The protocol layer's
+// signatures authenticate everything consequential (votes, proposals,
+// proofs); deployments that also need channel privacy should wrap the
+// listener and dialer in TLS.
+package tcp
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// Codec converts protocol messages to and from wire frames.
+type Codec interface {
+	Encode(transport.Message) ([]byte, error)
+	Decode([]byte) (transport.Message, error)
+}
+
+// Config describes one replica's place in the cluster.
+type Config struct {
+	// Self is this replica's id; Addrs[Self] is the listen address.
+	Self types.ReplicaID
+	// Addrs maps every replica id to its host:port.
+	Addrs []string
+	// Codec encodes and decodes protocol messages.
+	Codec Codec
+	// TickInterval drives the node's timer handler (default 10ms).
+	TickInterval time.Duration
+	// DialRetry is the reconnect backoff (default 500ms).
+	DialRetry time.Duration
+	// MaxFrame bounds accepted frame sizes (default 64 MiB).
+	MaxFrame int
+}
+
+func (c *Config) validate() error {
+	if c.Codec == nil {
+		return errors.New("tcp: missing codec")
+	}
+	if int(c.Self) >= len(c.Addrs) {
+		return fmt.Errorf("tcp: self id %d outside address list of %d", c.Self, len(c.Addrs))
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 10 * time.Millisecond
+	}
+	if c.DialRetry <= 0 {
+		c.DialRetry = 500 * time.Millisecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 64 << 20
+	}
+	return nil
+}
+
+// event is one inbound message awaiting the apply loop.
+type event struct {
+	from types.ReplicaID
+	msg  transport.Message
+}
+
+// Runtime hosts a node over TCP. Create with New, start with Run.
+type Runtime struct {
+	cfg  Config
+	node transport.Node
+
+	listener net.Listener
+	events   chan event
+	// local lets the process inject calls (e.g. client submissions) into
+	// the apply loop, keeping the node single-threaded.
+	local chan func(now time.Duration) []transport.Envelope
+
+	mu    sync.Mutex
+	peers []*peer
+
+	start   time.Time
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// peer is one outbound connection with a send queue.
+type peer struct {
+	id    types.ReplicaID
+	addr  string
+	queue chan []byte // buffered: absorbs bursts; Send drops when full
+	drops int64
+}
+
+// New creates a runtime for node. Call Run to start serving.
+func New(cfg Config, node transport.Node) (*Runtime, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		cfg:  cfg,
+		node: node,
+		// The event queue absorbs receive bursts from n-1 reader
+		// goroutines feeding one apply loop; its size bounds memory, and
+		// readers block (applying TCP backpressure) when it fills.
+		events: make(chan event, 4096),
+		local:  make(chan func(now time.Duration) []transport.Envelope, 256),
+		stop:   make(chan struct{}),
+	}
+	for id, addr := range cfg.Addrs {
+		if types.ReplicaID(id) == cfg.Self {
+			r.peers = append(r.peers, nil)
+			continue
+		}
+		r.peers = append(r.peers, &peer{
+			id:   types.ReplicaID(id),
+			addr: addr,
+			// Per-peer send queue: sized to ride out transient stalls
+			// without blocking the apply loop; overflow drops the frame
+			// (the protocol recovers via retrieval / view change).
+			queue: make(chan []byte, 1024),
+		})
+	}
+	return r, nil
+}
+
+// Run listens, connects to peers and drives the node until ctx is
+// cancelled or Stop is called.
+func (r *Runtime) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", r.cfg.Addrs[r.cfg.Self])
+	if err != nil {
+		return fmt.Errorf("tcp: listen: %w", err)
+	}
+	r.listener = ln
+	r.start = time.Now()
+
+	for _, p := range r.peers {
+		if p == nil {
+			continue
+		}
+		p := p
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.sendLoop(p)
+		}()
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.acceptLoop()
+	}()
+
+	err = r.applyLoop(ctx)
+	r.Stop()
+	return err
+}
+
+// Stop shuts the runtime down and waits for its goroutines.
+func (r *Runtime) Stop() {
+	r.stopped.Do(func() {
+		close(r.stop)
+		if r.listener != nil {
+			r.listener.Close()
+		}
+	})
+	r.wg.Wait()
+}
+
+// now returns the runtime-relative monotonic time handed to the node.
+func (r *Runtime) now() time.Duration { return time.Since(r.start) }
+
+// Inject runs fn on the apply loop; fn may call into the node safely and
+// return envelopes to send. Used for client submissions.
+func (r *Runtime) Inject(fn func(now time.Duration) []transport.Envelope) error {
+	select {
+	case r.local <- fn:
+		return nil
+	case <-r.stop:
+		return errors.New("tcp: runtime stopped")
+	}
+}
+
+// applyLoop is the single goroutine that touches the node.
+func (r *Runtime) applyLoop(ctx context.Context) error {
+	outs := r.node.Start(r.now())
+	r.dispatch(outs)
+	ticker := time.NewTicker(r.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-r.stop:
+			return nil
+		case ev := <-r.events:
+			r.dispatch(r.node.Deliver(r.now(), ev.from, ev.msg))
+		case fn := <-r.local:
+			r.dispatch(fn(r.now()))
+		case <-ticker.C:
+			r.dispatch(r.node.Tick(r.now()))
+		}
+	}
+}
+
+// dispatch encodes and queues outbound envelopes.
+func (r *Runtime) dispatch(outs []transport.Envelope) {
+	for _, env := range outs {
+		if env.Msg == nil {
+			continue
+		}
+		frame, err := r.cfg.Codec.Encode(env.Msg)
+		if err != nil {
+			continue // unencodable message: drop, protocol will recover
+		}
+		if env.Broadcast {
+			for _, p := range r.peers {
+				if p != nil {
+					p.send(frame)
+				}
+			}
+			continue
+		}
+		if int(env.To) < len(r.peers) {
+			if p := r.peers[env.To]; p != nil {
+				p.send(frame)
+			}
+		}
+	}
+}
+
+func (p *peer) send(frame []byte) {
+	select {
+	case p.queue <- frame:
+	default:
+		p.drops++
+	}
+}
+
+// sendLoop dials the peer (with retry) and writes queued frames.
+func (r *Runtime) sendLoop(p *peer) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	connect := func() net.Conn {
+		for {
+			select {
+			case <-r.stop:
+				return nil
+			default:
+			}
+			c, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
+			if err == nil {
+				if err := writeHello(c, r.cfg.Self); err == nil {
+					return c
+				}
+				c.Close()
+			}
+			select {
+			case <-r.stop:
+				return nil
+			case <-time.After(r.cfg.DialRetry):
+			}
+		}
+	}
+	for {
+		select {
+		case <-r.stop:
+			return
+		case frame := <-p.queue:
+			for {
+				if conn == nil {
+					conn = connect()
+					if conn == nil {
+						return
+					}
+				}
+				if err := writeFrame(conn, frame); err != nil {
+					conn.Close()
+					conn = nil
+					continue // reconnect and resend this frame
+				}
+				break
+			}
+		}
+	}
+}
+
+// acceptLoop receives connections and spawns readers.
+func (r *Runtime) acceptLoop() {
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer conn.Close()
+			r.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop validates the hello and forwards frames to the apply loop.
+func (r *Runtime) readLoop(conn net.Conn) {
+	from, err := readHello(conn)
+	if err != nil || int(from) >= len(r.cfg.Addrs) || from == r.cfg.Self {
+		return
+	}
+	for {
+		frame, err := readFrame(conn, r.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		msg, err := r.cfg.Codec.Decode(frame)
+		if err != nil {
+			return // protocol violation: drop the connection
+		}
+		select {
+		case r.events <- event{from: from, msg: msg}:
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+func writeHello(conn net.Conn, self types.ReplicaID) error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(self))
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+func readHello(conn net.Conn) (types.ReplicaID, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, err
+	}
+	return types.ReplicaID(binary.BigEndian.Uint32(buf[:])), nil
+}
+
+func writeFrame(conn net.Conn, frame []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+func readFrame(conn net.Conn, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	if size > max {
+		return nil, fmt.Errorf("tcp: frame of %d exceeds limit %d", size, max)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,125 @@
+// Package transport defines the message-passing abstractions shared by the
+// network simulator (internal/simnet) and the real TCP transport. Protocol
+// nodes are event-driven state machines: they receive messages and timer
+// ticks, and return envelopes to send. This keeps 600-replica simulations
+// single-threaded and deterministic while letting the TCP runtime drive the
+// same state machine with goroutines.
+package transport
+
+import (
+	"time"
+
+	"leopard/internal/types"
+)
+
+// Class labels a message for bandwidth accounting (Table III in the paper
+// breaks leader/non-leader utilization down by these components).
+type Class uint8
+
+// Message classes.
+const (
+	ClassRequest Class = iota + 1 // client request submissions
+	ClassDatablock
+	ClassBFTblock
+	ClassVote  // threshold-signature shares (any round, incl. ready)
+	ClassProof // combined notarization/confirmation proofs
+	ClassRetrieval
+	ClassCheckpoint
+	ClassViewChange
+	ClassAck // acknowledgments to clients
+	ClassMisc
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassDatablock:
+		return "datablock"
+	case ClassBFTblock:
+		return "bftblock"
+	case ClassVote:
+		return "vote"
+	case ClassProof:
+		return "proof"
+	case ClassRetrieval:
+		return "retrieval"
+	case ClassCheckpoint:
+		return "checkpoint"
+	case ClassViewChange:
+		return "viewchange"
+	case ClassAck:
+		return "ack"
+	case ClassMisc:
+		return "misc"
+	default:
+		return "unknown"
+	}
+}
+
+// NumClasses is the count of defined classes, for dense accounting arrays.
+const NumClasses = int(ClassMisc) + 1
+
+// Message is anything a protocol node can send. WireSize must return the
+// size in bytes the message occupies on the network; the simulator charges
+// bandwidth by it and the TCP codec asserts against it.
+type Message interface {
+	WireSize() int
+	Class() Class
+}
+
+// PayloadCarrier is implemented by messages that carry bulk request
+// payloads. Network models with a CPU/processing stage charge only these
+// through the bulk lane; small control messages (votes, proofs, hash-only
+// proposals) are handled out-of-band, as in real multi-threaded replicas.
+type PayloadCarrier interface {
+	CarriesPayload() bool
+}
+
+// IsBulk reports whether msg should be charged to the processing stage:
+// datablocks, retrieval transfers and raw request submissions always are;
+// other messages only if they declare themselves payload carriers.
+func IsBulk(msg Message) bool {
+	switch msg.Class() {
+	case ClassDatablock, ClassRetrieval, ClassRequest:
+		return true
+	}
+	if pc, ok := msg.(PayloadCarrier); ok {
+		return pc.CarriesPayload()
+	}
+	return false
+}
+
+// Envelope is an outbound message. If Broadcast is set the message goes to
+// every replica except the sender; otherwise it goes to To.
+type Envelope struct {
+	To        types.ReplicaID
+	Broadcast bool
+	Msg       Message
+}
+
+// Unicast builds a single-destination envelope.
+func Unicast(to types.ReplicaID, msg Message) Envelope {
+	return Envelope{To: to, Msg: msg}
+}
+
+// Broadcast builds an all-peers envelope.
+func Broadcast(msg Message) Envelope {
+	return Envelope{Broadcast: true, Msg: msg}
+}
+
+// Node is an event-driven protocol participant. Implementations must not
+// retain the envelope slice capacity across calls and must be deterministic:
+// the same call sequence yields the same outputs.
+type Node interface {
+	// ID returns the replica id this node runs as.
+	ID() types.ReplicaID
+	// Start is called once before any other event, with the initial time.
+	Start(now time.Duration) []Envelope
+	// Deliver handles a message from another replica.
+	Deliver(now time.Duration, from types.ReplicaID, msg Message) []Envelope
+	// Tick fires periodically so nodes can run timers (view-change,
+	// retrieval timeouts, pacing). The interval is runtime-configured.
+	Tick(now time.Duration) []Envelope
+}
