@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"leopard/internal/erasure"
 	"leopard/internal/experiments"
 	"leopard/internal/leopard/analysis"
 	"leopard/internal/metrics"
@@ -40,8 +41,14 @@ func main() {
 		experiment = flag.String("experiment", "", "experiment id (see -list)")
 		scalesArg  = flag.String("scales", "", "comma-separated replica counts (default: per-experiment)")
 		list       = flag.Bool("list", false, "list available experiments")
+
+		erasureWorkers = flag.Int("erasure.parallel", 0,
+			"erasure-coding worker goroutines per replica (0 = NumCPU, 1 = serial)")
+		erasureCache = flag.Int("erasure.cache", 0,
+			"decode-matrix cache entries per replica (0 = default, negative disables)")
 	)
 	flag.Parse()
+	experiments.ErasureOpts = erasure.Options{Parallel: *erasureWorkers, CacheSize: *erasureCache}
 	if *list || *experiment == "" {
 		fmt.Println("experiments:")
 		for _, e := range knownExperiments {

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"leopard/internal/types"
 )
@@ -28,6 +29,31 @@ const MaxElements = 1 << 22
 // Writer appends primitives to a byte slice.
 type Writer struct {
 	Buf []byte
+}
+
+// maxPooledWriter caps the buffer capacity retained by the Writer pool so
+// one oversized message does not pin memory forever.
+const maxPooledWriter = 4 << 20
+
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns a pooled Writer with an empty buffer. Hot marshalling
+// paths (the leader's per-datablock encode, wire framing) use this to
+// avoid a fresh backing array per message; return it with PutWriter once
+// the bytes have been copied out or are no longer needed.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Buf = w.Buf[:0]
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not retain w or w.Buf
+// after the call.
+func PutWriter(w *Writer) {
+	if cap(w.Buf) > maxPooledWriter {
+		w.Buf = nil
+	}
+	writerPool.Put(w)
 }
 
 // U8 appends one byte.
@@ -160,13 +186,19 @@ func UnmarshalRequest(r *Reader) types.Request {
 // equal datablocks produce equal bytes.
 func MarshalDatablock(d *types.Datablock) []byte {
 	w := &Writer{Buf: make([]byte, 0, d.Size()+16)}
+	MarshalDatablockTo(w, d)
+	return w.Buf
+}
+
+// MarshalDatablockTo appends the canonical datablock encoding to w,
+// letting callers reuse a pooled Writer instead of allocating per block.
+func MarshalDatablockTo(w *Writer, d *types.Datablock) {
 	w.U32(uint32(d.Ref.Generator))
 	w.U64(d.Ref.Counter)
 	w.U32(uint32(len(d.Requests)))
 	for _, req := range d.Requests {
 		MarshalRequest(w, req)
 	}
-	return w.Buf
 }
 
 // UnmarshalDatablock decodes a datablock.

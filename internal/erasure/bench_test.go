@@ -1,0 +1,63 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Throughput benchmarks for the dissemination hot path at the paper's
+// retrieval-committee shape: a (k=f+1, n) code at n=64 over 1 MiB payloads.
+// MB/s is reported via b.SetBytes; compare against the numbers recorded in
+// CHANGES.md when touching the GF(256) kernels.
+
+const (
+	benchK    = 32
+	benchN    = 64
+	benchSize = 1 << 20 // 1 MiB
+)
+
+func benchData(b *testing.B) []byte {
+	b.Helper()
+	data := make([]byte, benchSize)
+	rand.New(rand.NewSource(5)).Read(data)
+	return data
+}
+
+func BenchmarkErasureEncode(b *testing.B) {
+	codec, err := NewCodec(benchK, benchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchData(b)
+	b.SetBytes(benchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureDecode(b *testing.B) {
+	codec, err := NewCodec(benchK, benchN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := benchData(b)
+	chunks, err := codec.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Parity-only selection: the worst case, where no systematic chunk
+	// survives and every output row is a full matrix-vector product.
+	parity := chunks[benchN-benchK:]
+	b.SetBytes(benchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(parity, benchSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package erasure
+
+import (
+	"container/list"
+	"sync"
+)
+
+// inverseCache is an LRU of decode programs — inverted k×k decode matrices
+// plus their grouped multiplication tables — keyed by the (sorted)
+// chunk-index set they were derived from. In steady state a retrieval
+// committee produces the same index set for every datablock, so Decode
+// skips Gaussian elimination (and table compilation) entirely after the
+// first miss.
+//
+// Cached entries are immutable once inserted; callers must not write to a
+// returned entry's matrix or tables.
+type inverseCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheeElem
+	entries  map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheElem struct {
+	key   string
+	entry *decodeEntry
+}
+
+func newInverseCache(capacity int) *inverseCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &inverseCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached entry for key, or nil on a miss.
+func (c *inverseCache) get(key string) *decodeEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheElem).entry
+}
+
+// put inserts entry under key, evicting the least recently used entry when
+// full. Re-inserting an existing key refreshes its recency.
+func (c *inverseCache) put(key string, entry *decodeEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheElem).entry = entry
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheElem).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&cacheElem{key: key, entry: entry})
+}
+
+// stats returns the hit/miss counters.
+func (c *inverseCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// CacheStats reports the decode-matrix cache counters. Steady-state
+// retrieval should show hits growing and misses constant; the cache-hit
+// regression test in erasure_test.go asserts exactly that.
+func (c *Codec) CacheStats() (hits, misses uint64) {
+	if c.inverses == nil {
+		return 0, 0
+	}
+	return c.inverses.stats()
+}

@@ -1,0 +1,50 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the GF(256) slice kernels in isolation (32 KiB
+// shards, the size the (32, 64) code produces for 1 MiB datablocks).
+
+func kernelBufs(b *testing.B) (src, src2, dst []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	src = make([]byte, 32*1024)
+	src2 = make([]byte, 32*1024)
+	dst = make([]byte, 32*1024)
+	rng.Read(src)
+	rng.Read(src2)
+	return
+}
+
+func BenchmarkKernelMulAdd(b *testing.B) {
+	src, _, dst := kernelBufs(b)
+	tbl := buildMulTable(0x57)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulTableSliceAdd(tbl, src, dst)
+	}
+}
+
+func BenchmarkKernelMulAdd2(b *testing.B) {
+	src, src2, dst := kernelBufs(b)
+	tbl1 := buildMulTable(0x57)
+	tbl2 := buildMulTable(0xe3)
+	b.SetBytes(int64(2 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulTableSliceAdd2(tbl1, tbl2, src, src2, dst)
+	}
+}
+
+func BenchmarkKernelXor(b *testing.B) {
+	src, _, dst := kernelBufs(b)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xorSlice(src, dst)
+	}
+}

@@ -1,0 +1,59 @@
+package erasure
+
+import "runtime"
+
+// Defaults for Options fields left zero.
+const (
+	// DefaultCacheSize is the default capacity of the decode-matrix LRU.
+	// A steady-state retrieval committee re-sees the same index set
+	// almost every time, so a handful of entries suffices. Entries are
+	// not free: beyond the k×k inverse, a large-shard decode lazily
+	// compiles ~ceil(k/8)·k·2 KiB of grouped tables per entry (~256 KiB
+	// at k=32), so the default is kept small; raise CacheSize only if
+	// responder sets genuinely churn.
+	DefaultCacheSize = 8
+
+	// parallelMinShard is the per-shard byte threshold below which row
+	// generation stays serial: goroutine fan-out costs more than it saves
+	// on small blocks.
+	parallelMinShard = 16 * 1024
+)
+
+// Options tunes a Codec. The zero value selects sensible defaults, so
+// NewCodec(k, n) behaves identically to
+// NewCodecWithOptions(k, n, Options{}).
+type Options struct {
+	// Parallel is the maximum number of worker goroutines used for
+	// parity-row generation and decode-row reconstruction on large blocks.
+	// 0 means runtime.NumCPU(); 1 or any negative value forces the serial
+	// path (mirroring CacheSize, where negative disables the feature).
+	// Small shards (< 16 KiB) always run serially regardless.
+	Parallel int
+
+	// CacheSize is the capacity (entries) of the LRU cache of inverted
+	// decode matrices, keyed by the selected chunk-index set. 0 means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallel < 0 {
+		return 1
+	}
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.NumCPU()
+}
+
+// cacheSize resolves the effective cache capacity (0 = disabled).
+func (o Options) cacheSize() int {
+	if o.CacheSize < 0 {
+		return 0
+	}
+	if o.CacheSize == 0 {
+		return DefaultCacheSize
+	}
+	return o.CacheSize
+}

@@ -3,6 +3,9 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the codec.
@@ -22,13 +25,39 @@ type Chunk struct {
 
 // Codec is a systematic (k, n) Reed–Solomon code: Split a message into k
 // data chunks, extend to n total chunks; any k chunks reconstruct.
+//
+// A Codec is safe for concurrent use. Heavy state is built lazily and
+// shared: per-coefficient multiplication tables materialize on first use of
+// a coefficient, and inverted decode matrices are cached per chunk-index
+// set, so a long-lived Codec amortizes all setup across calls. Build one
+// per (k, n) and reuse it.
 type Codec struct {
 	k, n   int
+	opts   Options
 	encode *matrix // n×k; top k×k block is the identity
+
+	// tables[c] is the 256-byte multiplication table for coefficient c,
+	// built lazily on first use. Concurrent builders may race benignly:
+	// the table contents are deterministic, so any winner is correct.
+	tables [fieldSize]atomic.Pointer[[256]byte]
+
+	// parityProg is the grouped parity-generation program (see group.go),
+	// compiled once on first large Encode.
+	encodeOnce sync.Once
+	parityProg *rowProg
+
+	// inverses caches decode programs (nil when disabled).
+	inverses *inverseCache
 }
 
-// NewCodec builds a (k, n) codec. Requires 1 <= k <= n <= 256.
+// NewCodec builds a (k, n) codec with default Options.
+// Requires 1 <= k <= n <= 256.
 func NewCodec(k, n int) (*Codec, error) {
+	return NewCodecWithOptions(k, n, Options{})
+}
+
+// NewCodecWithOptions builds a (k, n) codec with explicit tuning knobs.
+func NewCodecWithOptions(k, n int, opts Options) (*Codec, error) {
 	if k < 1 || n < k || n > fieldSize {
 		return nil, fmt.Errorf("%w: k=%d n=%d", ErrInvalidParams, k, n)
 	}
@@ -43,7 +72,13 @@ func NewCodec(k, n int) (*Codec, error) {
 		// Vandermonde top block with distinct points is always invertible.
 		return nil, fmt.Errorf("erasure: internal setup failure: %w", err)
 	}
-	return &Codec{k: k, n: n, encode: v.mul(topInv)}, nil
+	return &Codec{
+		k:        k,
+		n:        n,
+		opts:     opts,
+		encode:   v.mul(topInv),
+		inverses: newInverseCache(opts.cacheSize()),
+	}, nil
 }
 
 // K returns the number of data chunks needed for reconstruction.
@@ -52,20 +87,116 @@ func (c *Codec) K() int { return c.k }
 // N returns the total number of chunks produced.
 func (c *Codec) N() int { return c.n }
 
-// ChunkSize returns the chunk length for a message of dataLen bytes.
-func (c *Codec) ChunkSize(dataLen int) int { return (dataLen + c.k - 1) / c.k }
+// ChunkSize returns the chunk length for a message of dataLen bytes. The
+// empty message still occupies one byte per chunk so that encoded chunks
+// are never zero-length; Encode, Decode and Reconstruct all agree on this.
+func (c *Codec) ChunkSize(dataLen int) int {
+	if dataLen <= 0 {
+		return 1
+	}
+	return (dataLen + c.k - 1) / c.k
+}
+
+// table returns the multiplication table for coefficient coef, building it
+// on first use.
+func (c *Codec) table(coef byte) *[256]byte {
+	if t := c.tables[coef].Load(); t != nil {
+		return t
+	}
+	t := buildMulTable(coef)
+	c.tables[coef].Store(t)
+	return t
+}
+
+// rowMulAdd accumulates dst ^= Σ_j row[j]*srcs[j], one full matrix-row ×
+// shard-set product. Zero coefficients are skipped, ones degrade to word
+// xors, and general coefficients stream through the fused two-source kernel
+// so dst is loaded and stored half as often.
+func (c *Codec) rowMulAdd(row []byte, srcs [][]byte, dst []byte) {
+	var pendTbl *[256]byte
+	var pendSrc []byte
+	for j, coef := range row {
+		switch coef {
+		case 0:
+		case 1:
+			xorSlice(srcs[j], dst)
+		default:
+			t := c.table(coef)
+			if pendTbl == nil {
+				pendTbl, pendSrc = t, srcs[j]
+				continue
+			}
+			mulTableSliceAdd2(pendTbl, t, pendSrc, srcs[j], dst)
+			pendTbl, pendSrc = nil, nil
+		}
+	}
+	if pendTbl != nil {
+		mulTableSliceAdd(pendTbl, pendSrc, dst)
+	}
+}
+
+// forRows runs fn(0..rows-1), fanning out across a bounded worker pool when
+// the per-row payload is large enough to amortize goroutine handoff. Rows
+// must be independent (each fn(i) writes only row i).
+func (c *Codec) forRows(rows, shardSize int, fn func(row int)) {
+	workers := c.opts.workers()
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows < 2 || shardSize < parallelMinShard {
+		for i := 0; i < rows; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= rows {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// shardPool recycles the contiguous backing arrays used for intermediate
+// shard math (Reconstruct's decoded image). Output buffers that escape to
+// callers are never pooled. Buffers come back dirty: every decodeInto
+// branch either overwrites dst fully or clears the rows it accumulates
+// into, so no up-front memset is paid on the large-shard path.
+var shardPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+func getShardBuf(n int) []byte {
+	buf := shardPool.Get().([]byte)
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+func putShardBuf(buf []byte) { shardPool.Put(buf) } //nolint:staticcheck // slice header boxing is fine here
 
 // Encode splits data into k systematic chunks plus n-k parity chunks.
 // The message length is restored by Decode callers via the original length.
+// All chunks share one contiguous backing array (a single allocation).
 func (c *Codec) Encode(data []byte) ([]Chunk, error) {
 	size := c.ChunkSize(len(data))
-	if size == 0 {
-		size = 1 // allow encoding the empty message
+	backing := make([]byte, c.n*size)
+	shards := make([][]byte, c.n)
+	for i := range shards {
+		shards[i] = backing[i*size : (i+1)*size]
 	}
 	// Systematic chunks: zero-padded slices of the message.
-	shards := make([][]byte, c.n)
 	for i := 0; i < c.k; i++ {
-		shards[i] = make([]byte, size)
 		start := i * size
 		if start < len(data) {
 			end := start + size
@@ -75,12 +206,17 @@ func (c *Codec) Encode(data []byte) ([]Chunk, error) {
 			copy(shards[i], data[start:end])
 		}
 	}
-	// Parity chunks: row i of the encode matrix times the data chunks.
-	for i := c.k; i < c.n; i++ {
-		shards[i] = make([]byte, size)
-		row := c.encode.row(i)
-		for j := 0; j < c.k; j++ {
-			mulSliceAdd(row[j], shards[j], shards[i])
+	// Parity chunks: rows k..n of the encode matrix times the data chunks.
+	// Large shards go through the grouped 8-row program; small ones use
+	// the per-coefficient kernels directly.
+	if c.n > c.k {
+		if size >= groupMinShard {
+			c.runProg(c.encodeProg(), shards[:c.k], shards[c.k:], size)
+		} else {
+			c.forRows(c.n-c.k, size, func(p int) {
+				i := c.k + p
+				c.rowMulAdd(c.encode.row(i), shards[:c.k], shards[i])
+			})
 		}
 	}
 	out := make([]Chunk, c.n)
@@ -90,17 +226,12 @@ func (c *Codec) Encode(data []byte) ([]Chunk, error) {
 	return out, nil
 }
 
-// Decode reconstructs the original message of length dataLen from any k
-// distinct valid chunks.
-func (c *Codec) Decode(chunks []Chunk, dataLen int) ([]byte, error) {
+// selectChunks picks the first k distinct in-range chunks and returns them
+// sorted by index (the canonical order used for decode-matrix cache keys).
+func (c *Codec) selectChunks(chunks []Chunk, size int) ([]Chunk, error) {
 	if len(chunks) < c.k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewChunks, len(chunks), c.k)
 	}
-	size := c.ChunkSize(dataLen)
-	if size == 0 {
-		size = 1
-	}
-	// Select the first k distinct in-range chunks.
 	seen := make(map[int]struct{}, c.k)
 	sel := make([]Chunk, 0, c.k)
 	for _, ch := range chunks {
@@ -122,7 +253,47 @@ func (c *Codec) Decode(chunks []Chunk, dataLen int) ([]byte, error) {
 	if len(sel) < c.k {
 		return nil, fmt.Errorf("%w: only %d distinct valid chunks", ErrTooFewChunks, len(sel))
 	}
-	// Build the k×k decode matrix from the encode rows of the selected chunks.
+	sort.Slice(sel, func(i, j int) bool { return sel[i].Index < sel[j].Index })
+	return sel, nil
+}
+
+// decodeEntry is one cached decode program: the inverted decode matrix for
+// an index set, plus the grouped row program compiled from it on first
+// large decode. Entries are shared across goroutines; the matrix and
+// program are immutable once published.
+type decodeEntry struct {
+	inv  *matrix
+	once sync.Once
+	prog *rowProg
+}
+
+// program returns the grouped program for this entry, compiling it once.
+func (e *decodeEntry) program(c *Codec) *rowProg {
+	e.once.Do(func() {
+		rows := make([][]byte, e.inv.rows)
+		for j := range rows {
+			rows[j] = e.inv.row(j)
+		}
+		e.prog = c.compileRowProg(rows)
+	})
+	return e.prog
+}
+
+// decodeMatrix returns the decode entry for the given (index-sorted)
+// selection, consulting the LRU cache first. The returned entry is shared
+// and must not be modified.
+func (c *Codec) decodeMatrix(sel []Chunk) (*decodeEntry, error) {
+	var key string
+	if c.inverses != nil {
+		kb := make([]byte, len(sel))
+		for i, ch := range sel {
+			kb[i] = byte(ch.Index)
+		}
+		key = string(kb)
+		if e := c.inverses.get(key); e != nil {
+			return e, nil
+		}
+	}
 	sub := newMatrix(c.k, c.k)
 	for r, ch := range sel {
 		copy(sub.row(r), c.encode.row(ch.Index))
@@ -131,14 +302,63 @@ func (c *Codec) Decode(chunks []Chunk, dataLen int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	// data_j = sum_r inv[j][r] * chunk_r
-	data := make([]byte, c.k*size)
-	for j := 0; j < c.k; j++ {
-		dst := data[j*size : (j+1)*size]
-		row := inv.row(j)
-		for r := 0; r < c.k; r++ {
-			mulSliceAdd(row[r], sel[r].Data, dst)
+	e := &decodeEntry{inv: inv}
+	if c.inverses != nil {
+		c.inverses.put(key, e)
+	}
+	return e, nil
+}
+
+// decodeInto reconstructs the k data shards from sel (index-sorted, all of
+// length size) into dst, which must hold k*size bytes; prior contents are
+// ignored (every path overwrites or clears what it writes).
+func (c *Codec) decodeInto(dst []byte, sel []Chunk, size int) error {
+	// Fast path: an all-systematic selection must be exactly chunks
+	// 0..k-1, which are the data itself — no matrix math at all.
+	if sel[c.k-1].Index < c.k {
+		for i, ch := range sel {
+			copy(dst[i*size:(i+1)*size], ch.Data)
 		}
+		return nil
+	}
+	entry, err := c.decodeMatrix(sel)
+	if err != nil {
+		return err
+	}
+	// data_j = sum_r inv[j][r] * chunk_r. Large shards run the grouped
+	// program; small ones use the per-coefficient kernels directly.
+	srcs := make([][]byte, len(sel))
+	for r, ch := range sel {
+		srcs[r] = ch.Data
+	}
+	if size >= groupMinShard {
+		outs := make([][]byte, c.k)
+		for j := range outs {
+			outs[j] = dst[j*size : (j+1)*size]
+		}
+		c.runProg(entry.program(c), srcs, outs, size)
+		return nil
+	}
+	inv := entry.inv
+	c.forRows(c.k, size, func(j int) {
+		out := dst[j*size : (j+1)*size]
+		clear(out) // rowMulAdd accumulates
+		c.rowMulAdd(inv.row(j), srcs, out)
+	})
+	return nil
+}
+
+// Decode reconstructs the original message of length dataLen from any k
+// distinct valid chunks.
+func (c *Codec) Decode(chunks []Chunk, dataLen int) ([]byte, error) {
+	size := c.ChunkSize(dataLen)
+	sel, err := c.selectChunks(chunks, size)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, c.k*size)
+	if err := c.decodeInto(data, sel, size); err != nil {
+		return nil, err
 	}
 	if dataLen > len(data) {
 		return nil, fmt.Errorf("%w: reconstructed %d bytes, want %d", ErrShortData, len(data), dataLen)
@@ -147,11 +367,22 @@ func (c *Codec) Decode(chunks []Chunk, dataLen int) ([]byte, error) {
 }
 
 // Reconstruct recomputes all n chunks from any k valid chunks; useful for a
-// replica that wants to re-serve parity after recovering the data.
+// replica that wants to re-serve parity after recovering the data. The
+// intermediate decoded image lives in a pooled buffer, so the only
+// allocations are the returned chunk set.
 func (c *Codec) Reconstruct(chunks []Chunk, dataLen int) ([]Chunk, error) {
-	data, err := c.Decode(chunks, dataLen)
+	size := c.ChunkSize(dataLen)
+	sel, err := c.selectChunks(chunks, size)
 	if err != nil {
 		return nil, err
 	}
-	return c.Encode(data)
+	buf := getShardBuf(c.k * size)
+	defer putShardBuf(buf)
+	if err := c.decodeInto(buf, sel, size); err != nil {
+		return nil, err
+	}
+	if dataLen > len(buf) {
+		return nil, fmt.Errorf("%w: reconstructed %d bytes, want %d", ErrShortData, len(buf), dataLen)
+	}
+	return c.Encode(buf[:dataLen])
 }

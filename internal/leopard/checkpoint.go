@@ -118,6 +118,7 @@ func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 					delete(n.confirmedDBs, h)
 					delete(n.readySet, h)
 					delete(n.linked, h)
+					delete(n.respCache, h)
 				}
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"leopard/internal/crypto"
+	"leopard/internal/erasure"
 	"leopard/internal/types"
 )
 
@@ -71,6 +72,11 @@ type Config struct {
 	// packed into a partial datablock, and how long ready datablocks wait
 	// before the leader proposes a partial BFTblock.
 	BatchTimeout time.Duration
+
+	// Erasure tunes the retrieval committee's Reed–Solomon codec: worker
+	// parallelism for large blocks and the decode-matrix cache size. The
+	// zero value selects the erasure package defaults.
+	Erasure erasure.Options
 	// TrustDigests makes receivers use the digest cached in DatablockMsg
 	// instead of recomputing it. Only safe in simulations where all nodes
 	// share one process; real deployments must leave it false.

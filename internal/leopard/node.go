@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"leopard/internal/crypto"
+	"leopard/internal/erasure"
 	"leopard/internal/mempool"
 	"leopard/internal/metrics"
 	"leopard/internal/protocol"
@@ -120,6 +121,14 @@ type Node struct {
 	// Retrieval state.
 	missing map[types.Hash]*retrievalState
 	served  map[servedKey]struct{}
+	// respCache holds the one retrieval response this replica serves per
+	// datablock (chunk + proof are requester-independent); pruned with the
+	// datablock at watermark advance.
+	respCache map[types.Hash]*RespMsg
+	// rs is the retrieval codec, built on first use and reused so its
+	// lazily-built multiplication tables and decode-matrix cache persist
+	// across datablocks (rebuilding it per call would defeat both).
+	rs *erasure.Codec
 
 	// Checkpoints.
 	lastCheckpoint *CheckpointProofMsg
@@ -183,6 +192,7 @@ func NewNode(cfg Config) (*Node, error) {
 		log:           make(map[types.SeqNum]*types.BFTblock),
 		missing:       make(map[types.Hash]*retrievalState),
 		served:        make(map[servedKey]struct{}),
+		respCache:     make(map[types.Hash]*RespMsg),
 		cpShares:      make(map[types.SeqNum]map[types.ReplicaID]crypto.Share),
 		cpDigest:      make(map[types.SeqNum]types.Hash),
 		sentTimeout:   make(map[types.View]bool),

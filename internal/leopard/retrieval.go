@@ -62,12 +62,24 @@ func (n *Node) checkRetrievalTimers(out []transport.Envelope) []transport.Envelo
 // committee is the first 256 replicas (same 256-shard ceiling as the
 // Reed–Solomon library the paper's implementation used); the paper's
 // retrieval experiments run at n <= 128.
+//
+// The codec is built once and cached on the node: its multiplication
+// tables and decode-matrix cache are only effective when they persist
+// across datablocks.
 func (n *Node) rsCodec() (*erasure.Codec, error) {
+	if n.rs != nil {
+		return n.rs, nil
+	}
 	shards := n.q.N
 	if shards > 256 {
 		shards = 256
 	}
-	return erasure.NewCodec(n.q.Small(), shards)
+	rs, err := erasure.NewCodecWithOptions(n.q.Small(), shards, n.cfg.Erasure)
+	if err != nil {
+		return nil, err
+	}
+	n.rs = rs
+	return rs, nil
 }
 
 // handleQuery serves erasure chunks for datablocks this replica holds
@@ -102,13 +114,27 @@ func (n *Node) handleQuery(from types.ReplicaID, m *QueryMsg, out []transport.En
 
 // buildResponse erasure-codes the datablock, builds the Merkle tree over
 // the chunks, and returns this replica's chunk with its inclusion proof.
+// The response is independent of the requester (a replica always serves
+// the chunk at its own index), so it is built once per digest and cached
+// until the datablock itself is garbage-collected; without this, a
+// broadcast Query from n-1 peers would trigger n-1 identical encode +
+// Merkle passes over the same block.
 func (n *Node) buildResponse(digest types.Hash, db *types.Datablock) (*RespMsg, error) {
+	if resp, ok := n.respCache[digest]; ok {
+		return resp, nil
+	}
 	rs, err := n.rsCodec()
 	if err != nil {
 		return nil, err
 	}
-	data := codec.MarshalDatablock(db)
+	// The marshal buffer is pooled: Encode copies the systematic bytes
+	// into its own shards, so the buffer can be released right after.
+	w := codec.GetWriter()
+	codec.MarshalDatablockTo(w, db)
+	data := w.Buf
 	chunks, err := rs.Encode(data)
+	dataLen := len(data)
+	codec.PutWriter(w)
 	if err != nil {
 		return nil, err
 	}
@@ -125,14 +151,20 @@ func (n *Node) buildResponse(digest types.Hash, db *types.Datablock) (*RespMsg, 
 	if err != nil {
 		return nil, err
 	}
-	return &RespMsg{
+	// Copy the served chunk out of Encode's shared backing array: all n
+	// chunks alias one n×size allocation, and a receiver retaining the
+	// chunk (in-process simulation delivers by reference) would otherwise
+	// pin the whole thing.
+	resp := &RespMsg{
 		Digest:  digest,
 		Root:    tree.Root(),
-		Chunk:   chunks[idx].Data,
+		Chunk:   append([]byte(nil), chunks[idx].Data...),
 		Index:   idx,
 		Proof:   proof,
-		DataLen: len(data),
-	}, nil
+		DataLen: dataLen,
+	}
+	n.respCache[digest] = resp
+	return resp, nil
 }
 
 // handleResp collects chunks; once f+1 chunks agree under one Merkle root,
@@ -182,11 +214,12 @@ func (n *Node) decodeRoot(digest types.Hash, byRoot map[int][]byte, dataLen int)
 	if err != nil {
 		return nil, false
 	}
+	// No need to order the chunks: Decode selects and canonically sorts
+	// them itself (the decode-matrix cache keys on the sorted index set).
 	chunks := make([]erasure.Chunk, 0, len(byRoot))
 	for idx, data := range byRoot {
 		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
 	}
-	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Index < chunks[j].Index })
 	data, err := rs.Decode(chunks, dataLen)
 	if err != nil {
 		return nil, false

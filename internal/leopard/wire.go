@@ -92,7 +92,7 @@ func EncodeMessage(msg transport.Message) ([]byte, error) {
 	switch m := msg.(type) {
 	case *DatablockMsg:
 		w.U8(kindDatablock)
-		w.Buf = append(w.Buf, codec.MarshalDatablock(m.Block)...)
+		codec.MarshalDatablockTo(w, m.Block)
 	case *ReadyMsg:
 		w.U8(kindReady)
 		w.Hash(m.Digest)
@@ -129,7 +129,7 @@ func EncodeMessage(msg transport.Message) ([]byte, error) {
 	case *FullBlockMsg:
 		w.U8(kindFullBlock)
 		w.Hash(m.Digest)
-		w.Buf = append(w.Buf, codec.MarshalDatablock(m.Block)...)
+		codec.MarshalDatablockTo(w, m.Block)
 	case *CheckpointMsg:
 		w.U8(kindCheckpoint)
 		w.U64(uint64(m.Seq))

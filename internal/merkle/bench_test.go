@@ -1,0 +1,62 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMerkleNew measures tree construction over 64 chunks of 16 KiB
+// (one erasure-coded 1 MiB datablock at n=64), the per-response cost of
+// Leopard's retrieval path. MB/s via b.SetBytes.
+func BenchmarkMerkleNew(b *testing.B) {
+	const (
+		nLeaves  = 64
+		leafSize = 16 * 1024
+	)
+	rng := rand.New(rand.NewSource(9))
+	ls := make([][]byte, nLeaves)
+	for i := range ls {
+		ls[i] = make([]byte, leafSize)
+		rng.Read(ls[i])
+	}
+	b.SetBytes(int64(nLeaves * leafSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerkleProveVerify measures one prove+verify round trip, the
+// per-chunk cost at a retrieval responder and requester.
+func BenchmarkMerkleProveVerify(b *testing.B) {
+	const (
+		nLeaves  = 64
+		leafSize = 16 * 1024
+	)
+	rng := rand.New(rand.NewSource(9))
+	ls := make([][]byte, nLeaves)
+	for i := range ls {
+		ls[i] = make([]byte, leafSize)
+		rng.Read(ls[i])
+	}
+	tree, err := New(ls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := tree.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % nLeaves
+		proof, err := tree.Prove(idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Verify(root, proof, ls[idx]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -35,6 +35,13 @@ type Tree struct {
 	levels [][]types.Hash // levels[0] = leaf hashes, last level = [root]
 }
 
+// Per-node hashing deliberately calls sha256.New/Write/Sum with the
+// concrete digest in one function: the compiler devirtualizes and
+// stack-allocates the whole state, so each node hash is allocation-free (a
+// sync.Pool of hash.Hash interfaces measures strictly worse — the
+// interface call forces Sum's output to escape). BenchmarkMerkleNew pins
+// the resulting allocs/op.
+
 func hashLeaf(index int, data []byte) types.Hash {
 	h := sha256.New()
 	h.Write(leafPrefix)
@@ -57,23 +64,35 @@ func hashInner(left, right types.Hash) types.Hash {
 	return out
 }
 
-// New builds a tree over the given leaves.
+// New builds a tree over the given leaves. The levels are sliced out of
+// one contiguous backing array sized by summing the level widths, so
+// construction allocates O(1) times regardless of leaf count.
 func New(leaves [][]byte) (*Tree, error) {
 	if len(leaves) == 0 {
 		return nil, ErrEmptyTree
 	}
-	level := make([]types.Hash, len(leaves))
+	total := 0
+	for w := len(leaves); ; w = (w + 1) / 2 {
+		total += w
+		if w == 1 {
+			break
+		}
+	}
+	backing := make([]types.Hash, total)
+	level := backing[:len(leaves)]
+	backing = backing[len(leaves):]
 	for i, l := range leaves {
 		level[i] = hashLeaf(i, l)
 	}
 	t := &Tree{levels: [][]types.Hash{level}}
 	for len(level) > 1 {
-		next := make([]types.Hash, 0, (len(level)+1)/2)
+		next := backing[:(len(level)+1)/2]
+		backing = backing[len(next):]
 		for i := 0; i < len(level); i += 2 {
 			if i+1 < len(level) {
-				next = append(next, hashInner(level[i], level[i+1]))
+				next[i/2] = hashInner(level[i], level[i+1])
 			} else {
-				next = append(next, level[i]) // promote odd node
+				next[i/2] = level[i] // promote odd node
 			}
 		}
 		t.levels = append(t.levels, next)
@@ -109,7 +128,7 @@ func (t *Tree) Prove(index int) (Proof, error) {
 	if index < 0 || index >= t.LeafCount() {
 		return Proof{}, fmt.Errorf("%w: %d of %d", ErrIndexRange, index, t.LeafCount())
 	}
-	p := Proof{Index: index}
+	p := Proof{Index: index, Steps: make([]ProofStep, 0, len(t.levels)-1)}
 	pos := index
 	for _, level := range t.levels[:len(t.levels)-1] {
 		sibling := pos ^ 1
