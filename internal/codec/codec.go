@@ -5,6 +5,31 @@
 // Encoding conventions: big-endian fixed-width integers, length-prefixed
 // byte strings (uint32 lengths), no varints — simple, unambiguous, and
 // cheap to bound-check.
+//
+// # Frame ownership and borrow mode
+//
+// A Reader has two modes for variable-length fields. In the default
+// (copying) mode, Bytes allocates and copies each field out of the input
+// buffer, so decoded values are independent of it. In borrow mode
+// (Reader.Borrow, or BorrowBytes called directly), Bytes returns sub-slices
+// of Reader.Buf instead: decoding allocates nothing per field, and
+// ownership of the input buffer transfers to the decoded value.
+//
+// The contract for borrow-mode decoding is:
+//
+//   - The caller must own the buffer outright: it was freshly allocated for
+//     this decode (e.g. one TCP frame per message) and will never be
+//     modified or recycled afterwards. Pooled or reused buffers must use
+//     the copying mode.
+//   - The decoded value and all byte fields reached from it alias the
+//     buffer. Retaining any one of them (a mempool'd request payload, a
+//     retrieval chunk, a stored proof) keeps the whole buffer alive; that
+//     is the intended trade — one backing array per frame instead of one
+//     per field. A consumer that wants to retain a small field without
+//     pinning a large frame must copy it explicitly.
+//   - Borrowed slices are returned with capacity clipped to their length
+//     (three-index sub-slices), so appending to one cannot scribble over
+//     neighbouring fields.
 package codec
 
 import (
@@ -20,11 +45,20 @@ import (
 var (
 	ErrTruncated = errors.New("codec: truncated input")
 	ErrOversize  = errors.New("codec: length prefix exceeds limit")
+	ErrTrailing  = errors.New("codec: trailing bytes after message")
 )
 
-// MaxElements bounds decoded collection sizes to prevent memory-exhaustion
-// on malformed input.
+// MaxElements bounds decoded collection counts (requests per datablock,
+// hashes per block, blocks per view-change) to prevent memory-exhaustion on
+// malformed input. It is a count of elements, not a byte length — byte
+// strings are bounded by MaxBytesLen.
 const MaxElements = 1 << 22
+
+// MaxBytesLen bounds a single length-prefixed byte string. It is sized for
+// the largest legal field — a retrieval chunk or request payload inside a
+// maximum-size frame — and matches the TCP transport's default frame cap
+// (64 MiB), so any field that fits in a legal frame decodes.
+const MaxBytesLen = 64 << 20
 
 // Writer appends primitives to a byte slice.
 type Writer struct {
@@ -85,15 +119,42 @@ func (w *Writer) Hash(h types.Hash) { w.Buf = append(w.Buf, h[:]...) }
 // Reader consumes primitives from a byte slice.
 type Reader struct {
 	Buf []byte
-	off int
-	err error
+	// Borrow makes Bytes return sub-slices of Buf instead of copies. See
+	// the package doc for the ownership contract the caller must satisfy.
+	Borrow bool
+	off    int
+	err    error
 }
 
 // Err returns the first decoding error encountered.
 func (r *Reader) Err() error { return r.err }
 
+// Fail records err as the reader's sticky decoding error (first error
+// wins). Decoders layered on top of Reader use it to surface structural
+// violations — bad counts, non-canonical flags — through the same channel
+// as truncation, so a caller checking Err cannot miss them.
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
 // Remaining returns the unread byte count.
 func (r *Reader) Remaining() int { return len(r.Buf) - r.off }
+
+// Finish returns the reader's terminal state: the sticky error if one was
+// recorded, otherwise ErrTrailing if unread bytes remain. Decoders of
+// complete messages call it so that non-canonical frames carrying trailing
+// garbage are rejected rather than silently accepted.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if rem := r.Remaining(); rem != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, rem)
+	}
+	return nil
+}
 
 func (r *Reader) need(n int) bool {
 	if r.err != nil {
@@ -136,23 +197,54 @@ func (r *Reader) U64() uint64 {
 	return v
 }
 
-// Bytes reads a length-prefixed byte string (copied out).
+// Bytes reads a length-prefixed byte string. In the default mode the field
+// is copied out; with Borrow set it sub-slices Buf (see BorrowBytes).
 func (r *Reader) Bytes() []byte {
-	n := int(r.U32())
-	if r.err != nil {
-		return nil
+	if r.Borrow {
+		return r.BorrowBytes()
 	}
-	if n > MaxElements {
-		r.err = fmt.Errorf("%w: %d", ErrOversize, n)
-		return nil
-	}
-	if !r.need(n) {
+	n := r.bytesLen()
+	if n < 0 {
 		return nil
 	}
 	out := make([]byte, n)
 	copy(out, r.Buf[r.off:])
 	r.off += n
 	return out
+}
+
+// BorrowBytes reads a length-prefixed byte string as a sub-slice of Buf,
+// with capacity clipped to its length. No bytes are copied: the returned
+// slice aliases Buf and stays valid exactly as long as Buf does. Callers
+// must satisfy the ownership contract in the package doc.
+func (r *Reader) BorrowBytes() []byte {
+	n := r.bytesLen()
+	if n < 0 {
+		return nil
+	}
+	out := r.Buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
+// bytesLen consumes and bound-checks a byte-string length prefix, returning
+// -1 after recording an error. The bound is MaxBytesLen (a byte length),
+// not MaxElements (a collection count). The n < 0 arm matters on 32-bit
+// platforms, where int(uint32) can wrap negative and would otherwise slip
+// past both bounds into a panic.
+func (r *Reader) bytesLen() int {
+	n := int(r.U32())
+	if r.err != nil {
+		return -1
+	}
+	if n < 0 || n > MaxBytesLen {
+		r.err = fmt.Errorf("%w: %d bytes", ErrOversize, uint32(n))
+		return -1
+	}
+	if !r.need(n) {
+		return -1
+	}
+	return n
 }
 
 // Hash reads a fixed 32-byte hash.
@@ -201,9 +293,36 @@ func MarshalDatablockTo(w *Writer, d *types.Datablock) {
 	}
 }
 
-// UnmarshalDatablock decodes a datablock.
+// UnmarshalDatablock decodes a datablock, copying request payloads out of
+// buf. The whole of buf must be consumed: trailing bytes are rejected, so
+// the encoding stays canonical (one datablock, one byte string).
 func UnmarshalDatablock(buf []byte) (*types.Datablock, error) {
-	r := &Reader{Buf: buf}
+	return unmarshalDatablock(&Reader{Buf: buf})
+}
+
+// UnmarshalDatablockBorrowed decodes a datablock whose request payloads
+// sub-slice buf: ownership of buf transfers to the returned block, per the
+// package ownership contract. Like UnmarshalDatablock it rejects trailing
+// bytes.
+func UnmarshalDatablockBorrowed(buf []byte) (*types.Datablock, error) {
+	return unmarshalDatablock(&Reader{Buf: buf, Borrow: true})
+}
+
+func unmarshalDatablock(r *Reader) (*types.Datablock, error) {
+	d, err := UnmarshalDatablockFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// UnmarshalDatablockFrom decodes a datablock from r in r's mode, without a
+// trailing-bytes check (the datablock may be embedded in a larger frame
+// whose decoder performs the terminal Finish).
+func UnmarshalDatablockFrom(r *Reader) (*types.Datablock, error) {
 	d := &types.Datablock{}
 	d.Ref.Generator = types.ReplicaID(r.U32())
 	d.Ref.Counter = r.U64()
@@ -211,11 +330,18 @@ func UnmarshalDatablock(buf []byte) (*types.Datablock, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if count > MaxElements {
-		return nil, fmt.Errorf("%w: %d requests", ErrOversize, count)
+	if count < 0 || count > MaxElements { // < 0: 32-bit int(uint32) wrap
+		return nil, fmt.Errorf("%w: %d requests", ErrOversize, uint32(count))
 	}
-	d.Requests = make([]types.Request, 0, count)
-	for i := 0; i < count; i++ {
+	// A request occupies at least 20 bytes on the wire; capping the
+	// pre-allocation by what the buffer could possibly hold keeps a lying
+	// count from forcing a huge allocation before truncation is detected.
+	capHint := count
+	if most := r.Remaining() / 20; capHint > most {
+		capHint = most
+	}
+	d.Requests = make([]types.Request, 0, capHint)
+	for i := 0; i < count && r.Err() == nil; i++ {
 		d.Requests = append(d.Requests, UnmarshalRequest(r))
 	}
 	if r.Err() != nil {
@@ -244,11 +370,15 @@ func UnmarshalBFTblock(r *Reader) (*types.BFTblock, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	if count > MaxElements {
-		return nil, fmt.Errorf("%w: %d links", ErrOversize, count)
+	if count < 0 || count > MaxElements { // < 0: 32-bit int(uint32) wrap
+		return nil, fmt.Errorf("%w: %d links", ErrOversize, uint32(count))
 	}
-	b.Content = make([]types.Hash, 0, count)
-	for i := 0; i < count; i++ {
+	capHint := count
+	if most := r.Remaining() / 32; capHint > most {
+		capHint = most
+	}
+	b.Content = make([]types.Hash, 0, capHint)
+	for i := 0; i < count && r.Err() == nil; i++ {
 		b.Content = append(b.Content, r.Hash())
 	}
 	if r.Err() != nil {

@@ -56,11 +56,90 @@ func TestReaderTruncation(t *testing.T) {
 }
 
 func TestBytesOversizeRejected(t *testing.T) {
+	for name, read := range map[string]func(*Reader) []byte{
+		"copy":   (*Reader).Bytes,
+		"borrow": (*Reader).BorrowBytes,
+	} {
+		w := &Writer{}
+		w.U32(uint32(MaxBytesLen + 1))
+		r := &Reader{Buf: w.Buf}
+		if read(r) != nil || !errors.Is(r.Err(), ErrOversize) {
+			t.Errorf("%s: want ErrOversize, got %v", name, r.Err())
+		}
+	}
+}
+
+// TestBytesBoundIsByteLengthNotElementCount is the regression test for the
+// MaxElements/MaxBytesLen conflation: a field longer than the collection
+// bound (4 Mi elements) but within the byte bound (64 MiB) is a legal chunk
+// and must decode.
+func TestBytesBoundIsByteLengthNotElementCount(t *testing.T) {
+	big := make([]byte, MaxElements+1)
+	big[0], big[len(big)-1] = 0xab, 0xcd
 	w := &Writer{}
-	w.U32(uint32(MaxElements + 1))
-	r := &Reader{Buf: w.Buf}
-	if r.Bytes() != nil || !errors.Is(r.Err(), ErrOversize) {
-		t.Errorf("want ErrOversize, got %v", r.Err())
+	w.Bytes(big)
+	for name, read := range map[string]func(*Reader) []byte{
+		"copy":   (*Reader).Bytes,
+		"borrow": (*Reader).BorrowBytes,
+	} {
+		r := &Reader{Buf: w.Buf}
+		got := read(r)
+		if r.Err() != nil {
+			t.Fatalf("%s: %d-byte field rejected: %v", name, len(big), r.Err())
+		}
+		if !bytes.Equal(got, big) {
+			t.Fatalf("%s: field corrupted", name)
+		}
+	}
+}
+
+func TestBorrowBytesAliasesBuffer(t *testing.T) {
+	w := &Writer{}
+	w.Bytes([]byte("abcdef"))
+	w.Bytes([]byte("rest"))
+
+	r := &Reader{Buf: w.Buf, Borrow: true}
+	got := r.Bytes() // dispatches to BorrowBytes via the mode flag
+	if !bytes.Equal(got, []byte("abcdef")) {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if &got[0] != &w.Buf[4] {
+		t.Error("borrow mode must sub-slice the frame, not copy")
+	}
+	if cap(got) != len(got) {
+		t.Errorf("borrowed slice capacity %d not clipped to length %d", cap(got), len(got))
+	}
+
+	// Copying mode must return an independent slice.
+	r = &Reader{Buf: w.Buf}
+	got = r.Bytes()
+	if &got[0] == &w.Buf[4] {
+		t.Error("copy mode must not alias the frame")
+	}
+}
+
+func TestReaderFailSticks(t *testing.T) {
+	r := &Reader{Buf: []byte{1, 2, 3, 4}}
+	first := errors.New("first")
+	r.Fail(first)
+	r.Fail(errors.New("second"))
+	if r.Err() != first {
+		t.Errorf("first error must win, got %v", r.Err())
+	}
+	if got := r.U32(); got != 0 {
+		t.Errorf("failed reader must not yield values, got %d", got)
+	}
+}
+
+func TestFinishRejectsTrailingBytes(t *testing.T) {
+	r := &Reader{Buf: []byte{1, 2}}
+	_ = r.U8()
+	if err := r.Finish(); !errors.Is(err, ErrTrailing) {
+		t.Errorf("want ErrTrailing, got %v", err)
+	}
+	_ = r.U8()
+	if err := r.Finish(); err != nil {
+		t.Errorf("fully consumed reader must finish clean, got %v", err)
 	}
 }
 
@@ -110,6 +189,54 @@ func TestDatablockTruncated(t *testing.T) {
 		if _, err := UnmarshalDatablock(buf[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+// TestDatablockTrailingGarbageRejected is the regression test for the
+// decoder accepting non-canonical frames with leftover bytes.
+func TestDatablockTrailingGarbageRejected(t *testing.T) {
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 1, Counter: 2},
+		Requests: []types.Request{{ClientID: 5, Seq: 6, Payload: []byte("xyz")}},
+	}
+	buf := append(MarshalDatablock(db), 0x00)
+	if _, err := UnmarshalDatablock(buf); !errors.Is(err, ErrTrailing) {
+		t.Errorf("copying decode: want ErrTrailing, got %v", err)
+	}
+	if _, err := UnmarshalDatablockBorrowed(buf); !errors.Is(err, ErrTrailing) {
+		t.Errorf("borrowed decode: want ErrTrailing, got %v", err)
+	}
+}
+
+// TestDatablockBorrowedAliasesInput pins the zero-copy property: borrowed
+// decode sub-slices the input buffer instead of copying payloads.
+func TestDatablockBorrowedAliasesInput(t *testing.T) {
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 1, Counter: 2},
+		Requests: []types.Request{{ClientID: 5, Seq: 6, Payload: bytes.Repeat([]byte{7}, 100)}},
+	}
+	buf := MarshalDatablock(db)
+
+	borrowed, err := UnmarshalDatablockBorrowed(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: ref (4+8) + count (4) + client/seq (8+8) + len (4) = offset 36.
+	p := borrowed.Requests[0].Payload
+	if &p[0] != &buf[36] {
+		t.Error("borrowed payload must sub-slice the input buffer")
+	}
+
+	copied, err := UnmarshalDatablock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := copied.Requests[0].Payload
+	if &q[0] == &p[0] {
+		t.Error("copying decode must not alias the input buffer")
+	}
+	if !bytes.Equal(p, q) {
+		t.Error("borrowed and copied payloads must match")
 	}
 }
 

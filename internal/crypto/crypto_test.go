@@ -149,6 +149,41 @@ func TestEd25519ProofRejectsSubQuorumBitmap(t *testing.T) {
 	}
 }
 
+// TestEd25519ProofRejectsNonCanonicalBitmap is the regression test for
+// stray bits above N in the final bitmap byte being silently ignored, which
+// gave one digest many distinct "valid" proof encodings.
+func TestEd25519ProofRejectsNonCanonicalBitmap(t *testing.T) {
+	const n = 6 // bitmap is one byte, bits 6 and 7 name no signer
+	s, err := NewEd25519Suite(n, []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := HashBytes([]byte("canonical"))
+	var shares []Share
+	for i := 0; i < s.Params().Quorum(); i++ {
+		sh, err := s.Sign(types.ReplicaID(i), digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, sh)
+	}
+	proof, err := s.Combine(digest, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyProof(digest, proof); err != nil {
+		t.Fatalf("canonical proof must verify: %v", err)
+	}
+	for _, stray := range []byte{1 << 6, 1 << 7, 1<<6 | 1<<7} {
+		mutated := append([]byte(nil), proof.Sig...)
+		mutated[0] |= stray
+		err := s.VerifyProof(digest, Proof{Sig: mutated})
+		if !errors.Is(err, ErrBadProof) {
+			t.Errorf("bitmap with stray bits %08b accepted: %v", stray, err)
+		}
+	}
+}
+
 func TestSuiteSizes(t *testing.T) {
 	ed, _ := NewEd25519Suite(4, []byte("s"))
 	if ed.ShareSize() != 64 {

@@ -114,6 +114,16 @@ func (s *Ed25519Suite) VerifyProof(digest types.Hash, proof Proof) error {
 		return fmt.Errorf("%w: truncated bitmap", ErrBadProof)
 	}
 	bitmap, sigs := proof.Sig[:bitmapLen], proof.Sig[bitmapLen:]
+	// Reject stray bits above N in the final bitmap byte: they name no
+	// signer, so ignoring them would give one digest many distinct "valid"
+	// proof encodings, breaking proof canonicity (anything keyed or
+	// deduplicated by proof bytes could be split by an adversary re-serving
+	// the same proof under fresh encodings).
+	if rem := s.params.N % 8; rem != 0 {
+		if bitmap[bitmapLen-1]&^byte(1<<rem-1) != 0 {
+			return fmt.Errorf("%w: non-canonical bitmap bits above signer %d", ErrBadProof, s.params.N-1)
+		}
+	}
 	var signers []types.ReplicaID
 	for i := 0; i < s.params.N; i++ {
 		if bitmap[i/8]&(1<<(uint(i)%8)) != 0 {

@@ -190,6 +190,10 @@ func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out []transport.Enve
 	if r.dataLen[m.Root] != m.DataLen {
 		return out // inconsistent responders under this root; ignore
 	}
+	// m.Chunk is retained past this handler. Under zero-copy decode it
+	// sub-slices the response frame, which is almost entirely chunk bytes,
+	// so keeping the frame alive until the datablock decodes is the
+	// intended ownership transfer — no copy needed.
 	byRoot[m.Index] = m.Chunk
 	if len(byRoot) < n.q.Small() {
 		return out
@@ -224,7 +228,9 @@ func (n *Node) decodeRoot(digest types.Hash, byRoot map[int][]byte, dataLen int)
 	if err != nil {
 		return nil, false
 	}
-	db, err := codec.UnmarshalDatablock(data)
+	// Decode returns a fresh buffer used nowhere else, so the datablock can
+	// borrow its request payloads from it (the block keeps data alive).
+	db, err := codec.UnmarshalDatablockBorrowed(data)
 	if err != nil {
 		return nil, false
 	}

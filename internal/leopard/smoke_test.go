@@ -13,8 +13,9 @@ import (
 )
 
 // buildCluster wires an n-replica Leopard cluster over simnet with the
-// Ed25519 suite and small batches suitable for tests.
-func buildCluster(t *testing.T, n int, mutate func(*leopard.Config)) *harness.Cluster {
+// Ed25519 suite and small batches suitable for tests. mutateNet, when
+// non-nil, adjusts the network config (e.g. to enable wire fidelity).
+func buildCluster(t *testing.T, n int, mutate func(*leopard.Config), mutateNet func(*simnet.Config)) *harness.Cluster {
 	t.Helper()
 	q, err := types.NewQuorumParams(n)
 	if err != nil {
@@ -26,6 +27,9 @@ func buildCluster(t *testing.T, n int, mutate func(*leopard.Config)) *harness.Cl
 	}
 	netCfg := simnet.DefaultConfig()
 	netCfg.TickInterval = 2 * time.Millisecond
+	if mutateNet != nil {
+		mutateNet(&netCfg)
+	}
 	cluster, err := harness.NewCluster(harness.Options{
 		N:               n,
 		Net:             netCfg,
@@ -53,11 +57,27 @@ func buildCluster(t *testing.T, n int, mutate func(*leopard.Config)) *harness.Cl
 }
 
 func TestSmokeConfirmsRequests(t *testing.T) {
-	cluster := buildCluster(t, 4, nil)
+	cluster := buildCluster(t, 4, nil, nil)
 	cluster.Start()
 	res := cluster.MeasureFor(2 * time.Second)
 	if res.Confirmed == 0 {
 		t.Fatalf("no requests confirmed in %v", res.Elapsed)
 	}
 	t.Logf("n=4 confirmed=%d throughput=%.0f req/s meanLat=%v", res.Confirmed, res.Throughput, res.MeanLat)
+}
+
+// TestSmokeConfirmsRequestsWireFidelity runs the same cluster with every
+// message round-tripped through the real wire codec before delivery, so the
+// zero-copy decode path and the canonical-frame checks are exercised under
+// a full protocol workload (not just hand-built frames).
+func TestSmokeConfirmsRequestsWireFidelity(t *testing.T) {
+	cluster := buildCluster(t, 4, nil, func(cfg *simnet.Config) {
+		cfg.Codec = leopard.WireCodec{}
+	})
+	cluster.Start()
+	res := cluster.MeasureFor(2 * time.Second)
+	if res.Confirmed == 0 {
+		t.Fatalf("no requests confirmed over the wire codec in %v", res.Elapsed)
+	}
+	t.Logf("n=4 wire-fidelity confirmed=%d throughput=%.0f req/s meanLat=%v", res.Confirmed, res.Throughput, res.MeanLat)
 }

@@ -10,14 +10,17 @@ import (
 	"leopard/internal/types"
 )
 
-// WireCodec adapts EncodeMessage/DecodeMessage to the codec interface the
-// TCP transport expects.
+// WireCodec adapts EncodeMessage/DecodeMessage to the transport.Codec
+// interface. Decode runs in borrow mode: it takes ownership of the frame,
+// per the transport.Codec contract.
 type WireCodec struct{}
+
+var _ transport.Codec = WireCodec{}
 
 // Encode serializes a Leopard message.
 func (WireCodec) Encode(msg transport.Message) ([]byte, error) { return EncodeMessage(msg) }
 
-// Decode parses a Leopard message.
+// Decode parses a Leopard message, taking ownership of buf.
 func (WireCodec) Decode(buf []byte) (transport.Message, error) { return DecodeMessage(buf) }
 
 // Wire kinds for the TCP transport. Values are part of the wire contract.
@@ -72,14 +75,31 @@ func writeMerkleProof(w *codec.Writer, p merkle.Proof) {
 	}
 }
 
+// readBool decodes a canonical boolean byte, failing the reader on any
+// value other than 0 or 1: together with the trailing-bytes check this
+// gives every message exactly one accepted frame (no alternate encodings
+// for an adversary to re-serve the same message under).
+func readBool(r *codec.Reader) bool {
+	switch b := r.U8(); b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Fail(fmt.Errorf("leopard: non-canonical bool byte %d", b))
+		return false
+	}
+}
+
 func readMerkleProof(r *codec.Reader) merkle.Proof {
 	p := merkle.Proof{Index: int(r.U32())}
 	count := int(r.U32())
-	if count > 64 { // a 2^64-leaf tree is impossible
+	if count < 0 || count > 64 { // a 2^64-leaf tree is impossible; < 0: 32-bit wrap
+		r.Fail(fmt.Errorf("leopard: merkle proof with %d steps", uint32(count)))
 		return merkle.Proof{}
 	}
 	for i := 0; i < count; i++ {
-		step := merkle.ProofStep{Hash: r.Hash(), Right: r.U8() == 1}
+		step := merkle.ProofStep{Hash: r.Hash(), Right: readBool(r)}
 		p.Steps = append(p.Steps, step)
 	}
 	return p
@@ -193,7 +213,7 @@ func decodeViewChange(r *codec.Reader) (*ViewChangeMsg, error) {
 		NewView: types.View(r.U64()),
 		Sender:  types.ReplicaID(r.U32()),
 	}
-	if r.U8() == 1 {
+	if readBool(r) {
 		m.Checkpoint = &CheckpointProofMsg{
 			Seq:       types.SeqNum(r.U64()),
 			StateHash: r.Hash(),
@@ -201,7 +221,7 @@ func decodeViewChange(r *codec.Reader) (*ViewChangeMsg, error) {
 		}
 	}
 	count := int(r.U32())
-	if count > codec.MaxElements {
+	if count < 0 || count > codec.MaxElements {
 		return nil, fmt.Errorf("leopard: view-change carries %d blocks", count)
 	}
 	for i := 0; i < count; i++ {
@@ -210,7 +230,7 @@ func decodeViewChange(r *codec.Reader) (*ViewChangeMsg, error) {
 			return nil, err
 		}
 		nb := NotarizedBlock{Block: block, Digest: r.Hash(), Notarized: readProof(r)}
-		if r.U8() == 1 {
+		if readBool(r) {
 			p := readProof(r)
 			nb.Confirmed = &p
 		}
@@ -220,20 +240,39 @@ func decodeViewChange(r *codec.Reader) (*ViewChangeMsg, error) {
 	return m, r.Err()
 }
 
-// DecodeMessage parses a frame body produced by EncodeMessage.
+// DecodeMessage parses a frame body produced by EncodeMessage. It decodes
+// in borrow mode: every variable-length field of the returned message
+// (signature shares, combined proofs, retrieval chunks, request payloads)
+// sub-slices buf, so ownership of buf transfers to the message and the
+// caller must neither modify nor recycle it afterwards. The TCP transport
+// satisfies this by allocating one fresh frame per message; callers that
+// reuse their buffer must use DecodeMessageCopying. Frames with bytes left
+// over after the last field are rejected, keeping the encoding canonical.
 func DecodeMessage(buf []byte) (transport.Message, error) {
+	return decodeMessage(buf, true)
+}
+
+// DecodeMessageCopying parses like DecodeMessage but copies every
+// variable-length field out of buf, leaving buf free for reuse. The two
+// modes decode bitwise-identical messages; this one trades allocations for
+// buffer independence.
+func DecodeMessageCopying(buf []byte) (transport.Message, error) {
+	return decodeMessage(buf, false)
+}
+
+func decodeMessage(buf []byte, borrow bool) (transport.Message, error) {
 	if len(buf) == 0 {
 		return nil, fmt.Errorf("leopard: empty frame")
 	}
-	r := &codec.Reader{Buf: buf[1:]}
+	r := &codec.Reader{Buf: buf[1:], Borrow: borrow}
 	var msg transport.Message
 	switch buf[0] {
 	case kindDatablock:
-		db, err := codec.UnmarshalDatablock(buf[1:])
+		db, err := codec.UnmarshalDatablockFrom(r)
 		if err != nil {
 			return nil, err
 		}
-		return &DatablockMsg{Block: db}, nil
+		msg = &DatablockMsg{Block: db}
 	case kindReady:
 		msg = &ReadyMsg{Digest: r.Hash()}
 	case kindBFTblock:
@@ -248,11 +287,13 @@ func DecodeMessage(buf []byte) (transport.Message, error) {
 		msg = &ProofMsg{Block: readBlockID(r), Round: int(r.U8()), Digest: r.Hash(), Proof: readProof(r)}
 	case kindQuery:
 		count := int(r.U32())
-		if count > codec.MaxElements {
+		if count < 0 || count > codec.MaxElements {
 			return nil, fmt.Errorf("leopard: query carries %d digests", count)
 		}
 		q := &QueryMsg{}
-		for i := 0; i < count; i++ {
+		// Stop on the first truncation error instead of spinning out count
+		// zero-hash appends from a lying prefix.
+		for i := 0; i < count && r.Err() == nil; i++ {
 			q.Digests = append(q.Digests, r.Hash())
 		}
 		msg = q
@@ -266,15 +307,12 @@ func DecodeMessage(buf []byte) (transport.Message, error) {
 			Proof:   readMerkleProof(r),
 		}
 	case kindFullBlock:
-		if len(buf) < 1+32 {
-			return nil, fmt.Errorf("leopard: truncated full-block frame")
-		}
 		digest := r.Hash()
-		db, err := codec.UnmarshalDatablock(buf[1+32:])
+		db, err := codec.UnmarshalDatablockFrom(r)
 		if err != nil {
 			return nil, err
 		}
-		return &FullBlockMsg{Digest: digest, Block: db}, nil
+		msg = &FullBlockMsg{Digest: digest, Block: db}
 	case kindCheckpoint:
 		msg = &CheckpointMsg{Seq: types.SeqNum(r.U64()), StateHash: r.Hash(), Share: readShare(r)}
 	case kindCheckpointProof:
@@ -282,11 +320,15 @@ func DecodeMessage(buf []byte) (transport.Message, error) {
 	case kindTimeout:
 		msg = &TimeoutMsg{View: types.View(r.U64()), Share: readShare(r)}
 	case kindViewChange:
-		return decodeViewChange(r)
+		vc, err := decodeViewChange(r)
+		if err != nil {
+			return nil, err
+		}
+		msg = vc
 	case kindNewView:
 		nv := &NewViewMsg{NewView: types.View(r.U64())}
 		count := int(r.U32())
-		if count > codec.MaxElements {
+		if count < 0 || count > codec.MaxElements {
 			return nil, fmt.Errorf("leopard: new-view carries %d proofs", count)
 		}
 		for i := 0; i < count; i++ {
@@ -301,7 +343,7 @@ func DecodeMessage(buf []byte) (transport.Message, error) {
 	default:
 		return nil, fmt.Errorf("leopard: unknown wire kind %d", buf[0])
 	}
-	if err := r.Err(); err != nil {
+	if err := r.Finish(); err != nil {
 		return nil, err
 	}
 	return msg, nil

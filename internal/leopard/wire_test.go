@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"leopard/internal/codec"
 	"leopard/internal/crypto"
 	"leopard/internal/merkle"
 	"leopard/internal/transport"
@@ -26,45 +27,7 @@ func roundTrip(t *testing.T, msg transport.Message) transport.Message {
 }
 
 func TestWireRoundTripAllKinds(t *testing.T) {
-	share := crypto.Share{Signer: 3, Sig: []byte("sig-bytes")}
-	proof := crypto.Proof{Sig: []byte("proof-bytes")}
-	db := &types.Datablock{
-		Ref:      types.DatablockRef{Generator: 2, Counter: 7},
-		Requests: []types.Request{{ClientID: 1, Seq: 2, Payload: []byte("pay")}},
-	}
-	block := &types.BFTblock{View: 1, Seq: 9, Content: []types.Hash{{1}, {2}}}
-	cp := &CheckpointProofMsg{Seq: 50, StateHash: types.Hash{9}, Proof: proof}
-	vc := ViewChangeMsg{
-		NewView:    4,
-		Checkpoint: cp,
-		Sender:     3,
-		Blocks: []NotarizedBlock{
-			{Block: block, Digest: types.Hash{5}, Notarized: proof},
-			{Block: block, Digest: types.Hash{6}, Notarized: proof, Confirmed: &proof},
-		},
-		Share: share,
-	}
-
-	msgs := []transport.Message{
-		&DatablockMsg{Block: db},
-		&ReadyMsg{Digest: types.Hash{1, 2}},
-		&BFTblockMsg{Block: block, LeaderShare: share},
-		&VoteMsg{Block: block.ID(), Round: 2, Digest: types.Hash{3}, Share: share},
-		&ProofMsg{Block: block.ID(), Round: 1, Digest: types.Hash{4}, Proof: proof},
-		&QueryMsg{Digests: []types.Hash{{7}, {8}}},
-		&RespMsg{
-			Digest: types.Hash{1}, Root: types.Hash{2},
-			Chunk: []byte("chunk"), Index: 3, DataLen: 100,
-			Proof: merkle.Proof{Index: 3, Steps: []merkle.ProofStep{{Hash: types.Hash{9}, Right: true}}},
-		},
-		&FullBlockMsg{Digest: crypto.HashDatablock(db), Block: db},
-		&CheckpointMsg{Seq: 10, StateHash: types.Hash{5}, Share: share},
-		cp,
-		&TimeoutMsg{View: 2, Share: share},
-		&vc,
-		&NewViewMsg{NewView: 4, Proofs: []ViewChangeMsg{vc}, Share: share},
-	}
-	for _, msg := range msgs {
+	for _, msg := range testMessages() {
 		got := roundTrip(t, msg)
 		switch want := msg.(type) {
 		case *DatablockMsg:
@@ -97,6 +60,195 @@ func TestWireRejectsGarbage(t *testing.T) {
 		if _, err := DecodeMessage(buf[:cut]); err == nil {
 			t.Fatalf("truncated vote at %d accepted", cut)
 		}
+	}
+}
+
+// testMessages returns one instance of every wire kind, for tests that
+// must cover the whole message surface.
+func testMessages() []transport.Message {
+	share := crypto.Share{Signer: 3, Sig: []byte("sig-bytes")}
+	proof := crypto.Proof{Sig: []byte("proof-bytes")}
+	db := &types.Datablock{
+		Ref:      types.DatablockRef{Generator: 2, Counter: 7},
+		Requests: []types.Request{{ClientID: 1, Seq: 2, Payload: []byte("pay")}},
+	}
+	block := &types.BFTblock{View: 1, Seq: 9, Content: []types.Hash{{1}, {2}}}
+	cp := &CheckpointProofMsg{Seq: 50, StateHash: types.Hash{9}, Proof: proof}
+	vc := ViewChangeMsg{
+		NewView:    4,
+		Checkpoint: cp,
+		Sender:     3,
+		Blocks: []NotarizedBlock{
+			{Block: block, Digest: types.Hash{5}, Notarized: proof},
+			{Block: block, Digest: types.Hash{6}, Notarized: proof, Confirmed: &proof},
+		},
+		Share: share,
+	}
+	return []transport.Message{
+		&DatablockMsg{Block: db},
+		&ReadyMsg{Digest: types.Hash{1, 2}},
+		&BFTblockMsg{Block: block, LeaderShare: share},
+		&VoteMsg{Block: block.ID(), Round: 2, Digest: types.Hash{3}, Share: share},
+		&ProofMsg{Block: block.ID(), Round: 1, Digest: types.Hash{4}, Proof: proof},
+		&QueryMsg{Digests: []types.Hash{{7}, {8}}},
+		&RespMsg{
+			Digest: types.Hash{1}, Root: types.Hash{2},
+			Chunk: []byte("chunk"), Index: 3, DataLen: 100,
+			Proof: merkle.Proof{Index: 3, Steps: []merkle.ProofStep{{Hash: types.Hash{9}, Right: true}}},
+		},
+		&FullBlockMsg{Digest: crypto.HashDatablock(db), Block: db},
+		&CheckpointMsg{Seq: 10, StateHash: types.Hash{5}, Share: share},
+		cp,
+		&TimeoutMsg{View: 2, Share: share},
+		&vc,
+		&NewViewMsg{NewView: 4, Proofs: []ViewChangeMsg{vc}, Share: share},
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage is the regression test for DecodeMessage
+// accepting non-canonical frames: every kind must reject leftover bytes
+// after its last field, in both decode modes.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	for _, msg := range testMessages() {
+		buf, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		extended := append(buf, 0x00)
+		if _, err := DecodeMessage(extended); err == nil {
+			t.Errorf("%T: borrow decode accepted trailing garbage", msg)
+		}
+		if _, err := DecodeMessageCopying(extended); err == nil {
+			t.Errorf("%T: copying decode accepted trailing garbage", msg)
+		}
+	}
+}
+
+// TestDecodeRejectsOversizeMerkleProof is the regression test for
+// readMerkleProof silently returning an empty proof on count > 64: a
+// malformed RespMsg used to decode "successfully" with no inclusion proof.
+func TestDecodeRejectsOversizeMerkleProof(t *testing.T) {
+	w := &codec.Writer{}
+	w.U8(kindResp)
+	w.Hash(types.Hash{1}) // digest
+	w.Hash(types.Hash{2}) // root
+	w.Bytes([]byte("chunk"))
+	w.U32(3)   // index
+	w.U32(100) // data len
+	w.U32(3)   // proof index
+	w.U32(65)  // proof step count: impossible, must be rejected
+	for i := 0; i < 65; i++ {
+		w.Hash(types.Hash{byte(i)})
+		w.U8(0)
+	}
+	if _, err := DecodeMessage(w.Buf); err == nil {
+		t.Fatal("RespMsg with 65 proof steps decoded successfully")
+	}
+	if _, err := DecodeMessageCopying(w.Buf); err == nil {
+		t.Fatal("RespMsg with 65 proof steps decoded successfully (copying)")
+	}
+}
+
+// TestDecodeRejectsNonCanonicalBoolBytes asserts flag bytes other than 0/1
+// are rejected, so a message cannot be re-served under alternate frames.
+func TestDecodeRejectsNonCanonicalBoolBytes(t *testing.T) {
+	proof := crypto.Proof{Sig: []byte("proof-bytes")}
+	vc := &ViewChangeMsg{
+		NewView: 4,
+		Sender:  3,
+		Blocks: []NotarizedBlock{{
+			Block:     &types.BFTblock{View: 1, Seq: 9},
+			Digest:    types.Hash{5},
+			Notarized: proof,
+		}},
+		Share: crypto.Share{Signer: 3, Sig: []byte("sig-bytes")},
+	}
+	buf, err := EncodeMessage(vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(buf); err != nil {
+		t.Fatalf("canonical frame must decode: %v", err)
+	}
+	// The checkpoint-present flag (0) sits right after kind + view + sender.
+	flagOff := 1 + 8 + 4
+	if buf[flagOff] != 0 {
+		t.Fatalf("test layout drifted: flag byte at %d is %d", flagOff, buf[flagOff])
+	}
+	mutated := append([]byte(nil), buf...)
+	mutated[flagOff] = 2
+	if _, err := DecodeMessage(mutated); err == nil {
+		t.Error("flag byte 2 accepted: message has multiple valid frames")
+	}
+}
+
+// TestBorrowAndCopyDecodeAgree asserts the two decode modes produce
+// bitwise-identical messages for every wire kind.
+func TestBorrowAndCopyDecodeAgree(t *testing.T) {
+	for _, msg := range testMessages() {
+		buf, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		borrowed, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("borrow decode %T: %v", msg, err)
+		}
+		copied, err := DecodeMessageCopying(buf)
+		if err != nil {
+			t.Fatalf("copying decode %T: %v", msg, err)
+		}
+		encB, err := EncodeMessage(borrowed)
+		if err != nil {
+			t.Fatalf("re-encode borrowed %T: %v", msg, err)
+		}
+		encC, err := EncodeMessage(copied)
+		if err != nil {
+			t.Fatalf("re-encode copied %T: %v", msg, err)
+		}
+		if !bytes.Equal(encB, encC) {
+			t.Errorf("%T: borrow and copy decodes disagree", msg)
+		}
+		if !bytes.Equal(encB, buf) {
+			t.Errorf("%T: decode/encode not a fixpoint", msg)
+		}
+	}
+}
+
+// TestDecodeBorrowsChunkFromFrame pins the tentpole property: the dominant
+// field of a decoded RespMsg sub-slices the frame instead of being copied.
+func TestDecodeBorrowsChunkFromFrame(t *testing.T) {
+	resp := &RespMsg{
+		Digest: types.Hash{1}, Root: types.Hash{2},
+		Chunk: bytes.Repeat([]byte{7}, 1024), Index: 3, DataLen: 4096,
+		Proof: merkle.Proof{Index: 3, Steps: []merkle.ProofStep{{Hash: types.Hash{9}, Right: true}}},
+	}
+	buf, err := EncodeMessage(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame layout: kind (1) + digest (32) + root (32) + chunk len (4).
+	const chunkOff = 1 + 32 + 32 + 4
+
+	got, err := DecodeMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := got.(*RespMsg).Chunk
+	if &chunk[0] != &buf[chunkOff] {
+		t.Error("borrow decode must sub-slice the chunk from the frame")
+	}
+
+	got, err = DecodeMessageCopying(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk = got.(*RespMsg).Chunk
+	if &chunk[0] == &buf[chunkOff] {
+		t.Error("copying decode must not alias the frame")
+	}
+	if !bytes.Equal(chunk, resp.Chunk) {
+		t.Error("chunk corrupted by copying decode")
 	}
 }
 

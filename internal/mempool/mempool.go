@@ -103,6 +103,12 @@ func (p *RequestPool) MarkConfirmed(id types.RequestID) {
 
 // DatablockPool stores accepted datablocks, indexed both by digest and by
 // (generator, counter) for duplicate-counter suppression (Leopard Alg. 1).
+//
+// Stored blocks may have been decoded zero-copy: their request payloads can
+// sub-slice the wire frame (or erasure-decoded buffer) they arrived in, and
+// retaining the block here is what keeps that buffer alive — the frame is
+// essentially the block, so this pins no meaningful extra memory. The pool
+// never mutates blocks, preserving the codec's borrow contract.
 type DatablockPool struct {
 	byHash map[types.Hash]*types.Datablock
 	byRef  map[types.DatablockRef]types.Hash

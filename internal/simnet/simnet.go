@@ -46,6 +46,14 @@ type Config struct {
 	TickInterval time.Duration
 	// Seed feeds the deterministic RNG used for jitter.
 	Seed int64
+	// Codec, when set, enables wire fidelity: every message is encoded to
+	// a fresh frame and decoded again per receiver before delivery, exactly
+	// as the TCP transport would, instead of being delivered by reference.
+	// This exercises the real (zero-copy) decode path and the canonical-
+	// encoding checks under full protocol workloads; messages that fail to
+	// round-trip are dropped, as a real transport would drop them. Nil
+	// keeps reference delivery (faster, the default for large simulations).
+	Codec transport.Codec
 }
 
 // DefaultConfig mirrors the paper's single-datacenter EC2 setup.
@@ -213,6 +221,22 @@ func occupy(pipe []time.Duration, idx int, earliest, d time.Duration, preempt bo
 func (n *Network) send(from, to types.ReplicaID, msg transport.Message) {
 	if int(to) >= len(n.nodes) || from == to {
 		return
+	}
+	if n.cfg.Codec != nil {
+		// Wire fidelity: round-trip through the codec per receiver. Each
+		// Encode allocates a fresh frame, so the Decode below owns it —
+		// the same ownership transfer the TCP read loop performs — and the
+		// receiver gets an independent message rather than an alias of the
+		// sender's.
+		frame, err := n.cfg.Codec.Encode(msg)
+		if err != nil {
+			return // unencodable: drop, as the TCP dispatch path does
+		}
+		decoded, err := n.cfg.Codec.Decode(frame)
+		if err != nil {
+			return // protocol violation on the wire: drop
+		}
+		msg = decoded
 	}
 	size := msg.WireSize()
 	n.stats[from].AddSent(msg.Class(), size)

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -32,6 +33,7 @@ type echoNode struct {
 	got      []int
 	gotAt    []time.Duration
 	gotFrom  []types.ReplicaID
+	gotMsgs  []transport.Message
 	tickSend []transport.Envelope
 	ticks    int
 }
@@ -45,6 +47,7 @@ func (n *echoNode) Deliver(now time.Duration, from types.ReplicaID, msg transpor
 	n.got = append(n.got, m.tag)
 	n.gotAt = append(n.gotAt, now)
 	n.gotFrom = append(n.gotFrom, from)
+	n.gotMsgs = append(n.gotMsgs, msg)
 	return nil
 }
 func (n *echoNode) Tick(now time.Duration) []transport.Envelope {
@@ -279,6 +282,51 @@ func TestDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("delivery %d at %v vs %v: not deterministic", i, a[i], b[i])
 		}
+	}
+}
+
+// testMsgCodec round-trips testMsg through real bytes, for wire-fidelity
+// tests. failDecode simulates a codec rejecting the frame.
+type testMsgCodec struct{ failDecode bool }
+
+func (c testMsgCodec) Encode(m transport.Message) ([]byte, error) {
+	t := m.(*testMsg)
+	return []byte{byte(t.size >> 8), byte(t.size), byte(t.tag), byte(t.class)}, nil
+}
+
+func (c testMsgCodec) Decode(buf []byte) (transport.Message, error) {
+	if c.failDecode {
+		return nil, fmt.Errorf("testMsgCodec: rejected")
+	}
+	return &testMsg{size: int(buf[0])<<8 | int(buf[1]), tag: int(buf[2]), class: transport.Class(buf[3])}, nil
+}
+
+func TestWireFidelityDeliversDecodedMessage(t *testing.T) {
+	cfg := Config{EgressBps: 1e9, IngressBps: 1e9, Codec: testMsgCodec{}}
+	sent := &testMsg{size: 500, tag: 42}
+	net, nodes := newTestNet(t, cfg, 2)
+	nodes[0].onStart = []transport.Envelope{transport.Unicast(1, sent)}
+	net.Start()
+	net.Run(time.Second)
+	if len(nodes[1].got) != 1 || nodes[1].got[0] != 42 {
+		t.Fatalf("fidelity delivery failed: got %v", nodes[1].got)
+	}
+	if nodes[1].gotMsgs[0] == transport.Message(sent) {
+		t.Error("fidelity mode must deliver a decoded message, not the sender's instance")
+	}
+	if got := nodes[1].gotMsgs[0].WireSize(); got != sent.WireSize() {
+		t.Errorf("decoded message WireSize %d, want %d", got, sent.WireSize())
+	}
+}
+
+func TestWireFidelityDropsUndecodableMessage(t *testing.T) {
+	cfg := Config{EgressBps: 1e9, IngressBps: 1e9, Codec: testMsgCodec{failDecode: true}}
+	net, nodes := newTestNet(t, cfg, 2)
+	nodes[0].onStart = []transport.Envelope{transport.Unicast(1, &testMsg{size: 500, tag: 42})}
+	net.Start()
+	net.Run(time.Second)
+	if len(nodes[1].got) != 0 {
+		t.Fatalf("undecodable message delivered: %v", nodes[1].got)
 	}
 }
 

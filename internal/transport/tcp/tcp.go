@@ -24,11 +24,12 @@ import (
 	"leopard/internal/types"
 )
 
-// Codec converts protocol messages to and from wire frames.
-type Codec interface {
-	Encode(transport.Message) ([]byte, error)
-	Decode([]byte) (transport.Message, error)
-}
+// Codec converts protocol messages to and from wire frames. It is an alias
+// of transport.Codec, whose doc states the ownership contract: Decode may
+// retain the frame (zero-copy decode), and this runtime honours that by
+// reading every message into a fresh buffer (see readFrame) and never
+// touching it after Decode.
+type Codec = transport.Codec
 
 // Config describes one replica's place in the cluster.
 type Config struct {
@@ -369,6 +370,9 @@ func readFrame(conn net.Conn, max int) ([]byte, error) {
 	if size > max {
 		return nil, fmt.Errorf("tcp: frame of %d exceeds limit %d", size, max)
 	}
+	// One fresh allocation per frame, never reused: ownership transfers to
+	// the codec's Decode, which is free to hand out sub-slices of it
+	// (transport.Codec's zero-copy contract). Do not pool this buffer.
 	frame := make([]byte, size)
 	if _, err := io.ReadFull(conn, frame); err != nil {
 		return nil, err

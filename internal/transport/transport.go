@@ -69,6 +69,22 @@ type Message interface {
 	Class() Class
 }
 
+// Codec converts protocol messages to and from wire frames. It is shared
+// by the TCP transport (real frames) and the simulator's wire-fidelity mode
+// (simnet.Config.Codec).
+//
+// Ownership contract: Decode may retain buf — the decoded message and its
+// byte fields are allowed to sub-slice the frame (zero-copy decode), so the
+// caller transfers ownership of buf at the call and must neither modify nor
+// recycle it afterwards. Transports satisfy this by allocating one fresh
+// frame per received message; a transport that pools frame buffers must use
+// a copying codec instead. Encode's returned frame is owned by the caller;
+// the codec keeps no reference to it.
+type Codec interface {
+	Encode(Message) ([]byte, error)
+	Decode([]byte) (Message, error)
+}
+
 // PayloadCarrier is implemented by messages that carry bulk request
 // payloads. Network models with a CPU/processing stage charge only these
 // through the bulk lane; small control messages (votes, proofs, hash-only
