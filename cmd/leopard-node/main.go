@@ -17,6 +17,12 @@
 // 4-byte big-endian length + body; a submission body is clientID(8) ||
 // seq(8) || payload, and each confirmation is echoed back as the same
 // 16-byte identity.
+//
+// With -status the replica also serves an HTTP JSON snapshot of its
+// counters (GET /status). The snapshot is taken on the runtime's apply
+// loop via Inject — the node is a single-goroutine state machine, so
+// Stats()/ExecutedTo() must never be read directly from an HTTP handler
+// goroutine.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -55,14 +62,15 @@ func main() {
 	var (
 		configPath = flag.String("config", "cluster.json", "cluster config file")
 		id         = flag.Int("id", -1, "replica id")
+		statusAddr = flag.String("status", "", "HTTP status listen address (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*configPath, *id); err != nil {
+	if err := run(*configPath, *id, *statusAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath string, id int) error {
+func run(configPath string, id int, statusAddr string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -114,6 +122,36 @@ func run(configPath string, id int) error {
 	defer cancel()
 
 	var wg sync.WaitGroup
+	if statusAddr != "" {
+		statusLn, err := net.Listen("tcp", statusAddr)
+		if err != nil {
+			return fmt.Errorf("status listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+			snap, err := snapshot(rt, node)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+		})
+		srv := &http.Server{Handler: mux}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ctx.Done()
+			srv.Close()
+			statusLn.Close()
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Serve(statusLn)
+		}()
+		log.Printf("replica %d: status on http://%s/status", id, statusAddr)
+	}
 	if len(cfg.ClientPorts) == n {
 		ln, err := net.Listen("tcp", cfg.ClientPorts[id])
 		if err != nil {
@@ -136,11 +174,72 @@ func run(configPath string, id int) error {
 	}
 
 	err = rt.Run(ctx)
+	// Release the listener goroutines before waiting on them — Run can
+	// return (e.g. a failed listen) without the signal context firing.
+	cancel()
 	wg.Wait()
 	if errors.Is(err, context.Canceled) {
 		return nil
 	}
 	return err
+}
+
+// statusSnapshot is the JSON body served on /status.
+type statusSnapshot struct {
+	Now               time.Duration   `json:"now"`
+	View              types.View      `json:"view"`
+	Leader            types.ReplicaID `json:"leader"`
+	ExecutedTo        types.SeqNum    `json:"executedTo"`
+	PendingRequests   int             `json:"pendingRequests"`
+	ConfirmedRequests int64           `json:"confirmedRequests"`
+	ConfirmedBlocks   int64           `json:"confirmedBlocks"`
+	ExecutedBlocks    int64           `json:"executedBlocks"`
+	DatablocksMade    int64           `json:"datablocksMade"`
+	DatablocksHeld    int64           `json:"datablocksHeld"`
+	Retrievals        int64           `json:"retrievals"`
+	ViewChanges       int64           `json:"viewChanges"`
+}
+
+// snapshot reads the node's counters under the runtime's serialization:
+// the closure runs on the apply loop, the only goroutine allowed to touch
+// node state, and hands the copied values back over a channel.
+func snapshot(rt *tcp.Runtime, node *leopard.Node) (statusSnapshot, error) {
+	done := make(chan statusSnapshot, 1)
+	err := rt.Inject(func(now time.Duration, out transport.Sink) {
+		st := node.Stats()
+		done <- statusSnapshot{
+			Now:               now,
+			View:              st.View,
+			Leader:            node.Leader(),
+			ExecutedTo:        node.ExecutedTo(),
+			PendingRequests:   node.PendingRequests(),
+			ConfirmedRequests: st.ConfirmedRequests,
+			ConfirmedBlocks:   st.ConfirmedBlocks,
+			ExecutedBlocks:    st.ExecutedBlocks,
+			DatablocksMade:    st.DatablocksMade,
+			DatablocksHeld:    st.DatablocksHeld,
+			Retrievals:        st.Retrievals,
+			ViewChanges:       st.ViewChanges,
+		}
+	})
+	if err != nil {
+		return statusSnapshot{}, err
+	}
+	// The closure may be enqueued but never run if the runtime stops
+	// first; waiting on done alone would hang this handler forever.
+	select {
+	case snap := <-done:
+		return snap, nil
+	case <-rt.Done():
+		// The snapshot may have been delivered in the same instant the
+		// runtime stopped; prefer it over the shutdown error.
+		select {
+		case snap := <-done:
+			return snap, nil
+		default:
+			return statusSnapshot{}, errors.New("runtime stopped")
+		}
+	}
 }
 
 // ackHub routes confirmations back to the client connection that submitted
@@ -205,9 +304,8 @@ func handleClient(conn net.Conn, rt *tcp.Runtime, node *leopard.Node, acks *ackH
 			Payload:  append([]byte(nil), frame[16:]...),
 		}
 		done := acks.expect(req.ID())
-		if err := rt.Inject(func(now time.Duration) []transport.Envelope {
+		if err := rt.Inject(func(now time.Duration, out transport.Sink) {
 			node.SubmitRequest(now, req)
-			return nil
 		}); err != nil {
 			return
 		}

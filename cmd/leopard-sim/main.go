@@ -34,6 +34,7 @@ var knownExperiments = []struct{ id, desc string }{
 	{"fig12", "retrieval cost of a missing datablock (+ Table V)"},
 	{"fig13", "view-change time and communication cost"},
 	{"attack", "throughput under f selective-attacking replicas"},
+	{"vclanes", "view-change convergence under saturated bulk lanes (lanes vs FIFO)"},
 }
 
 func main() {
@@ -193,6 +194,16 @@ func run(id string, scales []int) error {
 		for _, r := range rows {
 			fmt.Printf("%4d   %8.1f   %8d   %14d\n",
 				r.N, float64(r.Time.Microseconds())/1e3, r.TotalBytes, r.LeaderSent)
+		}
+	case "vclanes":
+		rows, err := experiments.ViewChangeUnderBulk(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   laned(ms)   single-queue(ms)")
+		for _, r := range rows {
+			fmt.Printf("%4d   %9.1f   %16.1f\n",
+				r.N, float64(r.Laned.Microseconds())/1e3, float64(r.SingleQ.Microseconds())/1e3)
 		}
 	case "attack":
 		if len(scales) == 0 {

@@ -224,6 +224,116 @@ func viewChangeOnce(n int) (ViewChangeResult, error) {
 	}, nil
 }
 
+// LaneResult is one row of the lane-scheduling scenario: view-change
+// convergence time while datablock dissemination saturates every link,
+// with strict control-over-bulk lanes versus the single-FIFO baseline.
+type LaneResult struct {
+	N       int
+	Laned   time.Duration // convergence with control-lane priority
+	SingleQ time.Duration // convergence with DisableLanePriority (FIFO)
+}
+
+// ViewChangeUnderBulk measures how long a view change takes to converge
+// while the bulk lane is saturated with datablock traffic on throttled
+// links. With strict lane scheduling the timeout votes, view-change
+// messages and new-view announcement bypass the queued datablock
+// transfers; in the single-queue baseline they wait behind megabytes of
+// bulk, inflating convergence. This is the simnet mirror of the TCP
+// runtime's per-peer lane scheduler (tcp.Config.DisableLanes).
+func ViewChangeUnderBulk(scales []int) ([]LaneResult, error) {
+	if len(scales) == 0 {
+		scales = []int{4, 8, 16, 32}
+	}
+	var out []LaneResult
+	for _, n := range scales {
+		laned, err := vcUnderBulkOnce(n, false)
+		if err != nil {
+			return nil, fmt.Errorf("vclanes n=%d laned: %w", n, err)
+		}
+		fifo, err := vcUnderBulkOnce(n, true)
+		if err != nil {
+			return nil, fmt.Errorf("vclanes n=%d fifo: %w", n, err)
+		}
+		out = append(out, LaneResult{N: n, Laned: laned, SingleQ: fifo})
+	}
+	return out, nil
+}
+
+func vcUnderBulkOnce(n int, disableLanes bool) (time.Duration, error) {
+	// Throttled links so the injected datablock burst books every
+	// egress/ingress pipe solid: 500-request datablocks are ~64 KB, ~5 ms
+	// of wire time each at 100 Mbps, broadcast to n-1 peers.
+	net := netConfig()
+	net.EgressBps = 100e6
+	net.IngressBps = 100e6
+	net.ProcBps = 0
+	net.TickInterval = 5 * time.Millisecond
+	net.DisableLanePriority = disableLanes
+	vcTimeout := 150 * time.Millisecond
+	c, err := leopardClusterDepth(n, 500, 10, 0 /* no background injection */, net, func(cfg *leopard.Config) {
+		cfg.ViewChangeTimeout = vcTimeout
+		cfg.BatchTimeout = 5 * time.Millisecond
+		cfg.MaxParallel = 16
+		// Let every replica push a deep burst of datablocks at once.
+		cfg.MaxOutstandingDatablocks = 8
+		cfg.RetrievalTimeout = time.Hour // no retrieval noise while queued
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.Start()
+	c.Net.Run(100 * time.Millisecond) // idle warm-up
+
+	// Crash the leader, then saturate the bulk lanes: every non-leader
+	// packs and broadcasts 8 datablocks (~500 ms of egress backlog per
+	// replica at n=16) that can never confirm. The stalled confirmations
+	// trip the view-change timers while the pipes are full of bulk, so
+	// the timeout votes, view-change messages and new-view announcement
+	// must either bypass the backlog (lanes) or queue through it (FIFO).
+	oldLeader := c.Replicas[0].Leader()
+	crashAt := c.Net.Now()
+	c.Net.Crash(oldLeader)
+	for i := 0; i < n; i++ {
+		if types.ReplicaID(i) != oldLeader {
+			c.SubmitN(types.ReplicaID(i), 8*500)
+		}
+	}
+
+	nodes := make([]*leopard.Node, 0, n)
+	for _, r := range c.Replicas {
+		if node, ok := r.(*leopard.Node); ok {
+			nodes = append(nodes, node)
+		}
+	}
+	triggered := func() bool {
+		for _, node := range nodes {
+			if node.ID() != oldLeader && node.InViewChange() {
+				return true
+			}
+		}
+		return false
+	}
+	if ok := c.RunUntil(crashAt+60*time.Second, time.Millisecond, triggered); !ok {
+		return 0, fmt.Errorf("view change never triggered")
+	}
+	triggerAt := c.Net.Now()
+	allMoved := func() bool {
+		for _, node := range nodes {
+			if node.ID() == oldLeader {
+				continue
+			}
+			if node.View() < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if ok := c.RunUntil(crashAt+60*time.Second, time.Millisecond, allMoved); !ok {
+		return 0, fmt.Errorf("view change did not complete")
+	}
+	return c.Net.Now() - triggerAt, nil
+}
+
 // AblationAlphaRow compares fixed vs adaptive datablock sizing (A3).
 type AblationAlphaRow struct {
 	N            int

@@ -305,64 +305,59 @@ func (n *Node) observe(now time.Duration) {
 }
 
 // Start implements transport.Node.
-func (n *Node) Start(now time.Duration) []transport.Envelope {
+func (n *Node) Start(now time.Duration, out transport.Sink) {
 	n.observe(now)
 	n.lastProgress = now
-	return nil
 }
 
 // Tick implements transport.Node.
-func (n *Node) Tick(now time.Duration) []transport.Envelope {
+func (n *Node) Tick(now time.Duration, out transport.Sink) {
 	n.observe(now)
-	var out []transport.Envelope
 	if n.isLeader() {
-		out = n.maybePropose(out)
+		n.maybePropose(out)
 	}
 	if n.reqPool.Len() > 0 && now-n.lastProgress >= n.cfg.ViewChangeTimeout {
-		out = n.voteTimeout(n.view, out)
+		n.voteTimeout(n.view, out)
 	}
-	return out
 }
 
 // Deliver implements transport.Node.
-func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message, out transport.Sink) {
 	n.observe(now)
-	var out []transport.Envelope
 	switch m := msg.(type) {
 	case *ProposalMsg:
-		out = n.handleProposal(from, m, out)
+		n.handleProposal(from, m, out)
 	case *VoteMsg:
-		out = n.handleVote(from, m, out)
+		n.handleVote(from, m, out)
 	case *TimeoutMsg:
-		out = n.handleTimeout(from, m, out)
+		n.handleTimeout(from, m, out)
 	case *NewViewMsg:
-		out = n.handleNewView(from, m, out)
+		n.handleNewView(from, m, out)
 	}
-	return out
 }
 
 // maybePropose extends the chain from highQC once the previous proposal is
 // certified (the chained pipeline: one proposal per QC round).
-func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
+func (n *Node) maybePropose(out transport.Sink) {
 	if n.pendingQC {
-		return out
+		return
 	}
 	full := n.reqPool.Len() >= n.cfg.BatchSize
 	stale := n.now-n.lastPropose >= n.cfg.BatchTimeout
 	if !full && !stale {
-		return out
+		return
 	}
 	// An empty proposal still advances the chain so earlier blocks can
 	// commit via the three-chain rule, but only propose empties while
 	// there is something uncommitted.
 	reqs, _ := n.reqPool.Extract(n.cfg.BatchSize)
 	if len(reqs) == 0 && n.highQC.Height <= n.execHeight {
-		return out
+		return
 	}
 	parent := n.highQC.BlockHash
 	parentBlock := n.blocks[parent]
 	if parentBlock == nil {
-		return out
+		return
 	}
 	block := &Block{
 		Height:   parentBlock.Height + 1,
@@ -375,10 +370,9 @@ func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
 	n.blocks[digest] = block
 	n.pendingQC = true
 	n.lastPropose = n.now
-	out = append(out, transport.Broadcast(&ProposalMsg{Block: block, View: n.view, Digest: digest}))
+	out.Broadcast(&ProposalMsg{Block: block, View: n.view, Digest: digest})
 	// The leader votes for its own proposal.
-	out = n.castVote(block, digest, out)
-	return out
+	n.castVote(block, digest, out)
 }
 
 // safeToVote implements the HotStuff voting rule: the block must extend the
@@ -402,9 +396,9 @@ func (n *Node) safeToVote(b *Block) bool {
 }
 
 // handleProposal validates a proposal, applies its justify QC, and votes.
-func (n *Node) handleProposal(from types.ReplicaID, m *ProposalMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleProposal(from types.ReplicaID, m *ProposalMsg, out transport.Sink) {
 	if m.Block == nil || from != n.Leader() || m.View != n.view {
-		return out
+		return
 	}
 	b := m.Block
 	digest := m.Digest
@@ -412,48 +406,49 @@ func (n *Node) handleProposal(from types.ReplicaID, m *ProposalMsg, out []transp
 		digest = b.Digest()
 	}
 	if _, dup := n.blocks[digest]; dup {
-		return out
+		return
 	}
 	// Verify and apply the embedded certificate (this is also how the
 	// previous proposal's votes take effect — the pipelining).
 	if b.Justify.BlockHash != n.genesis {
 		if err := n.suite.VerifyProof(b.Justify.BlockHash, b.Justify.Proof); err != nil {
-			return out
+			return
 		}
 	}
 	n.blocks[digest] = b
-	out = n.applyQC(b.Justify, out)
+	n.applyQC(b.Justify, out)
 	if !n.safeToVote(b) {
-		return out
+		return
 	}
-	return n.castVote(b, digest, out)
+	n.castVote(b, digest, out)
 }
 
 // castVote signs the digest and sends the share to the current leader.
-func (n *Node) castVote(b *Block, digest types.Hash, out []transport.Envelope) []transport.Envelope {
+func (n *Node) castVote(b *Block, digest types.Hash, out transport.Sink) {
 	share, err := n.suite.Sign(n.cfg.ID, digest)
 	if err != nil {
-		return out
+		return
 	}
 	n.lastVote = b.Height
 	vote := &VoteMsg{BlockHash: digest, Height: b.Height, Share: share}
 	if n.isLeader() {
-		return n.collectVote(n.cfg.ID, vote, out)
+		n.collectVote(n.cfg.ID, vote, out)
+		return
 	}
-	return append(out, transport.Unicast(n.Leader(), vote))
+	out.Send(transport.Unicast(n.Leader(), vote))
 }
 
 // handleVote collects shares into a QC at the leader.
-func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out transport.Sink) {
 	if !n.isLeader() {
-		return out
+		return
 	}
-	return n.collectVote(from, m, out)
+	n.collectVote(from, m, out)
 }
 
-func (n *Node) collectVote(from types.ReplicaID, m *VoteMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) collectVote(from types.ReplicaID, m *VoteMsg, out transport.Sink) {
 	if _, known := n.blocks[m.BlockHash]; !known {
-		return out
+		return
 	}
 	seen := n.votesSeen[m.BlockHash]
 	if seen == nil {
@@ -461,39 +456,38 @@ func (n *Node) collectVote(from types.ReplicaID, m *VoteMsg, out []transport.Env
 		n.votesSeen[m.BlockHash] = seen
 	}
 	if _, dup := seen[from]; dup {
-		return out
+		return
 	}
 	if err := n.suite.VerifyShare(m.BlockHash, m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	seen[from] = struct{}{}
 	n.votes[m.BlockHash] = append(n.votes[m.BlockHash], m.Share)
 	if len(n.votes[m.BlockHash]) < n.q.Quorum() {
-		return out
+		return
 	}
 	proof, err := n.suite.Combine(m.BlockHash, n.votes[m.BlockHash])
 	if err != nil {
-		return out
+		return
 	}
 	delete(n.votes, m.BlockHash)
 	delete(n.votesSeen, m.BlockHash)
 	qc := QC{BlockHash: m.BlockHash, Height: m.Height, Proof: proof}
 	n.pendingQC = false
-	out = n.applyQC(qc, out)
+	n.applyQC(qc, out)
 	// Pipelining: the QC ships inside the next proposal rather than as a
 	// separate broadcast; propose immediately if a batch is ready.
-	out = n.maybePropose(out)
-	return out
+	n.maybePropose(out)
 }
 
 // applyQC advances highQC/lock and runs the three-chain commit rule.
-func (n *Node) applyQC(qc QC, out []transport.Envelope) []transport.Envelope {
+func (n *Node) applyQC(qc QC, out transport.Sink) {
 	if qc.Height > n.highQC.Height {
 		n.highQC = qc
 	}
 	b := n.blocks[qc.BlockHash]
 	if b == nil {
-		return out
+		return
 	}
 	// Two-chain: lock the parent of the newly certified block.
 	parent := n.blocks[b.Parent]
@@ -503,22 +497,21 @@ func (n *Node) applyQC(qc QC, out []transport.Envelope) []transport.Envelope {
 	// Three-chain commit: b_grandparent commits when b is certified and
 	// heights are consecutive.
 	if parent == nil {
-		return out
+		return
 	}
 	gp := n.blocks[parent.Parent]
 	if gp == nil {
-		return out
+		return
 	}
 	if b.Height == parent.Height+1 && parent.Height == gp.Height+1 {
-		out = n.commitUpTo(gp, out)
+		n.commitUpTo(gp, out)
 	}
-	return out
 }
 
 // commitUpTo executes the chain up to and including b, oldest first.
-func (n *Node) commitUpTo(b *Block, out []transport.Envelope) []transport.Envelope {
+func (n *Node) commitUpTo(b *Block, out transport.Sink) {
 	if b.Height <= n.execHeight {
-		return out
+		return
 	}
 	var chain []*Block
 	cur := b
@@ -543,21 +536,20 @@ func (n *Node) commitUpTo(b *Block, out []transport.Envelope) []transport.Envelo
 	}
 	n.execHeight = b.Height
 	n.lastProgress = n.now
-	return out
 }
 
 // voteTimeout broadcasts a pacemaker timeout for view v.
-func (n *Node) voteTimeout(v types.View, out []transport.Envelope) []transport.Envelope {
+func (n *Node) voteTimeout(v types.View, out transport.Sink) {
 	if n.sentTimeout[v] || v < n.view {
-		return out
+		return
 	}
 	share, err := n.suite.Sign(n.cfg.ID, timeoutDigest(v))
 	if err != nil {
-		return out
+		return
 	}
 	n.sentTimeout[v] = true
 	n.recordTimeout(v, n.cfg.ID)
-	return append(out, transport.Broadcast(&TimeoutMsg{View: v, HighQC: n.highQC, Share: share}))
+	out.Broadcast(&TimeoutMsg{View: v, HighQC: n.highQC, Share: share})
 }
 
 func (n *Node) recordTimeout(v types.View, from types.ReplicaID) {
@@ -570,12 +562,12 @@ func (n *Node) recordTimeout(v types.View, from types.ReplicaID) {
 }
 
 // handleTimeout counts timeout votes; 2f+1 move the pacemaker to v+1.
-func (n *Node) handleTimeout(from types.ReplicaID, m *TimeoutMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleTimeout(from types.ReplicaID, m *TimeoutMsg, out transport.Sink) {
 	if m.View < n.view {
-		return out
+		return
 	}
 	if err := n.suite.VerifyShare(timeoutDigest(m.View), m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	n.recordTimeout(m.View, from)
 	if m.HighQC.Height > n.highQC.Height {
@@ -585,18 +577,17 @@ func (n *Node) handleTimeout(from types.ReplicaID, m *TimeoutMsg, out []transpor
 		}
 	}
 	if len(n.timeoutVotes[m.View]) >= n.q.Small() && !n.sentTimeout[m.View] {
-		out = n.voteTimeout(m.View, out)
+		n.voteTimeout(m.View, out)
 	}
 	if len(n.timeoutVotes[m.View]) >= n.q.Quorum() {
-		out = n.advanceView(m.View+1, out)
+		n.advanceView(m.View+1, out)
 	}
-	return out
 }
 
 // advanceView installs view v; the new leader announces itself.
-func (n *Node) advanceView(v types.View, out []transport.Envelope) []transport.Envelope {
+func (n *Node) advanceView(v types.View, out transport.Sink) {
 	if v <= n.view {
-		return out
+		return
 	}
 	n.view = v
 	n.stats.ViewChanges++
@@ -605,20 +596,19 @@ func (n *Node) advanceView(v types.View, out []transport.Envelope) []transport.E
 	if n.isLeader() {
 		share, err := n.suite.Sign(n.cfg.ID, newViewDigest(v, n.highQC))
 		if err == nil {
-			out = append(out, transport.Broadcast(&NewViewMsg{View: v, HighQC: n.highQC, Share: share}))
+			out.Broadcast(&NewViewMsg{View: v, HighQC: n.highQC, Share: share})
 		}
-		out = n.maybePropose(out)
+		n.maybePropose(out)
 	}
-	return out
 }
 
 // handleNewView accepts the new leader's announcement.
-func (n *Node) handleNewView(from types.ReplicaID, m *NewViewMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleNewView(from types.ReplicaID, m *NewViewMsg, out transport.Sink) {
 	if m.View <= n.view || types.LeaderOf(m.View, n.q.N) != from {
-		return out
+		return
 	}
 	if err := n.suite.VerifyShare(newViewDigest(m.View, m.HighQC), m.Share); err != nil {
-		return out
+		return
 	}
 	// Adopt the view; the quorum behind it is implied by the leader's
 	// willingness to be exposed (a lightweight pacemaker, as in
@@ -626,5 +616,4 @@ func (n *Node) handleNewView(from types.ReplicaID, m *NewViewMsg, out []transpor
 	n.view = m.View
 	n.stats.ViewChanges++
 	n.lastProgress = n.now
-	return out
 }

@@ -27,7 +27,7 @@ func TestForgedProofRejected(t *testing.T) {
 		if len(bad.Proof.Sig) > 0 {
 			bad.Proof.Sig[0] ^= 0xff
 		}
-		r.nodes[0].Deliver(r.now, from, &bad)
+		deliver(r.nodes[0], r.now, from, &bad)
 		return true
 	}
 	r.advance(100*time.Millisecond, 5*time.Millisecond)
@@ -49,7 +49,7 @@ func TestForgedTimeoutSharesCannotForceViewChange(t *testing.T) {
 			View:  1,
 			Share: crypto.Share{Signer: sender, Sig: make([]byte, 64)},
 		}
-		r.nodes[0].Deliver(r.now, sender, forged)
+		deliver(r.nodes[0], r.now, sender, forged)
 	}
 	r.advance(100*time.Millisecond, 5*time.Millisecond)
 	if r.nodes[0].View() != 1 || r.nodes[0].InViewChange() {
@@ -64,40 +64,58 @@ func TestNewViewFromWrongLeaderIgnored(t *testing.T) {
 	// Replica 3 (not the leader of view 2, which is replica 2) sends an
 	// empty new-view for view 2.
 	nv := &leopard.NewViewMsg{NewView: 2}
-	r.nodes[0].Deliver(r.now, 3, nv)
+	deliver(r.nodes[0], r.now, 3, nv)
 	if r.nodes[0].View() != 1 {
 		t.Fatal("replica accepted a new-view from the wrong leader")
 	}
 	// Even from the right sender, a new-view without 2f+1 valid
 	// view-change messages must be rejected.
-	r.nodes[0].Deliver(r.now, 2, &leopard.NewViewMsg{NewView: 2})
+	deliver(r.nodes[0], r.now, 2, &leopard.NewViewMsg{NewView: 2})
 	if r.nodes[0].View() != 1 {
 		t.Fatal("replica accepted a new-view without quorum evidence")
 	}
 }
 
 // TestQueryServedOncePerRequester: repeated queries for the same digest
-// from the same replica are answered at most once (anti-amplification).
+// from the same replica are answered at most once per retry period
+// (anti-amplification), but a retry after the requester's re-query cadence
+// is served again, so a response dropped by a saturated transport is not a
+// permanent loss.
 func TestQueryServedOncePerRequester(t *testing.T) {
-	r := newRouter(t, 4, nil)
+	r := newRouter(t, 4, nil) // RetrievalTimeout = 10ms (router default)
 	db := &types.Datablock{
 		Ref:      types.DatablockRef{Generator: 2, Counter: 1},
 		Requests: []types.Request{{ClientID: 1, Seq: 1, Payload: []byte("q")}},
 	}
 	digest := crypto.HashDatablock(db)
-	r.nodes[0].Deliver(r.now, 2, &leopard.DatablockMsg{Block: db, Digest: digest})
+	deliver(r.nodes[0], r.now, 2, &leopard.DatablockMsg{Block: db, Digest: digest})
 
-	count := 0
-	for i := 0; i < 5; i++ {
-		outs := r.nodes[0].Deliver(r.now, 3, &leopard.QueryMsg{Digests: []types.Hash{digest}})
-		for _, env := range outs {
-			if _, ok := env.Msg.(*leopard.RespMsg); ok {
-				count++
+	countResponses := func() int {
+		count := 0
+		for i := 0; i < 5; i++ {
+			outs := deliver(r.nodes[0], r.now, 3, &leopard.QueryMsg{Digests: []types.Hash{digest}})
+			for _, env := range outs {
+				if _, ok := env.Msg.(*leopard.RespMsg); ok {
+					count++
+				}
 			}
 		}
+		return count
 	}
-	if count != 1 {
+	if count := countResponses(); count != 1 {
 		t.Fatalf("served %d responses to repeated queries, want 1", count)
+	}
+	// A burst inside the cooldown (4×RetrievalTimeout = 40ms) stays
+	// suppressed…
+	r.now += 10 * time.Millisecond
+	if count := countResponses(); count != 0 {
+		t.Fatalf("served %d responses inside the cooldown, want 0", count)
+	}
+	// …but a retry at the protocol's re-query cadence (8×RetrievalTimeout)
+	// is answered exactly once more.
+	r.now += 80 * time.Millisecond
+	if count := countResponses(); count != 1 {
+		t.Fatalf("served %d responses after the cooldown, want 1", count)
 	}
 }
 
@@ -105,7 +123,7 @@ func TestQueryServedOncePerRequester(t *testing.T) {
 // produce no response.
 func TestQueryForUnknownDigestIgnored(t *testing.T) {
 	r := newRouter(t, 4, nil)
-	outs := r.nodes[0].Deliver(r.now, 3, &leopard.QueryMsg{Digests: []types.Hash{{0xde, 0xad}}})
+	outs := deliver(r.nodes[0], r.now, 3, &leopard.QueryMsg{Digests: []types.Hash{{0xde, 0xad}}})
 	if len(outs) != 0 {
 		t.Fatalf("produced %d envelopes for an unknown digest", len(outs))
 	}
@@ -126,8 +144,8 @@ func TestVoteFromImpersonatedSignerRejected(t *testing.T) {
 			return false
 		}
 		// Deliver the original, then a replay claiming to be from 0.
-		r.nodes[to].Deliver(r.now, 3, v)
-		r.nodes[to].Deliver(r.now, 0, v)
+		deliver(r.nodes[to], r.now, 3, v)
+		deliver(r.nodes[to], r.now, 0, v)
 		return true
 	}
 	r.advance(100*time.Millisecond, 5*time.Millisecond)
@@ -148,7 +166,7 @@ func TestCheckpointProofForgeryRejected(t *testing.T) {
 		StateHash: types.Hash{1},
 		Proof:     crypto.Proof{Sig: make([]byte, 300)},
 	}
-	r.nodes[0].Deliver(r.now, 3, forged)
+	deliver(r.nodes[0], r.now, 3, forged)
 	r.submit(2, 10, 0)
 	r.advance(100*time.Millisecond, 5*time.Millisecond)
 	// Had the forged checkpoint (seq 50) been accepted, the watermark

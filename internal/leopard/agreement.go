@@ -10,15 +10,15 @@ import (
 // to τ ready datablocks into a BFTblock and multicast it with the leader's
 // first-round share. Serial numbers stay within the watermark window
 // (lw, lw+k].
-func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
+func (n *Node) maybePropose(out transport.Sink) {
 	for {
 		if n.nextSeq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
-			return out // watermark window full; wait for checkpoints
+			return // watermark window full; wait for checkpoints
 		}
 		full := len(n.readyQueue) >= n.cfg.BFTBlockSize
 		stale := len(n.readyQueue) > 0 && n.now-n.lastPropose >= n.cfg.BatchTimeout
 		if !full && !stale {
-			return out
+			return
 		}
 		take := n.cfg.BFTBlockSize
 		if take > len(n.readyQueue) {
@@ -33,8 +33,7 @@ func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
 		block := &types.BFTblock{View: n.view, Seq: n.nextSeq, Content: content}
 		n.nextSeq++
 		n.lastPropose = n.now
-		var err error
-		if out, err = n.propose(block, out); err != nil {
+		if err := n.propose(block, out); err != nil {
 			// Signing with our own key cannot fail in a correct setup.
 			panic(err)
 		}
@@ -42,11 +41,11 @@ func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
 }
 
 // propose starts the agreement instance for block at the leader.
-func (n *Node) propose(block *types.BFTblock, out []transport.Envelope) ([]transport.Envelope, error) {
+func (n *Node) propose(block *types.BFTblock, out transport.Sink) error {
 	digest := crypto.HashBFTblock(block)
 	share, err := n.suite.Sign(n.cfg.ID, digest)
 	if err != nil {
-		return out, err
+		return err
 	}
 	inst := n.getInstance(block.Seq)
 	inst.block = block
@@ -56,8 +55,8 @@ func (n *Node) propose(block *types.BFTblock, out []transport.Envelope) ([]trans
 	inst.voted1 = true
 	n.votedSeq[block.Seq] = digest
 	n.addVote1(inst, share)
-	out = append(out, transport.Broadcast(&BFTblockMsg{Block: block, LeaderShare: share}))
-	return out, nil
+	out.Broadcast(&BFTblockMsg{Block: block, LeaderShare: share})
+	return nil
 }
 
 // getInstance returns the instance for sn, creating it if needed.
@@ -77,9 +76,9 @@ func (n *Node) getInstance(sn types.SeqNum) *instance {
 // handleBFTblock implements VRFBFTBLOCK and the prepare stage (Alg. 2):
 // validate the proposal, ensure every linked datablock is held (starting
 // retrieval otherwise), then cast the first-round vote.
-func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out transport.Sink) {
 	if m.Block == nil || n.inViewChange {
-		return out
+		return
 	}
 	block := m.Block
 	if block.View > n.view {
@@ -88,23 +87,23 @@ func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out []transp
 		if from == types.LeaderOf(block.View, n.q.N) && len(n.futureBlocks) < 4*n.cfg.MaxParallel {
 			n.futureBlocks = append(n.futureBlocks, m)
 		}
-		return out
+		return
 	}
 	if block.View != n.view || from != n.Leader() {
-		return out
+		return
 	}
 	if block.Seq <= n.lw || block.Seq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
-		return out // outside the watermark window
+		return // outside the watermark window
 	}
 	digest := crypto.HashBFTblock(block)
 	if prev, voted := n.votedSeq[block.Seq]; voted && prev != digest {
-		return out // leader equivocation: refuse the second proposal
+		return // leader equivocation: refuse the second proposal
 	}
 	if err := n.suite.VerifyShare(digest, m.LeaderShare); err != nil {
-		return out
+		return
 	}
 	if expected, ok := n.expectedRedo[block.Seq]; ok && expected != digest {
-		return out // new leader deviated from its own new-view promise
+		return // new leader deviated from its own new-view promise
 	}
 	inst := n.getInstance(block.Seq)
 	if inst.block == nil {
@@ -112,20 +111,19 @@ func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out []transp
 		inst.digest = digest
 		inst.proposedAt = n.now
 	} else if inst.digest != digest {
-		return out
+		return
 	}
 	// Track the leader's embedded first-round share in case this replica
 	// later becomes vote collector via view change (cheap bookkeeping).
-	out = n.checkDatablocks(inst, out)
-	out = n.flushPendingProofs(inst, out)
-	return out
+	n.checkDatablocks(inst, out)
+	n.flushPendingProofs(inst, out)
 }
 
 // checkDatablocks verifies receipt of every linked datablock (Alg. 2 line
 // 39) and either casts the first-round vote or starts retrieval.
-func (n *Node) checkDatablocks(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) checkDatablocks(inst *instance, out transport.Sink) {
 	if inst.voted1 || inst.block == nil {
-		return out
+		return
 	}
 	if inst.missing == nil {
 		inst.missing = make(map[types.Hash]struct{})
@@ -137,73 +135,72 @@ func (n *Node) checkDatablocks(inst *instance, out []transport.Envelope) []trans
 		}
 	}
 	if len(inst.missing) > 0 {
-		return out
+		return
 	}
-	return n.castVote1(inst, out)
+	n.castVote1(inst, out)
 }
 
 // castVote1 signs H(m) and sends the share to the leader (prepare stage).
-func (n *Node) castVote1(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) castVote1(inst *instance, out transport.Sink) {
 	if inst.voted1 {
-		return out
+		return
 	}
 	share, err := n.suite.Sign(n.cfg.ID, inst.digest)
 	if err != nil {
-		return out
+		return
 	}
 	inst.voted1 = true
 	n.votedSeq[inst.block.Seq] = inst.digest
 	vote := &VoteMsg{Block: inst.block.ID(), Round: 1, Digest: inst.digest, Share: share}
 	if n.isLeader() {
 		n.addVote1(inst, share)
-		return out
+		return
 	}
-	return append(out, transport.Unicast(n.Leader(), vote))
+	out.Send(transport.Unicast(n.Leader(), vote))
 }
 
 // handleVote collects threshold shares at the leader (notarize and confirm
 // stages of Alg. 2).
-func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out transport.Sink) {
 	if !n.isLeader() || n.inViewChange || m.Block.View != n.view {
-		return out
+		return
 	}
 	inst := n.instances[m.Block.Seq]
 	if inst == nil || inst.block == nil {
-		return out
+		return
 	}
 	switch m.Round {
 	case 1:
 		if m.Digest != inst.digest || inst.notarized != nil {
-			return out
+			return
 		}
 		if _, dup := inst.vote1Seen[from]; dup {
-			return out
+			return
 		}
 		if err := n.suite.VerifyShare(inst.digest, m.Share); err != nil || m.Share.Signer != from {
-			return out
+			return
 		}
 		inst.vote1Seen[from] = struct{}{}
 		inst.vote1Shares = append(inst.vote1Shares, m.Share)
 		if len(inst.vote1Shares) >= n.q.Quorum() {
-			out = n.leaderNotarize(inst, out)
+			n.leaderNotarize(inst, out)
 		}
 	case 2:
 		if inst.notarized == nil || m.Digest != inst.sigma1Digest || inst.confirmed != nil {
-			return out
+			return
 		}
 		if _, dup := inst.vote2Seen[from]; dup {
-			return out
+			return
 		}
 		if err := n.suite.VerifyShare(inst.sigma1Digest, m.Share); err != nil || m.Share.Signer != from {
-			return out
+			return
 		}
 		inst.vote2Seen[from] = struct{}{}
 		inst.vote2Shares = append(inst.vote2Shares, m.Share)
 		if len(inst.vote2Shares) >= n.q.Quorum() {
-			out = n.leaderConfirm(inst, out)
+			n.leaderConfirm(inst, out)
 		}
 	}
-	return out
 }
 
 // addVote1 records the leader's own first-round share.
@@ -217,49 +214,48 @@ func (n *Node) addVote1(inst *instance, share crypto.Share) {
 
 // leaderNotarize combines 2f+1 first-round shares into the notarization
 // proof σ1, multicasts it, and casts the leader's second-round vote.
-func (n *Node) leaderNotarize(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) leaderNotarize(inst *instance, out transport.Sink) {
 	proof, err := n.suite.Combine(inst.digest, inst.vote1Shares)
 	if err != nil {
-		return out
+		return
 	}
 	inst.notarized = &proof
 	if inst.state < types.StateNotarized {
 		inst.state = types.StateNotarized
 	}
 	inst.sigma1Digest = crypto.HashBytes(proof.Sig)
-	out = append(out, transport.Broadcast(&ProofMsg{
+	out.Broadcast(&ProofMsg{
 		Block: inst.block.ID(), Round: 1, Digest: inst.digest, Proof: proof,
-	}))
+	})
 	// Leader's own second-round vote.
 	share, err := n.suite.Sign(n.cfg.ID, inst.sigma1Digest)
 	if err != nil {
-		return out
+		return
 	}
 	inst.vote2Seen[n.cfg.ID] = struct{}{}
 	inst.vote2Shares = append(inst.vote2Shares, share)
 	inst.voted2 = true
-	return out
 }
 
 // leaderConfirm combines 2f+1 second-round shares into the confirmation
 // proof σ2, multicasts it, and confirms locally.
-func (n *Node) leaderConfirm(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) leaderConfirm(inst *instance, out transport.Sink) {
 	proof, err := n.suite.Combine(inst.sigma1Digest, inst.vote2Shares)
 	if err != nil {
-		return out
+		return
 	}
 	inst.confirmed = &proof
-	out = append(out, transport.Broadcast(&ProofMsg{
+	out.Broadcast(&ProofMsg{
 		Block: inst.block.ID(), Round: 2, Digest: inst.sigma1Digest, Proof: proof,
-	}))
-	return n.confirmBlock(inst, out)
+	})
+	n.confirmBlock(inst, out)
 }
 
 // handleProof processes notarization/confirmation proofs at replicas
 // (commit and confirm stages of Alg. 2).
-func (n *Node) handleProof(from types.ReplicaID, m *ProofMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleProof(from types.ReplicaID, m *ProofMsg, out transport.Sink) {
 	if m.Block.View != n.view && m.Round == 1 {
-		return out
+		return
 	}
 	inst := n.instances[m.Block.Seq]
 	if inst == nil || inst.block == nil || inst.block.ID() != m.Block {
@@ -271,20 +267,20 @@ func (n *Node) handleProof(from types.ReplicaID, m *ProofMsg, out []transport.En
 				round: m.Round, digest: m.Digest, proof: m.Proof,
 			})
 		}
-		return out
+		return
 	}
-	return n.applyProof(inst, m.Round, m.Digest, m.Proof, out)
+	n.applyProof(inst, m.Round, m.Digest, m.Proof, out)
 }
 
 // applyProof validates and applies a proof to an instance.
-func (n *Node) applyProof(inst *instance, round int, digest types.Hash, proof crypto.Proof, out []transport.Envelope) []transport.Envelope {
+func (n *Node) applyProof(inst *instance, round int, digest types.Hash, proof crypto.Proof, out transport.Sink) {
 	switch round {
 	case 1:
 		if inst.notarized != nil || digest != inst.digest {
-			return out
+			return
 		}
 		if err := n.suite.VerifyProof(digest, proof); err != nil {
-			return out
+			return
 		}
 		p := proof
 		inst.notarized = &p
@@ -292,76 +288,74 @@ func (n *Node) applyProof(inst *instance, round int, digest types.Hash, proof cr
 		if inst.state < types.StateNotarized {
 			inst.state = types.StateNotarized
 		}
-		out = n.castVote2(inst, out)
+		n.castVote2(inst, out)
 	case 2:
 		if inst.confirmed != nil {
-			return out
+			return
 		}
 		// A replica that never saw σ1 (e.g. it was retrieving) can still
 		// verify σ2 once it learns H(σ1) — but H(σ1) must come from σ1
 		// itself, so require notarization first.
 		if inst.notarized == nil || digest != inst.sigma1Digest {
-			return out
+			return
 		}
 		if err := n.suite.VerifyProof(digest, proof); err != nil {
-			return out
+			return
 		}
 		p := proof
 		inst.confirmed = &p
-		out = n.confirmBlock(inst, out)
+		n.confirmBlock(inst, out)
 	}
-	return out
 }
 
 // castVote2 signs H(σ1) and sends the second-round share to the leader
 // (commit stage).
-func (n *Node) castVote2(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) castVote2(inst *instance, out transport.Sink) {
 	if inst.voted2 || n.inViewChange {
-		return out
+		return
 	}
 	share, err := n.suite.Sign(n.cfg.ID, inst.sigma1Digest)
 	if err != nil {
-		return out
+		return
 	}
 	inst.voted2 = true
 	if n.isLeader() {
 		inst.vote2Seen[n.cfg.ID] = struct{}{}
 		inst.vote2Shares = append(inst.vote2Shares, share)
-		return out
+		return
 	}
-	return append(out, transport.Unicast(n.Leader(), &VoteMsg{
+	out.Send(transport.Unicast(n.Leader(), &VoteMsg{
 		Block: inst.block.ID(), Round: 2, Digest: inst.sigma1Digest, Share: share,
 	}))
 }
 
 // flushPendingProofs replays proofs that arrived before the block.
-func (n *Node) flushPendingProofs(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) flushPendingProofs(inst *instance, out transport.Sink) {
 	if inst.block == nil {
-		return out
+		return
 	}
 	id := inst.block.ID()
 	pending := n.pendingProof[id]
 	if len(pending) == 0 {
-		return out
+		return
 	}
 	delete(n.pendingProof, id)
 	for _, p := range pending {
-		out = n.applyProof(inst, p.round, p.digest, p.proof, out)
+		n.applyProof(inst, p.round, p.digest, p.proof, out)
 	}
-	return out
 }
 
 // confirmBlock moves a block to the confirmed log and advances execution.
-func (n *Node) confirmBlock(inst *instance, out []transport.Envelope) []transport.Envelope {
+func (n *Node) confirmBlock(inst *instance, out transport.Sink) {
 	if inst.state >= types.StateConfirmed {
-		return out
+		return
 	}
 	inst.state = types.StateConfirmed
 	n.lastProgress = n.now
 	if _, done := n.log[inst.block.Seq]; done {
 		// Re-confirmation after a view change redo; the log entry (and
 		// all counters) already reflect this block.
-		return out
+		return
 	}
 	n.log[inst.block.Seq] = inst.block
 	n.stats.ConfirmedBlocks++
@@ -384,17 +378,17 @@ func (n *Node) confirmBlock(inst *instance, out []transport.Envelope) []transpor
 			}
 		}
 	}
-	return n.tryExecute(out)
+	n.tryExecute(out)
 }
 
 // tryExecute executes the longest consecutive confirmed prefix whose
 // datablocks are all present, invoking the executor callback in order.
-func (n *Node) tryExecute(out []transport.Envelope) []transport.Envelope {
+func (n *Node) tryExecute(out transport.Sink) {
 	for {
 		next := n.executedTo + 1
 		block, ok := n.log[next]
 		if !ok {
-			return out
+			return
 		}
 		// All linked datablocks must be held to execute. A replica that
 		// confirmed via proofs without voting may still be missing some.
@@ -406,7 +400,7 @@ func (n *Node) tryExecute(out []transport.Envelope) []transport.Envelope {
 			}
 		}
 		if !allHeld {
-			return out
+			return
 		}
 		for _, h := range block.Content {
 			db, _ := n.dbPool.Get(h)
@@ -427,6 +421,6 @@ func (n *Node) tryExecute(out []transport.Envelope) []transport.Envelope {
 		n.execState = crypto.HashConcat(n.execState[:], blockDigest[:])
 		n.executedTo = next
 		n.stats.ExecutedBlocks++
-		out = n.maybeCheckpoint(next, out)
+		n.maybeCheckpoint(next, out)
 	}
 }

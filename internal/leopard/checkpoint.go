@@ -20,39 +20,40 @@ func checkpointDigest(sn types.SeqNum, state types.Hash) types.Hash {
 // block at a multiple of the checkpoint interval (Alg. 4). The state hash
 // is the running execution chain hash, identical at every honest replica
 // that executed the same prefix.
-func (n *Node) maybeCheckpoint(sn types.SeqNum, out []transport.Envelope) []transport.Envelope {
+func (n *Node) maybeCheckpoint(sn types.SeqNum, out transport.Sink) {
 	if uint64(sn)%uint64(n.cfg.CheckpointEvery) != 0 {
-		return out
+		return
 	}
 	st := n.execState
 	digest := checkpointDigest(sn, st)
 	n.cpDigest[sn] = digest
 	share, err := n.suite.Sign(n.cfg.ID, digest)
 	if err != nil {
-		return out
+		return
 	}
 	msg := &CheckpointMsg{Seq: sn, StateHash: st, Share: share}
 	if n.isLeader() {
-		return n.collectCheckpoint(n.cfg.ID, msg, out)
+		n.collectCheckpoint(n.cfg.ID, msg, out)
+		return
 	}
-	return append(out, transport.Unicast(n.Leader(), msg))
+	out.Send(transport.Unicast(n.Leader(), msg))
 }
 
 // handleCheckpoint collects checkpoint shares at the leader.
-func (n *Node) handleCheckpoint(from types.ReplicaID, m *CheckpointMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleCheckpoint(from types.ReplicaID, m *CheckpointMsg, out transport.Sink) {
 	if !n.isLeader() {
-		return out
+		return
 	}
-	return n.collectCheckpoint(from, m, out)
+	n.collectCheckpoint(from, m, out)
 }
 
-func (n *Node) collectCheckpoint(from types.ReplicaID, m *CheckpointMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) collectCheckpoint(from types.ReplicaID, m *CheckpointMsg, out transport.Sink) {
 	if m.Seq <= n.lw {
-		return out // already garbage-collected
+		return // already garbage-collected
 	}
 	digest := checkpointDigest(m.Seq, m.StateHash)
 	if err := n.suite.VerifyShare(digest, m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	shares := n.cpShares[m.Seq]
 	if shares == nil {
@@ -60,11 +61,11 @@ func (n *Node) collectCheckpoint(from types.ReplicaID, m *CheckpointMsg, out []t
 		n.cpShares[m.Seq] = shares
 	}
 	if _, dup := shares[from]; dup {
-		return out
+		return
 	}
 	shares[from] = m.Share
 	if len(shares) < n.q.Quorum() {
-		return out
+		return
 	}
 	all := make([]crypto.Share, 0, len(shares))
 	for _, s := range shares {
@@ -72,25 +73,23 @@ func (n *Node) collectCheckpoint(from types.ReplicaID, m *CheckpointMsg, out []t
 	}
 	proof, err := n.suite.Combine(digest, all)
 	if err != nil {
-		return out
+		return
 	}
 	cp := &CheckpointProofMsg{Seq: m.Seq, StateHash: m.StateHash, Proof: proof}
-	out = append(out, transport.Broadcast(cp))
+	out.Broadcast(cp)
 	n.applyCheckpoint(cp)
-	return out
 }
 
 // handleCheckpointProof verifies and applies a stable checkpoint.
-func (n *Node) handleCheckpointProof(from types.ReplicaID, m *CheckpointProofMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleCheckpointProof(from types.ReplicaID, m *CheckpointProofMsg, out transport.Sink) {
 	if m.Seq <= n.lw {
-		return out
+		return
 	}
 	digest := checkpointDigest(m.Seq, m.StateHash)
 	if err := n.suite.VerifyProof(digest, m.Proof); err != nil {
-		return out
+		return
 	}
 	n.applyCheckpoint(m)
-	return out
 }
 
 // applyCheckpoint advances the low watermark to the checkpoint and garbage
@@ -133,6 +132,16 @@ func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 	for id := range n.pendingProof {
 		if id.Seq <= n.lw {
 			delete(n.pendingProof, id)
+		}
+	}
+	// Sweep the retrieval serve-cooldown map: an entry is dead once its
+	// cooldown lapsed (the next query would be served regardless) or its
+	// datablock was pruned above, so the map stays bounded by the serves
+	// of the last cooldown window instead of growing for the node's
+	// lifetime.
+	for key, t := range n.served {
+		if n.now-t >= n.serveCooldown() || !n.dbPool.Has(key.digest) {
+			delete(n.served, key)
 		}
 	}
 }

@@ -10,9 +10,9 @@ import (
 // pending requests, build a datablock, multicast it. Non-leader replicas
 // only; pacing is by the outstanding-datablock window, and partial blocks
 // are packed once requests have waited BatchTimeout.
-func (n *Node) maybePackDatablocks(out []transport.Envelope) []transport.Envelope {
+func (n *Node) maybePackDatablocks(out transport.Sink) {
 	if n.isLeader() || n.inViewChange {
-		return out
+		return
 	}
 	for len(n.myOutstanding) < n.cfg.MaxOutstandingDatablocks {
 		full := n.reqPool.Len() >= n.cfg.DatablockSize
@@ -36,65 +36,62 @@ func (n *Node) maybePackDatablocks(out []transport.Envelope) []transport.Envelop
 		n.stats.DatablocksMade++
 		n.stages.Add(StageGeneration, n.now-oldest)
 		n.lastPack = n.now
-		out = append(out, transport.Broadcast(&DatablockMsg{Block: db, Digest: digest}))
+		out.Broadcast(&DatablockMsg{Block: db, Digest: digest})
 		// The generator holds its own datablock; announce readiness.
-		out = n.sendReady(digest, out)
+		n.sendReady(digest, out)
 	}
-	return out
 }
 
 // sendReady routes a ready announcement for digest to the current leader,
 // or applies it locally when this replica is the leader.
-func (n *Node) sendReady(digest types.Hash, out []transport.Envelope) []transport.Envelope {
+func (n *Node) sendReady(digest types.Hash, out transport.Sink) {
 	if n.isLeader() {
 		n.recordReady(digest, n.cfg.ID)
-		return out
+		return
 	}
-	return append(out, transport.Unicast(n.Leader(), &ReadyMsg{Digest: digest}))
+	out.Send(transport.Unicast(n.Leader(), &ReadyMsg{Digest: digest}))
 }
 
 // handleDatablock implements datablock verification (Alg. 1, lines 11-16):
 // accept unless a datablock with the same counter from the same generator
 // was already received, then announce readiness to the leader.
-func (n *Node) handleDatablock(from types.ReplicaID, m *DatablockMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleDatablock(from types.ReplicaID, m *DatablockMsg, out transport.Sink) {
 	if m.Block == nil || m.Block.Ref.Generator != from {
 		// Replicas may only disseminate their own datablocks; channel
 		// authentication makes the generator field trustworthy.
-		return out
+		return
 	}
 	digest := m.Digest
 	if !n.cfg.TrustDigests || digest.IsZero() {
 		digest = crypto.HashDatablock(m.Block)
 	}
-	return n.acceptDatablock(digest, m.Block, from, out)
+	n.acceptDatablock(digest, m.Block, from, out)
 }
 
 // acceptDatablock admits a datablock into the pool (from dissemination or
 // retrieval), announces readiness, and unblocks anything waiting on it.
-func (n *Node) acceptDatablock(digest types.Hash, db *types.Datablock, from types.ReplicaID, out []transport.Envelope) []transport.Envelope {
+func (n *Node) acceptDatablock(digest types.Hash, db *types.Datablock, from types.ReplicaID, out transport.Sink) {
 	if !n.dbPool.Add(digest, db) {
-		return out // duplicate digest or duplicate (generator, counter)
+		return // duplicate digest or duplicate (generator, counter)
 	}
 	if n.isLeader() {
 		// The leader counts itself and the generator as holders.
 		n.recordReady(digest, n.cfg.ID)
 		n.recordReady(digest, db.Ref.Generator)
 	} else {
-		out = n.sendReady(digest, out)
+		n.sendReady(digest, out)
 	}
-	out = n.resolveMissing(digest, out)
-	return out
+	n.resolveMissing(digest, out)
 }
 
 // handleReady collects ready votes at the leader (Alg. 3, Ready step). A
 // datablock moves to the ready queue once 2f+1 distinct replicas hold it,
 // guaranteeing f+1 honest holders for the retrieval committee.
-func (n *Node) handleReady(from types.ReplicaID, m *ReadyMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleReady(from types.ReplicaID, m *ReadyMsg, out transport.Sink) {
 	if !n.isLeader() {
-		return out
+		return
 	}
 	n.recordReady(m.Digest, from)
-	return out
 }
 
 // recordReady adds one holder vote and enqueues the datablock for linking

@@ -277,7 +277,7 @@ func TestRetrievalRejectsTamperedChunk(t *testing.T) {
 			if len(bad.Chunk) > 0 {
 				bad.Chunk[0] ^= 0xff
 			}
-			r.nodes[2].Deliver(r.now, from, &bad)
+			deliver(r.nodes[2], r.now, from, &bad)
 			return true
 		}
 		return false
@@ -310,10 +310,10 @@ func TestRetrievalWrongIndexRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.nodes[2].Deliver(r.now, r.nodes[2].Leader(), &leopard.BFTblockMsg{Block: block, LeaderShare: leaderShare})
+	deliver(r.nodes[2], r.now, r.nodes[2].Leader(), &leopard.BFTblockMsg{Block: block, LeaderShare: leaderShare})
 
 	resp := &leopard.RespMsg{Digest: digest, Root: types.Hash{1}, Chunk: []byte("junk"), Index: 0, Proof: merkle.Proof{Index: 0}, DataLen: 10}
-	r.nodes[2].Deliver(r.now, 3, resp) // index 0 but sender 3
+	deliver(r.nodes[2], r.now, 3, resp) // index 0 but sender 3
 	if got := r.nodes[2].Stats().Retrievals; got != 0 {
 		t.Fatalf("wrong-index response accepted: %d retrievals", got)
 	}

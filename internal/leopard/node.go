@@ -120,7 +120,9 @@ type Node struct {
 
 	// Retrieval state.
 	missing map[types.Hash]*retrievalState
-	served  map[servedKey]struct{}
+	// served records when each (digest, requester) pair was last answered;
+	// re-serves are allowed once the requester's retry period has passed.
+	served map[servedKey]time.Duration
 	// respCache holds the one retrieval response this replica serves per
 	// datablock (chunk + proof are requester-independent); pruned with the
 	// datablock at watermark advance.
@@ -160,9 +162,12 @@ type Node struct {
 	// Byzantine hooks used by tests and the fault-injection harness.
 	// selectiveTargets, when non-nil, restricts datablock broadcasts to
 	// the given replicas (the paper's selective attack). The slice is kept
-	// sorted so simulation runs stay deterministic.
+	// sorted so simulation runs stay deterministic. selective is the
+	// cached Sink decorator applying the hook (reused across events so the
+	// faulty path allocates nothing per event either).
 	selectiveTargets map[types.ReplicaID]struct{}
 	selectiveOrder   []types.ReplicaID
+	selective        selectiveSink
 	silent           bool // drop all outbound protocol messages
 }
 
@@ -191,7 +196,7 @@ func NewNode(cfg Config) (*Node, error) {
 		pendingProof:  make(map[types.BlockID][]pendingProof),
 		log:           make(map[types.SeqNum]*types.BFTblock),
 		missing:       make(map[types.Hash]*retrievalState),
-		served:        make(map[servedKey]struct{}),
+		served:        make(map[servedKey]time.Duration),
 		respCache:     make(map[types.Hash]*RespMsg),
 		cpShares:      make(map[types.SeqNum]map[types.ReplicaID]crypto.Share),
 		cpDigest:      make(map[types.SeqNum]types.Hash),
@@ -202,6 +207,7 @@ func NewNode(cfg Config) (*Node, error) {
 		confirmedDBs:  make(map[types.Hash]struct{}),
 	}
 	n.stats.Stages = &n.stages
+	n.selective.node = n
 	return n, nil
 }
 
@@ -298,98 +304,120 @@ func (n *Node) observe(now time.Duration) {
 }
 
 // Start implements transport.Node.
-func (n *Node) Start(now time.Duration) []transport.Envelope {
+func (n *Node) Start(now time.Duration, out transport.Sink) {
 	n.observe(now)
 	n.lastProgress = now
-	return nil
 }
 
 // Tick implements transport.Node.
-func (n *Node) Tick(now time.Duration) []transport.Envelope {
+func (n *Node) Tick(now time.Duration, out transport.Sink) {
 	n.observe(now)
-	var out []transport.Envelope
-	out = n.maybePackDatablocks(out)
+	out = n.outbound(out)
+	defer n.releaseOutbound()
+	n.maybePackDatablocks(out)
 	if n.isLeader() && !n.inViewChange {
-		out = n.maybePropose(out)
+		n.maybePropose(out)
 	}
-	out = n.checkRetrievalTimers(out)
-	out = n.checkViewChangeTimer(out)
-	return n.filterOut(out)
+	n.checkRetrievalTimers(out)
+	n.checkViewChangeTimer(out)
 }
 
 // Deliver implements transport.Node.
-func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message, out transport.Sink) {
 	n.observe(now)
-	var out []transport.Envelope
+	out = n.outbound(out)
+	defer n.releaseOutbound()
 	switch m := msg.(type) {
 	case *DatablockMsg:
-		out = n.handleDatablock(from, m, out)
+		n.handleDatablock(from, m, out)
 	case *ReadyMsg:
-		out = n.handleReady(from, m, out)
+		n.handleReady(from, m, out)
 	case *BFTblockMsg:
-		out = n.handleBFTblock(from, m, out)
+		n.handleBFTblock(from, m, out)
 	case *VoteMsg:
-		out = n.handleVote(from, m, out)
+		n.handleVote(from, m, out)
 	case *ProofMsg:
-		out = n.handleProof(from, m, out)
+		n.handleProof(from, m, out)
 	case *QueryMsg:
-		out = n.handleQuery(from, m, out)
+		n.handleQuery(from, m, out)
 	case *RespMsg:
-		out = n.handleResp(from, m, out)
+		n.handleResp(from, m, out)
 	case *FullBlockMsg:
-		out = n.handleFullBlock(from, m, out)
+		n.handleFullBlock(from, m, out)
 	case *CheckpointMsg:
-		out = n.handleCheckpoint(from, m, out)
+		n.handleCheckpoint(from, m, out)
 	case *CheckpointProofMsg:
-		out = n.handleCheckpointProof(from, m, out)
+		n.handleCheckpointProof(from, m, out)
 	case *TimeoutMsg:
-		out = n.handleTimeout(from, m, out)
+		n.handleTimeout(from, m, out)
 	case *ViewChangeMsg:
-		out = n.handleViewChange(from, m, out)
+		n.handleViewChange(from, m, out)
 	case *NewViewMsg:
-		out = n.handleNewView(from, m, out)
+		n.handleNewView(from, m, out)
 	}
-	return n.filterOut(out)
 }
 
-// filterOut applies the Byzantine output hooks. A selective attacker sends
-// its datablocks only to its chosen targets and ignores retrieval queries
-// from everyone else (it "sends its packages to a small subset of replicas
-// and ignores others", §IV-A2).
-func (n *Node) filterOut(out []transport.Envelope) []transport.Envelope {
+// outbound wraps the transport's sink with the node's Byzantine output
+// hooks. The honest path returns out unchanged — no decoration, no
+// allocation (asserted by TestHonestOutboundPathNoAlloc); the old
+// slice-based filterOut rebuilt the envelope list even when no hook was
+// active.
+func (n *Node) outbound(out transport.Sink) transport.Sink {
 	if n.silent {
-		return nil
+		return transport.Discard
 	}
 	if n.selectiveTargets == nil {
 		return out
 	}
-	// Broadcast expansion can grow the list, so build a fresh slice
-	// rather than filtering in place.
-	filtered := make([]transport.Envelope, 0, len(out))
-	for _, env := range out {
-		switch env.Msg.(type) {
-		case *DatablockMsg:
-			if env.Broadcast {
-				for _, t := range n.selectiveOrder {
-					if t != n.cfg.ID {
-						filtered = append(filtered, transport.Unicast(t, env.Msg))
-					}
+	n.selective.down = out
+	return &n.selective
+}
+
+// releaseOutbound drops the decorator's reference to the transport's sink
+// when the event handler returns — the Sink contract forbids retaining it
+// past the call.
+func (n *Node) releaseOutbound() { n.selective.down = nil }
+
+// selectiveSink is the Byzantine output hook as a Sink decorator. A
+// selective attacker sends its datablocks only to its chosen targets
+// (broadcasts are rewritten to unicasts in sorted target order so
+// simulation runs stay deterministic) and ignores retrieval queries from
+// everyone else (it "sends its packages to a small subset of replicas and
+// ignores others", §IV-A2).
+type selectiveSink struct {
+	node *Node
+	down transport.Sink
+}
+
+// Send implements transport.Sink.
+func (s *selectiveSink) Send(env transport.Envelope) {
+	n := s.node
+	switch env.Msg.(type) {
+	case *DatablockMsg:
+		if env.Broadcast {
+			for _, t := range n.selectiveOrder {
+				if t != n.cfg.ID {
+					// Preserve the envelope's lane override across the
+					// broadcast-to-unicast rewrite.
+					s.down.Send(transport.Envelope{To: t, Msg: env.Msg, Lane: env.Lane})
 				}
-				continue
 			}
-			if _, ok := n.selectiveTargets[env.To]; ok {
-				filtered = append(filtered, env)
+			return
+		}
+		if _, ok := n.selectiveTargets[env.To]; !ok {
+			return
+		}
+	case *RespMsg, *FullBlockMsg:
+		if !env.Broadcast {
+			if _, ok := n.selectiveTargets[env.To]; !ok {
+				return // ignore retrieval from non-targets
 			}
-		case *RespMsg, *FullBlockMsg:
-			if !env.Broadcast {
-				if _, ok := n.selectiveTargets[env.To]; !ok {
-					continue // ignore retrieval from non-targets
-				}
-			}
-			filtered = append(filtered, env)
-		default:
-			filtered = append(filtered, env)
 		}
 	}
-	return filtered
+	s.down.Send(env)
+}
+
+// Broadcast implements transport.Sink.
+func (s *selectiveSink) Broadcast(msg transport.Message) {
+	s.Send(transport.Broadcast(msg))
 }

@@ -103,7 +103,7 @@ func TestLeaderEquivocationRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node.Start(0)
+	node.Start(0, transport.Discard)
 	leaderID := node.Leader()
 
 	mkProposal := func(content types.Hash) *leopard.BFTblockMsg {
@@ -119,8 +119,8 @@ func TestLeaderEquivocationRejected(t *testing.T) {
 	dbA := &types.Datablock{Ref: types.DatablockRef{Generator: 0, Counter: 1}}
 	dbB := &types.Datablock{Ref: types.DatablockRef{Generator: 3, Counter: 1}}
 	hA, hB := crypto.HashDatablock(dbA), crypto.HashDatablock(dbB)
-	node.Deliver(0, 0, &leopard.DatablockMsg{Block: dbA, Digest: hA})
-	node.Deliver(0, 3, &leopard.DatablockMsg{Block: dbB, Digest: hB})
+	deliver(node, 0, 0, &leopard.DatablockMsg{Block: dbA, Digest: hA})
+	deliver(node, 0, 3, &leopard.DatablockMsg{Block: dbB, Digest: hB})
 
 	countVotes := func(outs []transport.Envelope) int {
 		votes := 0
@@ -131,8 +131,8 @@ func TestLeaderEquivocationRejected(t *testing.T) {
 		}
 		return votes
 	}
-	first := countVotes(node.Deliver(0, leaderID, mkProposal(hA)))
-	second := countVotes(node.Deliver(0, leaderID, mkProposal(hB)))
+	first := countVotes(deliver(node, 0, leaderID, mkProposal(hA)))
+	second := countVotes(deliver(node, 0, leaderID, mkProposal(hB)))
 	if first != 1 {
 		t.Fatalf("first proposal produced %d votes, want 1", first)
 	}
@@ -154,7 +154,7 @@ func TestProposalFromNonLeaderIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node.Start(0)
+	node.Start(0, transport.Discard)
 	imposter := types.ReplicaID(3) // leader of view 1 is 1 (v mod n)
 	if imposter == node.Leader() {
 		t.Fatal("test setup: imposter is the leader")
@@ -162,7 +162,7 @@ func TestProposalFromNonLeaderIgnored(t *testing.T) {
 	block := &types.BFTblock{View: 1, Seq: 1}
 	digest := crypto.HashBFTblock(block)
 	share, _ := suite.Sign(imposter, digest)
-	outs := node.Deliver(0, imposter, &leopard.BFTblockMsg{Block: block, LeaderShare: share})
+	outs := deliver(node, 0, imposter, &leopard.BFTblockMsg{Block: block, LeaderShare: share})
 	for _, env := range outs {
 		if _, ok := env.Msg.(*leopard.VoteMsg); ok {
 			t.Fatal("replica voted on a non-leader proposal")
@@ -183,10 +183,10 @@ func TestForgedLeaderShareRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node.Start(0)
+	node.Start(0, transport.Discard)
 	block := &types.BFTblock{View: 1, Seq: 1}
 	bad := crypto.Share{Signer: node.Leader(), Sig: make([]byte, 64)}
-	outs := node.Deliver(0, node.Leader(), &leopard.BFTblockMsg{Block: block, LeaderShare: bad})
+	outs := deliver(node, 0, node.Leader(), &leopard.BFTblockMsg{Block: block, LeaderShare: bad})
 	for _, env := range outs {
 		if _, ok := env.Msg.(*leopard.VoteMsg); ok {
 			t.Fatal("replica voted despite a forged leader share")
@@ -204,7 +204,7 @@ func TestDatablockGeneratorSpoofRejected(t *testing.T) {
 	}
 	digest := crypto.HashDatablock(spoofed)
 	// Replica 3 sends a datablock that claims replica 2 generated it.
-	outs := r.nodes[0].Deliver(r.now, 3, &leopard.DatablockMsg{Block: spoofed, Digest: digest})
+	outs := deliver(r.nodes[0], r.now, 3, &leopard.DatablockMsg{Block: spoofed, Digest: digest})
 	if len(outs) != 0 {
 		t.Fatal("spoofed datablock was accepted (produced output)")
 	}
@@ -222,8 +222,8 @@ func TestDuplicateCounterIgnored(t *testing.T) {
 	db2 := &types.Datablock{Ref: types.DatablockRef{Generator: 2, Counter: 9},
 		Requests: []types.Request{{ClientID: 1, Seq: 2, Payload: []byte("b")}}}
 	h1, h2 := crypto.HashDatablock(db1), crypto.HashDatablock(db2)
-	r.nodes[0].Deliver(r.now, 2, &leopard.DatablockMsg{Block: db1, Digest: h1})
-	r.nodes[0].Deliver(r.now, 2, &leopard.DatablockMsg{Block: db2, Digest: h2})
+	deliver(r.nodes[0], r.now, 2, &leopard.DatablockMsg{Block: db1, Digest: h1})
+	deliver(r.nodes[0], r.now, 2, &leopard.DatablockMsg{Block: db2, Digest: h2})
 	if _, ok := r.nodes[0].Datablock(h1); !ok {
 		t.Fatal("first datablock missing")
 	}
@@ -244,11 +244,11 @@ func TestWatermarkWindowEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node.Start(0)
+	node.Start(0, transport.Discard)
 	block := &types.BFTblock{View: 1, Seq: 11} // beyond lw + k = 10
 	digest := crypto.HashBFTblock(block)
 	share, _ := suite.Sign(node.Leader(), digest)
-	outs := node.Deliver(0, node.Leader(), &leopard.BFTblockMsg{Block: block, LeaderShare: share})
+	outs := deliver(node, 0, node.Leader(), &leopard.BFTblockMsg{Block: block, LeaderShare: share})
 	for _, env := range outs {
 		if _, ok := env.Msg.(*leopard.VoteMsg); ok {
 			t.Fatal("replica voted outside the watermark window")

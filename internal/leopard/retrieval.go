@@ -2,6 +2,7 @@ package leopard
 
 import (
 	"sort"
+	"time"
 
 	"leopard/internal/codec"
 	"leopard/internal/crypto"
@@ -29,7 +30,7 @@ func (n *Node) noteMissing(h types.Hash, waiter types.SeqNum) {
 
 // checkRetrievalTimers multicasts a batched Query for every missing
 // datablock whose timer expired; stale queries are re-sent.
-func (n *Node) checkRetrievalTimers(out []transport.Envelope) []transport.Envelope {
+func (n *Node) checkRetrievalTimers(out transport.Sink) {
 	var due []types.Hash
 	for h, r := range n.missing {
 		fresh := !r.queried && n.now-r.firstMissing >= n.cfg.RetrievalTimeout
@@ -39,7 +40,7 @@ func (n *Node) checkRetrievalTimers(out []transport.Envelope) []transport.Envelo
 		}
 	}
 	if len(due) == 0 {
-		return out
+		return
 	}
 	sort.Slice(due, func(i, j int) bool {
 		for b := 0; b < len(due[i]); b++ {
@@ -54,8 +55,15 @@ func (n *Node) checkRetrievalTimers(out []transport.Envelope) []transport.Envelo
 		r.queried = true
 		r.queriedAt = n.now
 	}
-	return append(out, transport.Broadcast(&QueryMsg{Digests: due}))
+	out.Broadcast(&QueryMsg{Digests: due})
 }
+
+// serveCooldown is how long a (digest, requester) pair is refused after
+// being served — the retrieval anti-amplification bound. It must stay
+// below the re-query cadence (8×RetrievalTimeout, checkRetrievalTimers)
+// so a legitimate retry is never refused; the served-map sweep in
+// advanceWatermark uses the same window to expire entries.
+func (n *Node) serveCooldown() time.Duration { return 4 * n.cfg.RetrievalTimeout }
 
 // rsCodec returns the (f+1, n) Reed–Solomon codec shared by retrieval. The
 // GF(2^8) code supports at most 256 chunks, so for n > 256 the retrieval
@@ -84,22 +92,25 @@ func (n *Node) rsCodec() (*erasure.Codec, error) {
 
 // handleQuery serves erasure chunks for datablocks this replica holds
 // (Alg. 3, Response step). Each (digest, requester) pair is served at most
-// once, bounding the amplification a Byzantine querier can cause.
-func (n *Node) handleQuery(from types.ReplicaID, m *QueryMsg, out []transport.Envelope) []transport.Envelope {
+// once per serveCooldown, which bounds the amplification a Byzantine
+// querier can cause to one chunk per period while still letting an honest
+// requester recover a response that a saturated transport dropped from its
+// bounded bulk queue.
+func (n *Node) handleQuery(from types.ReplicaID, m *QueryMsg, out transport.Sink) {
 	for _, digest := range m.Digests {
 		key := servedKey{digest: digest, requester: from}
-		if _, done := n.served[key]; done {
+		if last, done := n.served[key]; done && n.now-last < n.serveCooldown() {
 			continue
 		}
 		db, ok := n.dbPool.Get(digest)
 		if !ok {
 			continue
 		}
-		n.served[key] = struct{}{}
+		n.served[key] = n.now
 		if n.cfg.LeaderRetrieval {
 			// Ablation A1: only the leader answers, with the full block.
 			if n.isLeader() {
-				out = append(out, transport.Unicast(from, &FullBlockMsg{Digest: digest, Block: db}))
+				out.Send(transport.Unicast(from, &FullBlockMsg{Digest: digest, Block: db}))
 			}
 			continue
 		}
@@ -107,9 +118,8 @@ func (n *Node) handleQuery(from types.ReplicaID, m *QueryMsg, out []transport.En
 		if err != nil {
 			continue
 		}
-		out = append(out, transport.Unicast(from, resp))
+		out.Send(transport.Unicast(from, resp))
 	}
-	return out
 }
 
 // buildResponse erasure-codes the datablock, builds the Merkle tree over
@@ -170,16 +180,16 @@ func (n *Node) buildResponse(digest types.Hash, db *types.Datablock) (*RespMsg, 
 // handleResp collects chunks; once f+1 chunks agree under one Merkle root,
 // the datablock is decoded, digest-checked and admitted (Alg. 3, lines
 // 22-28).
-func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out transport.Sink) {
 	r := n.missing[m.Digest]
 	if r == nil {
-		return out
+		return
 	}
 	if m.Index != int(from) {
-		return out // each replica serves the chunk at its own index
+		return // each replica serves the chunk at its own index
 	}
 	if err := merkle.Verify(m.Root, m.Proof, m.Chunk); err != nil || m.Proof.Index != m.Index {
-		return out
+		return
 	}
 	byRoot := r.chunks[m.Root]
 	if byRoot == nil {
@@ -188,7 +198,7 @@ func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out []transport.Enve
 		r.dataLen[m.Root] = m.DataLen
 	}
 	if r.dataLen[m.Root] != m.DataLen {
-		return out // inconsistent responders under this root; ignore
+		return // inconsistent responders under this root; ignore
 	}
 	// m.Chunk is retained past this handler. Under zero-copy decode it
 	// sub-slices the response frame, which is almost entirely chunk bytes,
@@ -196,7 +206,7 @@ func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out []transport.Enve
 	// intended ownership transfer — no copy needed.
 	byRoot[m.Index] = m.Chunk
 	if len(byRoot) < n.q.Small() {
-		return out
+		return
 	}
 	db, ok := n.decodeRoot(m.Digest, byRoot, r.dataLen[m.Root])
 	if !ok {
@@ -205,10 +215,10 @@ func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out []transport.Enve
 		// discard it and keep waiting for an honest root.
 		delete(r.chunks, m.Root)
 		delete(r.dataLen, m.Root)
-		return out
+		return
 	}
 	n.stats.Retrievals++
-	return n.acceptDatablock(m.Digest, db, db.Ref.Generator, out)
+	n.acceptDatablock(m.Digest, db, db.Ref.Generator, out)
 }
 
 // decodeRoot attempts to reconstruct and digest-check a datablock from f+1
@@ -241,23 +251,23 @@ func (n *Node) decodeRoot(digest types.Hash, byRoot map[int][]byte, dataLen int)
 }
 
 // handleFullBlock processes the ablation-A1 leader response.
-func (n *Node) handleFullBlock(from types.ReplicaID, m *FullBlockMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleFullBlock(from types.ReplicaID, m *FullBlockMsg, out transport.Sink) {
 	if n.missing[m.Digest] == nil || m.Block == nil {
-		return out
+		return
 	}
 	if crypto.HashDatablock(m.Block) != m.Digest {
-		return out
+		return
 	}
 	n.stats.Retrievals++
-	return n.acceptDatablock(m.Digest, m.Block, m.Block.Ref.Generator, out)
+	n.acceptDatablock(m.Digest, m.Block, m.Block.Ref.Generator, out)
 }
 
 // resolveMissing is called when a previously missing datablock arrives by
 // any path: it unblocks first-round votes and execution.
-func (n *Node) resolveMissing(h types.Hash, out []transport.Envelope) []transport.Envelope {
+func (n *Node) resolveMissing(h types.Hash, out transport.Sink) {
 	r := n.missing[h]
 	if r == nil {
-		return out
+		return
 	}
 	delete(n.missing, h)
 	waiters := make([]types.SeqNum, 0, len(r.waiters))
@@ -274,8 +284,8 @@ func (n *Node) resolveMissing(h types.Hash, out []transport.Envelope) []transpor
 			delete(inst.missing, h)
 		}
 		if len(inst.missing) == 0 && !inst.voted1 && !n.inViewChange {
-			out = n.castVote1(inst, out)
+			n.castVote1(inst, out)
 		}
 	}
-	return n.tryExecute(out)
+	n.tryExecute(out)
 }

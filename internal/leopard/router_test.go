@@ -62,10 +62,33 @@ func newRouter(t *testing.T, n int, mutate func(*leopard.Config)) *router {
 		r.nodes = append(r.nodes, node)
 	}
 	for _, node := range r.nodes {
-		r.enqueue(node.ID(), node.Start(r.now))
+		r.enqueue(node.ID(), start(node, r.now))
 	}
 	r.flush()
 	return r
+}
+
+// start drives Start and returns the pushed envelopes.
+func start(node *leopard.Node, now time.Duration) []transport.Envelope {
+	var sink transport.SliceSink
+	node.Start(now, &sink)
+	return sink.Envelopes
+}
+
+// deliver drives one message into node and returns the pushed envelopes —
+// the SliceSink bridge from the push-based Sink API back to the slices
+// these logic tests assert on.
+func deliver(node *leopard.Node, now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+	var sink transport.SliceSink
+	node.Deliver(now, from, msg, &sink)
+	return sink.Envelopes
+}
+
+// tick drives Tick and returns the pushed envelopes.
+func tick(node *leopard.Node, now time.Duration) []transport.Envelope {
+	var sink transport.SliceSink
+	node.Tick(now, &sink)
+	return sink.Envelopes
 }
 
 func (r *router) enqueue(from types.ReplicaID, outs []transport.Envelope) {
@@ -97,7 +120,7 @@ func (r *router) flush() {
 		if r.drop != nil && r.drop(m.from, m.to, m.msg) {
 			continue
 		}
-		outs := r.nodes[m.to].Deliver(r.now, m.from, m.msg)
+		outs := deliver(r.nodes[m.to], r.now, m.from, m.msg)
 		r.enqueue(m.to, outs)
 	}
 }
@@ -109,7 +132,7 @@ func (r *router) advance(d, step time.Duration) {
 	for r.now < deadline {
 		r.now += step
 		for _, node := range r.nodes {
-			r.enqueue(node.ID(), node.Tick(r.now))
+			r.enqueue(node.ID(), tick(node, r.now))
 		}
 		r.flush()
 	}

@@ -1,0 +1,105 @@
+package leopard
+
+import (
+	"testing"
+
+	"leopard/internal/crypto"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+func newSinkTestNode(tb testing.TB) *Node {
+	tb.Helper()
+	q, err := types.NewQuorumParams(4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	suite, err := crypto.NewSimSuite(4, []byte("sink-test"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	node, err := NewNode(Config{ID: 2, Quorum: q, Suite: suite})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return node
+}
+
+// TestHonestOutboundPathNoAlloc pins the regression the Sink redesign
+// fixed: with no Byzantine hook active the node hands the transport's sink
+// straight to its handlers — no decorator, no filtered-slice rebuild, zero
+// allocations. The cached Byzantine decorator is allocation-free per event
+// too.
+func TestHonestOutboundPathNoAlloc(t *testing.T) {
+	n := newSinkTestNode(t)
+	base := transport.Discard
+
+	identical := true
+	allocs := testing.AllocsPerRun(100, func() {
+		if n.outbound(base) != base {
+			identical = false
+		}
+	})
+	if !identical {
+		t.Fatal("honest outbound path must pass the transport sink through unchanged")
+	}
+	if allocs != 0 {
+		t.Fatalf("honest outbound path allocated %.1f/op, want 0", allocs)
+	}
+
+	// An idle honest Tick must not allocate either (no slice churn left).
+	allocs = testing.AllocsPerRun(100, func() {
+		n.Tick(0, base)
+	})
+	if allocs != 0 {
+		t.Fatalf("idle honest Tick allocated %.1f/op, want 0", allocs)
+	}
+
+	// The selective-attack decorator is cached on the node: active hooks
+	// add filtering, not allocation.
+	n.SetSelectiveAttack([]types.ReplicaID{0, 1})
+	ready := &ReadyMsg{}
+	allocs = testing.AllocsPerRun(100, func() {
+		n.outbound(base).Send(transport.Unicast(0, ready))
+	})
+	if allocs != 0 {
+		t.Fatalf("selective outbound path allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSinkEmit measures the envelope emit path: node sink wrap plus
+// one pushed unicast. This is the per-envelope overhead every handler pays;
+// allocation regressions here fail the CI bench smoke loudly (want
+// 0 allocs/op).
+func BenchmarkSinkEmit(b *testing.B) {
+	n := newSinkTestNode(b)
+	msg := &ReadyMsg{Digest: types.Hash{1}}
+	count := 0
+	sink := transport.Sink(transport.SinkFunc(func(env transport.Envelope) { count++ }))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.outbound(sink).Send(transport.Unicast(1, msg))
+	}
+	if count != b.N {
+		b.Fatalf("sank %d envelopes, want %d", count, b.N)
+	}
+}
+
+// BenchmarkSinkEmitSelective is the same path through the cached Byzantine
+// decorator, including a broadcast rewrite to the target set.
+func BenchmarkSinkEmitSelective(b *testing.B) {
+	n := newSinkTestNode(b)
+	n.SetSelectiveAttack([]types.ReplicaID{0, 1})
+	msg := &DatablockMsg{Block: &types.Datablock{}, Digest: types.Hash{1}}
+	count := 0
+	sink := transport.Sink(transport.SinkFunc(func(env transport.Envelope) { count++ }))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.outbound(sink).Broadcast(msg)
+	}
+	if count == 0 {
+		b.Fatal("selective broadcast reached no targets")
+	}
+}

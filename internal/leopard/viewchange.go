@@ -67,55 +67,53 @@ func (n *Node) hasPendingWork() bool {
 // checkViewChangeTimer implements the view-change trigger: if confirmation
 // progress stalls while work is pending, vote to leave the current view;
 // if an in-flight view change itself stalls, escalate to the next view.
-func (n *Node) checkViewChangeTimer(out []transport.Envelope) []transport.Envelope {
+func (n *Node) checkViewChangeTimer(out transport.Sink) {
 	if n.inViewChange {
 		if n.now-n.vcStartedAt >= 4*n.cfg.ViewChangeTimeout {
 			target := n.pendingView // leave the failed target view too
-			out = n.voteTimeout(target, out)
+			n.voteTimeout(target, out)
 		}
-		return out
+		return
 	}
 	if !n.hasPendingWork() {
 		n.lastProgress = n.now
-		return out
+		return
 	}
 	if n.now-n.lastProgress >= n.cfg.ViewChangeTimeout {
-		out = n.voteTimeout(n.view, out)
+		n.voteTimeout(n.view, out)
 	}
-	return out
 }
 
 // voteTimeout broadcasts this replica's timeout vote for view v (once) and
 // enters the view change for v+1.
-func (n *Node) voteTimeout(v types.View, out []transport.Envelope) []transport.Envelope {
+func (n *Node) voteTimeout(v types.View, out transport.Sink) {
 	if n.sentTimeout[v] || v < n.view {
-		return out
+		return
 	}
 	share, err := n.suite.Sign(n.cfg.ID, timeoutDigest(v))
 	if err != nil {
-		return out
+		return
 	}
 	n.sentTimeout[v] = true
 	n.recordTimeout(v, n.cfg.ID)
-	out = append(out, transport.Broadcast(&TimeoutMsg{View: v, Share: share}))
-	return n.startViewChange(v+1, out)
+	out.Broadcast(&TimeoutMsg{View: v, Share: share})
+	n.startViewChange(v+1, out)
 }
 
 // handleTimeout records another replica's timeout vote; f+1 votes for the
 // current (or a later) view are proof the leader is faulty, so this replica
 // joins (Appendix A, trigger condition 2).
-func (n *Node) handleTimeout(from types.ReplicaID, m *TimeoutMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleTimeout(from types.ReplicaID, m *TimeoutMsg, out transport.Sink) {
 	if m.View < n.view {
-		return out
+		return
 	}
 	if err := n.suite.VerifyShare(timeoutDigest(m.View), m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	n.recordTimeout(m.View, from)
 	if len(n.timeoutVotes[m.View]) >= n.q.Small() && !n.sentTimeout[m.View] {
-		out = n.voteTimeout(m.View, out)
+		n.voteTimeout(m.View, out)
 	}
-	return out
 }
 
 func (n *Node) recordTimeout(v types.View, from types.ReplicaID) {
@@ -129,9 +127,9 @@ func (n *Node) recordTimeout(v types.View, from types.ReplicaID) {
 
 // startViewChange moves this replica into the view change targeting the
 // given view and sends its view-change message to the new leader.
-func (n *Node) startViewChange(target types.View, out []transport.Envelope) []transport.Envelope {
+func (n *Node) startViewChange(target types.View, out transport.Sink) {
 	if target <= n.view || (n.inViewChange && target <= n.pendingView) {
-		return out
+		return
 	}
 	n.inViewChange = true
 	n.pendingView = target
@@ -140,9 +138,14 @@ func (n *Node) startViewChange(target types.View, out []transport.Envelope) []tr
 	msg := n.buildViewChangeMsg(target)
 	newLeader := types.LeaderOf(target, n.q.N)
 	if newLeader == n.cfg.ID {
-		return n.collectViewChange(n.cfg.ID, msg, out)
+		n.collectViewChange(n.cfg.ID, msg, out)
+		return
 	}
-	return append(out, transport.Unicast(newLeader, msg))
+	// View-change messages are payload carriers (they embed notarized
+	// block headers, so the receiver's CPU stage charges them), but they
+	// are the recovery path's critical traffic: pin them to the control
+	// lane so they overtake queued datablock transfers.
+	out.Send(transport.Envelope{To: newLeader, Msg: msg, Lane: transport.LaneControl})
 }
 
 // buildViewChangeMsg assembles <view-change, v+1, lc, B> (Appendix A).
@@ -207,19 +210,19 @@ func (n *Node) validViewChangeMsg(from types.ReplicaID, m *ViewChangeMsg) bool {
 
 // handleViewChange collects view-change messages at the would-be leader of
 // the target view; 2f+1 of them produce the new-view message.
-func (n *Node) handleViewChange(from types.ReplicaID, m *ViewChangeMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleViewChange(from types.ReplicaID, m *ViewChangeMsg, out transport.Sink) {
 	if types.LeaderOf(m.NewView, n.q.N) != n.cfg.ID || m.NewView <= n.view {
-		return out
+		return
 	}
-	return n.collectViewChange(from, m, out)
+	n.collectViewChange(from, m, out)
 }
 
-func (n *Node) collectViewChange(from types.ReplicaID, m *ViewChangeMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) collectViewChange(from types.ReplicaID, m *ViewChangeMsg, out transport.Sink) {
 	if n.sentNewView[m.NewView] {
-		return out
+		return
 	}
 	if !n.validViewChangeMsg(from, m) {
-		return out
+		return
 	}
 	msgs := n.vcMsgs[m.NewView]
 	if msgs == nil {
@@ -228,7 +231,7 @@ func (n *Node) collectViewChange(from types.ReplicaID, m *ViewChangeMsg, out []t
 	}
 	msgs[from] = m
 	if len(msgs) < n.q.Quorum() {
-		return out
+		return
 	}
 	// Assemble the new-view message with 2f+1 view-change messages, in
 	// sender order for determinism.
@@ -244,36 +247,38 @@ func (n *Node) collectViewChange(from types.ReplicaID, m *ViewChangeMsg, out []t
 	}
 	share, err := n.suite.Sign(n.cfg.ID, newViewDigest(nv))
 	if err != nil {
-		return out
+		return
 	}
 	nv.Share = share
-	out = append(out, transport.Broadcast(nv))
-	return n.enterNewView(nv, out)
+	// Same lane override as the view-change message: the new-view
+	// announcement must not queue behind bulk backlog.
+	out.Send(transport.Envelope{Broadcast: true, Msg: nv, Lane: transport.LaneControl})
+	n.enterNewView(nv, out)
 }
 
 // handleNewView validates a new-view message and enters the new view.
-func (n *Node) handleNewView(from types.ReplicaID, m *NewViewMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleNewView(from types.ReplicaID, m *NewViewMsg, out transport.Sink) {
 	if m.NewView <= n.view || types.LeaderOf(m.NewView, n.q.N) != from {
-		return out
+		return
 	}
 	if err := n.suite.VerifyShare(newViewDigest(m), m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	seen := make(map[types.ReplicaID]struct{}, len(m.Proofs))
 	for i := range m.Proofs {
 		vc := &m.Proofs[i]
 		if vc.NewView != m.NewView || !n.validViewChangeMsg(vc.Sender, vc) {
-			return out
+			return
 		}
 		if _, dup := seen[vc.Sender]; dup {
-			return out
+			return
 		}
 		seen[vc.Sender] = struct{}{}
 	}
 	if len(seen) < n.q.Quorum() {
-		return out
+		return
 	}
-	return n.enterNewView(m, out)
+	n.enterNewView(m, out)
 }
 
 // redoPlan is the deterministic block selection derived from a new-view
@@ -314,7 +319,7 @@ func computeRedo(m *NewViewMsg) redoPlan {
 
 // enterNewView installs the new view, recomputes the redo plan, and (when
 // this replica is the new leader) re-proposes the carried blocks.
-func (n *Node) enterNewView(m *NewViewMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) enterNewView(m *NewViewMsg, out transport.Sink) {
 	plan := computeRedo(m)
 
 	n.view = m.NewView
@@ -339,8 +344,14 @@ func (n *Node) enterNewView(m *NewViewMsg, out []transport.Envelope) []transport
 	n.lastPropose = n.now
 
 	// Record what the new leader must propose for each redo slot, so an
-	// equivocating new leader is caught by handleBFTblock.
-	redoBlocks := make([]*types.BFTblock, 0, int(plan.maxSN-n.lw))
+	// equivocating new leader is caught by handleBFTblock. The plan's
+	// highest notarized slot can sit below this replica's own watermark
+	// (nothing notarized since the last checkpoint), leaving no redo work.
+	capHint := int(plan.maxSN - n.lw)
+	if capHint < 0 {
+		capHint = 0
+	}
+	redoBlocks := make([]*types.BFTblock, 0, capHint)
 	for sn := n.lw + 1; sn <= plan.maxSN; sn++ {
 		var blk *types.BFTblock
 		if prev, ok := plan.chosen[sn]; ok {
@@ -357,7 +368,7 @@ func (n *Node) enterNewView(m *NewViewMsg, out []transport.Envelope) []transport
 	n.futureBlocks = nil
 	for _, m := range replay {
 		if m.Block.View == n.view {
-			out = n.handleBFTblock(types.LeaderOf(m.Block.View, n.q.N), m, out)
+			n.handleBFTblock(types.LeaderOf(m.Block.View, n.q.N), m, out)
 		} else if m.Block.View > n.view && len(n.futureBlocks) < 4*n.cfg.MaxParallel {
 			n.futureBlocks = append(n.futureBlocks, m)
 		}
@@ -369,26 +380,18 @@ func (n *Node) enterNewView(m *NewViewMsg, out []transport.Envelope) []transport
 			n.nextSeq = n.lw + 1
 		}
 		for _, blk := range redoBlocks {
-			if _, confirmed := n.log[blk.Seq]; confirmed {
-				// Already confirmed locally; still re-propose so lagging
-				// replicas converge (cheap: content is only hashes).
-				var err error
-				if out, err = n.propose(blk, out); err != nil {
-					return out
-				}
-				continue
-			}
-			var err error
-			if out, err = n.propose(blk, out); err != nil {
-				return out
+			// Propose every redo slot — including blocks already confirmed
+			// locally, so lagging replicas converge (cheap: content is only
+			// hashes).
+			if err := n.propose(blk, out); err != nil {
+				return
 			}
 		}
 	}
 
 	// Re-announce held, unconfirmed datablocks to the new leader so its
 	// ready queue can be rebuilt.
-	out = n.reannounceDatablocks(out)
-	return out
+	n.reannounceDatablocks(out)
 }
 
 // unconfirmedPooled returns the sorted digests of pooled datablocks that
@@ -414,10 +417,10 @@ func (n *Node) unconfirmedPooled() []types.Hash {
 
 // reannounceDatablocks sends Ready for every pooled datablock that has not
 // been confirmed yet, rebuilding the new leader's ready state.
-func (n *Node) reannounceDatablocks(out []transport.Envelope) []transport.Envelope {
+func (n *Node) reannounceDatablocks(out transport.Sink) {
 	digests := n.unconfirmedPooled()
 	for _, h := range digests {
-		out = n.sendReady(h, out)
+		n.sendReady(h, out)
 	}
 	if n.isLeader() {
 		// The leader also re-credits generators for blocks it holds.
@@ -427,5 +430,4 @@ func (n *Node) reannounceDatablocks(out []transport.Envelope) []transport.Envelo
 			}
 		}
 	}
-	return out
 }

@@ -226,32 +226,27 @@ func (n *Node) observe(now time.Duration) {
 }
 
 // Start implements transport.Node.
-func (n *Node) Start(now time.Duration) []transport.Envelope {
+func (n *Node) Start(now time.Duration, out transport.Sink) {
 	n.observe(now)
-	return nil
 }
 
 // Tick implements transport.Node.
-func (n *Node) Tick(now time.Duration) []transport.Envelope {
+func (n *Node) Tick(now time.Duration, out transport.Sink) {
 	n.observe(now)
-	var out []transport.Envelope
 	if n.isLeader() {
-		out = n.maybePropose(out)
+		n.maybePropose(out)
 	}
-	return out
 }
 
 // Deliver implements transport.Node.
-func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message, out transport.Sink) {
 	n.observe(now)
-	var out []transport.Envelope
 	switch m := msg.(type) {
 	case *PrePrepareMsg:
-		out = n.handlePrePrepare(from, m, out)
+		n.handlePrePrepare(from, m, out)
 	case *VoteMsg:
-		out = n.handleVote(from, m, out)
+		n.handleVote(from, m, out)
 	}
-	return out
 }
 
 func (n *Node) getSlot(seq types.SeqNum) *slot {
@@ -267,19 +262,19 @@ func (n *Node) getSlot(seq types.SeqNum) *slot {
 }
 
 // maybePropose batches pending requests into pre-prepares.
-func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
+func (n *Node) maybePropose(out transport.Sink) {
 	for {
 		if n.nextSeq > n.executedTo+types.SeqNum(n.cfg.MaxParallel) {
-			return out
+			return
 		}
 		full := n.reqPool.Len() >= n.cfg.BatchSize
 		stale := n.reqPool.Len() > 0 && n.now-n.lastPropose >= n.cfg.BatchTimeout
 		if !full && !stale {
-			return out
+			return
 		}
 		reqs, _ := n.reqPool.Extract(n.cfg.BatchSize)
 		if len(reqs) == 0 {
-			return out
+			return
 		}
 		seq := n.nextSeq
 		n.nextSeq++
@@ -287,71 +282,71 @@ func (n *Node) maybePropose(out []transport.Envelope) []transport.Envelope {
 		digest := batchDigest(n.view, seq, reqs)
 		share, err := n.suite.Sign(n.cfg.ID, digest)
 		if err != nil {
-			return out
+			return
 		}
 		s := n.getSlot(seq)
 		s.digest = digest
 		s.requests = reqs
 		s.preprep = true
-		out = append(out, transport.Broadcast(&PrePrepareMsg{
+		out.Broadcast(&PrePrepareMsg{
 			View: n.view, Seq: seq, Requests: reqs, Digest: digest, Share: share,
-		}))
+		})
 		// The leader participates in both vote phases.
-		out = n.sendPrepare(seq, s, out)
+		n.sendPrepare(seq, s, out)
 	}
 }
 
 // handlePrePrepare accepts the leader's proposal and multicasts a prepare.
-func (n *Node) handlePrePrepare(from types.ReplicaID, m *PrePrepareMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handlePrePrepare(from types.ReplicaID, m *PrePrepareMsg, out transport.Sink) {
 	if from != n.Leader() || m.View != n.view {
-		return out
+		return
 	}
 	if m.Seq <= n.executedTo || m.Seq > n.executedTo+types.SeqNum(4*n.cfg.MaxParallel) {
-		return out
+		return
 	}
 	digest := m.Digest
 	if !n.TrustDigests || digest.IsZero() {
 		digest = batchDigest(m.View, m.Seq, m.Requests)
 	}
 	if err := n.suite.VerifyShare(digest, m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	s := n.getSlot(m.Seq)
 	if s.preprep {
-		return out // duplicate or equivocation: keep the first
+		return // duplicate or equivocation: keep the first
 	}
 	s.preprep = true
 	s.digest = digest
 	s.requests = m.Requests
-	out = n.sendPrepare(m.Seq, s, out)
-	return n.checkQuorums(m.Seq, s, out)
+	n.sendPrepare(m.Seq, s, out)
+	n.checkQuorums(m.Seq, s, out)
 }
 
 // sendPrepare multicasts this replica's prepare vote for seq.
-func (n *Node) sendPrepare(seq types.SeqNum, s *slot, out []transport.Envelope) []transport.Envelope {
+func (n *Node) sendPrepare(seq types.SeqNum, s *slot, out transport.Sink) {
 	if s.sentPrep {
-		return out
+		return
 	}
 	d := voteDigest(1, n.view, seq, s.digest)
 	share, err := n.suite.Sign(n.cfg.ID, d)
 	if err != nil {
-		return out
+		return
 	}
 	s.sentPrep = true
 	s.prepares[n.cfg.ID] = struct{}{}
-	return append(out, transport.Broadcast(&VoteMsg{
+	out.Broadcast(&VoteMsg{
 		Phase: 1, View: n.view, Seq: seq, Digest: s.digest, Share: share,
-	}))
+	})
 }
 
 // handleVote records prepare/commit votes (all-to-all pattern).
-func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out []transport.Envelope) []transport.Envelope {
+func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out transport.Sink) {
 	if m.View != n.view || m.Seq <= n.executedTo {
-		return out
+		return
 	}
 	d := voteDigest(m.Phase, m.View, m.Seq, m.Digest)
 	if err := n.suite.VerifyShare(d, m.Share); err != nil || m.Share.Signer != from {
-		return out
+		return
 	}
 	s := n.getSlot(m.Seq)
 	switch m.Phase {
@@ -360,13 +355,13 @@ func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out []transport.Enve
 	case 2:
 		s.commits[from] = struct{}{}
 	default:
-		return out
+		return
 	}
-	return n.checkQuorums(m.Seq, s, out)
+	n.checkQuorums(m.Seq, s, out)
 }
 
 // checkQuorums advances a slot through prepared -> committed -> executed.
-func (n *Node) checkQuorums(seq types.SeqNum, s *slot, out []transport.Envelope) []transport.Envelope {
+func (n *Node) checkQuorums(seq types.SeqNum, s *slot, out transport.Sink) {
 	if s.preprep && !s.prepared && len(s.prepares) >= n.q.Quorum() {
 		s.prepared = true
 		if !s.sentComm {
@@ -375,26 +370,25 @@ func (n *Node) checkQuorums(seq types.SeqNum, s *slot, out []transport.Envelope)
 			if err == nil {
 				s.sentComm = true
 				s.commits[n.cfg.ID] = struct{}{}
-				out = append(out, transport.Broadcast(&VoteMsg{
+				out.Broadcast(&VoteMsg{
 					Phase: 2, View: n.view, Seq: seq, Digest: s.digest, Share: share,
-				}))
+				})
 			}
 		}
 	}
 	if s.prepared && !s.committed && len(s.commits) >= n.q.Quorum() {
 		s.committed = true
-		out = n.tryExecute(out)
+		n.tryExecute()
 	}
-	return out
 }
 
 // tryExecute runs the longest consecutive committed prefix.
-func (n *Node) tryExecute(out []transport.Envelope) []transport.Envelope {
+func (n *Node) tryExecute() {
 	for {
 		next := n.executedTo + 1
 		s, ok := n.slots[next]
 		if !ok || !s.committed {
-			return out
+			return
 		}
 		if n.execFn != nil {
 			n.execFn(next, s.requests)

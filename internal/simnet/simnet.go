@@ -1,4 +1,7 @@
-// Package simnet is a deterministic discrete-event network simulator. It is
+// Package simnet is a deterministic discrete-event network simulator.
+// Nodes push their outbound envelopes into the network's Sink as handlers
+// run; envelopes are charged through the bandwidth model synchronously in
+// emission order, so identical seeds yield identical runs. It is
 // the substrate substituting for the paper's 600-instance EC2 testbed (see
 // DESIGN.md §1): every byte a replica sends serializes through the sender's
 // egress pipe and the receiver's ingress pipe at configured capacities, plus
@@ -46,6 +49,11 @@ type Config struct {
 	TickInterval time.Duration
 	// Seed feeds the deterministic RNG used for jitter.
 	Seed int64
+	// DisableLanePriority makes control-lane traffic queue FIFO behind
+	// bulk on the egress/ingress pipes instead of preempting it — the
+	// single-queue baseline for lane A/B experiments (the simulated mirror
+	// of tcp.Config.DisableLanes).
+	DisableLanePriority bool
 	// Codec, when set, enables wire fidelity: every message is encoded to
 	// a fresh frame and decoded again per receiver before delivery, exactly
 	// as the TCP transport would, instead of being delivered by reference.
@@ -127,6 +135,36 @@ type Network struct {
 	seq   uint64
 	now   time.Duration
 	rng   *rand.Rand
+
+	// snk is the single reusable Sink handed to node handlers; only its
+	// sender id changes per event. Envelopes pushed into it are dispatched
+	// synchronously in emission order with a monotonically increasing
+	// sequence tie-break, so identical seeds yield identical runs — the
+	// deterministic-Sink property TestDeterministicStatsAcrossRuns asserts
+	// at the protocol level.
+	snk netSink
+}
+
+// netSink routes a node's pushed envelopes into the bandwidth model on
+// behalf of the current sender. The Network is single-threaded: exactly one
+// node handler runs at a time, so one shared sink suffices.
+type netSink struct {
+	net  *Network
+	from types.ReplicaID
+}
+
+// Send implements transport.Sink.
+func (s *netSink) Send(env transport.Envelope) { s.net.dispatch(s.from, env) }
+
+// Broadcast implements transport.Sink.
+func (s *netSink) Broadcast(msg transport.Message) {
+	s.net.dispatch(s.from, transport.Envelope{Broadcast: true, Msg: msg})
+}
+
+// sinkFor points the shared sink at the given sender.
+func (n *Network) sinkFor(id types.ReplicaID) *netSink {
+	n.snk.from = id
+	return &n.snk
 }
 
 // New builds a network over the given nodes; node i must have ID i.
@@ -139,7 +177,7 @@ func New(cfg Config, nodes []transport.Node) (*Network, error) {
 			return nil, fmt.Errorf("simnet: node at slot %d reports id %d", i, n.ID())
 		}
 	}
-	return &Network{
+	n := &Network{
 		cfg:     cfg,
 		nodes:   nodes,
 		egress:  make([]time.Duration, len(nodes)),
@@ -148,7 +186,9 @@ func New(cfg Config, nodes []transport.Node) (*Network, error) {
 		stats:   make([]metrics.Bandwidth, len(nodes)),
 		crashed: make([]bool, len(nodes)),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	n.snk.net = n
+	return n, nil
 }
 
 // Now returns the current virtual time.
@@ -194,12 +234,13 @@ func transmissionDelay(size int, bps float64) time.Duration {
 }
 
 // occupy charges d of transmission time on pipe[idx], starting no earlier
-// than earliest, and returns the completion time. Bulk traffic queues FIFO;
-// control traffic (preempt) models priority queuing: real stacks interleave
-// small control flows with bulk transfers instead of parking them behind
-// megabytes of payload, so control frames transmit immediately while their
-// bytes still count against the pipe's capacity (they are <1% of traffic,
-// Table III).
+// than earliest, and returns the completion time. Bulk-lane traffic queues
+// FIFO; control-lane traffic (preempt) models priority queuing: real stacks
+// interleave small control flows with bulk transfers instead of parking
+// them behind megabytes of payload, so control frames transmit immediately
+// while their bytes still count against the pipe's capacity (they are <1%
+// of traffic, Table III). This is the simulated mirror of the TCP runtime's
+// strict control-over-bulk lane scheduler.
 func occupy(pipe []time.Duration, idx int, earliest, d time.Duration, preempt bool) time.Duration {
 	if preempt {
 		if pipe[idx] < earliest {
@@ -217,8 +258,10 @@ func occupy(pipe []time.Duration, idx int, earliest, d time.Duration, preempt bo
 	return done
 }
 
-// send routes one unicast message through the bandwidth model.
-func (n *Network) send(from, to types.ReplicaID, msg transport.Message) {
+// send routes one unicast message through the bandwidth model. The lane
+// decides pipe scheduling: control-lane messages preempt queued bulk on
+// both the egress and ingress pipes, bulk queues FIFO.
+func (n *Network) send(from, to types.ReplicaID, msg transport.Message, lane transport.Lane) {
 	if int(to) >= len(n.nodes) || from == to {
 		return
 	}
@@ -240,7 +283,7 @@ func (n *Network) send(from, to types.ReplicaID, msg transport.Message) {
 	}
 	size := msg.WireSize()
 	n.stats[from].AddSent(msg.Class(), size)
-	bulk := transport.IsBulk(msg)
+	preempt := lane == transport.LaneControl && !n.cfg.DisableLanePriority
 
 	// Half duplex splits one link capacity between the directions.
 	txRate, rxRate := n.cfg.EgressBps, n.cfg.IngressBps
@@ -250,7 +293,7 @@ func (n *Network) send(from, to types.ReplicaID, msg transport.Message) {
 	}
 
 	// Egress: serialize through the sender's pipe.
-	txDone := occupy(n.egress, int(from), n.now, transmissionDelay(size, txRate), !bulk)
+	txDone := occupy(n.egress, int(from), n.now, transmissionDelay(size, txRate), preempt)
 
 	// Propagation.
 	arrive := txDone + n.cfg.Latency
@@ -259,16 +302,18 @@ func (n *Network) send(from, to types.ReplicaID, msg transport.Message) {
 	}
 
 	// Ingress: serialize through the receiver's pipe.
-	rxDone := occupy(n.ingress, int(to), arrive, transmissionDelay(size, rxRate), !bulk)
+	rxDone := occupy(n.ingress, int(to), arrive, transmissionDelay(size, rxRate), preempt)
 
 	// Processing: the receiver's CPU stage. Only payload-bearing bulk
 	// classes are charged — deserializing and hashing request bytes is
 	// what saturates the paper's 4-vCPU replicas, while votes and proofs
 	// are small and handled out-of-band (separate connections/cores), so
 	// modeling them through the same FIFO would add a priority inversion
-	// real systems do not have.
+	// real systems do not have. This keys on the message itself (IsBulk),
+	// not the scheduling lane: re-laning a bulk message onto the control
+	// lane expedites its transmission but cannot waive its CPU cost.
 	deliverAt := rxDone
-	if n.cfg.ProcBps > 0 && bulk {
+	if n.cfg.ProcBps > 0 && transport.IsBulk(msg) {
 		pStart := n.proc[to]
 		if pStart < rxDone {
 			pStart = rxDone
@@ -285,11 +330,12 @@ func (n *Network) dispatch(from types.ReplicaID, env transport.Envelope) {
 	if env.Msg == nil {
 		return
 	}
+	lane := env.EffectiveLane()
 	deliverTo := func(to types.ReplicaID) {
 		if n.filter != nil && !n.filter(n.now, from, to, env.Msg) {
 			return
 		}
-		n.send(from, to, env.Msg)
+		n.send(from, to, env.Msg, lane)
 	}
 	if env.Broadcast {
 		for id := range n.nodes {
@@ -305,10 +351,7 @@ func (n *Network) dispatch(from types.ReplicaID, env transport.Envelope) {
 // Start initializes all nodes and schedules ticking. Call once before Run.
 func (n *Network) Start() {
 	for _, node := range n.nodes {
-		outs := node.Start(n.now)
-		for _, env := range outs {
-			n.dispatch(node.ID(), env)
-		}
+		node.Start(n.now, n.sinkFor(node.ID()))
 	}
 	if n.cfg.TickInterval > 0 {
 		n.scheduleTick(n.cfg.TickInterval)
@@ -334,19 +377,13 @@ func (n *Network) Run(until time.Duration) {
 				continue
 			}
 			n.stats[e.to].AddReceived(e.msg.Class(), e.msg.WireSize())
-			outs := n.nodes[e.to].Deliver(n.now, e.from, e.msg)
-			for _, env := range outs {
-				n.dispatch(e.to, env)
-			}
+			n.nodes[e.to].Deliver(n.now, e.from, e.msg, n.sinkFor(e.to))
 		case evTick:
 			for _, node := range n.nodes {
 				if n.crashed[node.ID()] {
 					continue
 				}
-				outs := node.Tick(n.now)
-				for _, env := range outs {
-					n.dispatch(node.ID(), env)
-				}
+				node.Tick(n.now, n.sinkFor(node.ID()))
 			}
 			// Always reschedule; if the next tick lies beyond the
 			// deadline it stays queued for a later Run call.

@@ -39,22 +39,24 @@ type echoNode struct {
 }
 
 func (n *echoNode) ID() types.ReplicaID { return n.id }
-func (n *echoNode) Start(now time.Duration) []transport.Envelope {
-	return n.onStart
+func (n *echoNode) Start(now time.Duration, out transport.Sink) {
+	for _, env := range n.onStart {
+		out.Send(env)
+	}
 }
-func (n *echoNode) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message) []transport.Envelope {
+func (n *echoNode) Deliver(now time.Duration, from types.ReplicaID, msg transport.Message, out transport.Sink) {
 	m := msg.(*testMsg)
 	n.got = append(n.got, m.tag)
 	n.gotAt = append(n.gotAt, now)
 	n.gotFrom = append(n.gotFrom, from)
 	n.gotMsgs = append(n.gotMsgs, msg)
-	return nil
 }
-func (n *echoNode) Tick(now time.Duration) []transport.Envelope {
+func (n *echoNode) Tick(now time.Duration, out transport.Sink) {
 	n.ticks++
-	out := n.tickSend
+	for _, env := range n.tickSend {
+		out.Send(env)
+	}
 	n.tickSend = nil
-	return out
 }
 
 func newTestNet(t *testing.T, cfg Config, count int) (*Network, []*echoNode) {

@@ -4,6 +4,15 @@
 // every peer and uses the dialed connection for sending, while accepted
 // connections are receive-only, so no connection-ownership races exist.
 //
+// Outbound traffic is scheduled in two lanes per peer, mirroring the
+// transport.Sink contract: the control lane (votes, proofs, proposals,
+// view-change, checkpoint) is transmitted strictly ahead of the bulk lane
+// (datablocks, retrieval transfers), so a queued multi-MiB datablock can
+// never head-of-line-block the metadata consensus path. The bulk queue is
+// bounded and drops on overflow — the protocol recovers via retrieval and
+// the ready round — while control frames get a deeper queue sized for vote
+// bursts.
+//
 // Peer identity is announced in a hello frame. The protocol layer's
 // signatures authenticate everything consequential (votes, proposals,
 // proofs); deployments that also need channel privacy should wrap the
@@ -18,6 +27,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"leopard/internal/transport"
@@ -45,6 +55,19 @@ type Config struct {
 	DialRetry time.Duration
 	// MaxFrame bounds accepted frame sizes (default 64 MiB).
 	MaxFrame int
+	// ControlQueue is the per-peer control-lane queue depth (default
+	// 4096 frames). Control frames are small; the depth is sized for vote
+	// bursts at large n. Overflow drops the frame.
+	ControlQueue int
+	// BulkQueue is the per-peer bulk-lane queue depth (default 256
+	// frames). Bulk frames are large, so the bound is what keeps a slow
+	// peer from pinning unbounded datablock memory; overflow drops the
+	// frame and the protocol recovers via retrieval.
+	BulkQueue int
+	// DisableLanes collapses outbound scheduling to a single FIFO (every
+	// frame rides the bulk queue, sized ControlQueue+BulkQueue). This is
+	// the pre-lane behaviour, kept as an A/B baseline for benchmarks.
+	DisableLanes bool
 }
 
 func (c *Config) validate() error {
@@ -62,6 +85,12 @@ func (c *Config) validate() error {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = 64 << 20
+	}
+	if c.ControlQueue <= 0 {
+		c.ControlQueue = 4096
+	}
+	if c.BulkQueue <= 0 {
+		c.BulkQueue = 256
 	}
 	return nil
 }
@@ -81,9 +110,8 @@ type Runtime struct {
 	events   chan event
 	// local lets the process inject calls (e.g. client submissions) into
 	// the apply loop, keeping the node single-threaded.
-	local chan func(now time.Duration) []transport.Envelope
+	local chan func(now time.Duration, out transport.Sink)
 
-	mu    sync.Mutex
 	peers []*peer
 
 	start   time.Time
@@ -92,12 +120,17 @@ type Runtime struct {
 	wg      sync.WaitGroup
 }
 
-// peer is one outbound connection with a send queue.
+// peer is one outbound connection with two lane queues. The apply loop is
+// the only producer; the peer's sendLoop goroutine is the only consumer.
 type peer struct {
-	id    types.ReplicaID
-	addr  string
-	queue chan []byte // buffered: absorbs bursts; Send drops when full
-	drops int64
+	id   types.ReplicaID
+	addr string
+	// control carries LaneControl frames, transmitted strictly before
+	// anything queued in bulk.
+	control chan []byte
+	// bulk carries LaneBulk frames; bounded, drops on overflow.
+	bulk  chan []byte
+	drops atomic.Int64
 }
 
 // New creates a runtime for node. Call Run to start serving.
@@ -112,7 +145,7 @@ func New(cfg Config, node transport.Node) (*Runtime, error) {
 		// goroutines feeding one apply loop; its size bounds memory, and
 		// readers block (applying TCP backpressure) when it fills.
 		events: make(chan event, 4096),
-		local:  make(chan func(now time.Duration) []transport.Envelope, 256),
+		local:  make(chan func(now time.Duration, out transport.Sink), 256),
 		stop:   make(chan struct{}),
 	}
 	for id, addr := range cfg.Addrs {
@@ -120,14 +153,16 @@ func New(cfg Config, node transport.Node) (*Runtime, error) {
 			r.peers = append(r.peers, nil)
 			continue
 		}
-		r.peers = append(r.peers, &peer{
-			id:   types.ReplicaID(id),
-			addr: addr,
-			// Per-peer send queue: sized to ride out transient stalls
-			// without blocking the apply loop; overflow drops the frame
-			// (the protocol recovers via retrieval / view change).
-			queue: make(chan []byte, 1024),
-		})
+		p := &peer{id: types.ReplicaID(id), addr: addr}
+		if cfg.DisableLanes {
+			// Single-FIFO baseline: everything rides one queue.
+			p.bulk = make(chan []byte, cfg.ControlQueue+cfg.BulkQueue)
+			p.control = nil
+		} else {
+			p.control = make(chan []byte, cfg.ControlQueue)
+			p.bulk = make(chan []byte, cfg.BulkQueue)
+		}
+		r.peers = append(r.peers, p)
 	}
 	return r, nil
 }
@@ -137,6 +172,9 @@ func New(cfg Config, node transport.Node) (*Runtime, error) {
 func (r *Runtime) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", r.cfg.Addrs[r.cfg.Self])
 	if err != nil {
+		// Close r.stop so Done() fires and callers parked on an Inject
+		// reply (the documented wait pattern) unblock.
+		r.Stop()
 		return fmt.Errorf("tcp: listen: %w", err)
 	}
 	r.listener = ln
@@ -178,9 +216,26 @@ func (r *Runtime) Stop() {
 // now returns the runtime-relative monotonic time handed to the node.
 func (r *Runtime) now() time.Duration { return time.Since(r.start) }
 
+// Done is closed when the runtime stops. Callers waiting on a reply from
+// an Inject closure must select on it: a closure that was enqueued but not
+// yet run when the runtime stopped will never execute.
+func (r *Runtime) Done() <-chan struct{} { return r.stop }
+
+// Drops returns the number of outbound frames dropped to peer id because a
+// lane queue was full (diagnostics; zero for the self slot).
+func (r *Runtime) Drops(id types.ReplicaID) int64 {
+	if int(id) >= len(r.peers) || r.peers[id] == nil {
+		return 0
+	}
+	return r.peers[id].drops.Load()
+}
+
 // Inject runs fn on the apply loop; fn may call into the node safely and
-// return envelopes to send. Used for client submissions.
-func (r *Runtime) Inject(fn func(now time.Duration) []transport.Envelope) error {
+// push any resulting envelopes into the provided sink. Used for client
+// submissions and for snapshotting node state (Stats, ExecutedTo) under
+// the apply loop's serialization — the node is single-goroutine, so any
+// off-loop read must go through here.
+func (r *Runtime) Inject(fn func(now time.Duration, out transport.Sink)) error {
 	select {
 	case r.local <- fn:
 		return nil
@@ -191,8 +246,8 @@ func (r *Runtime) Inject(fn func(now time.Duration) []transport.Envelope) error 
 
 // applyLoop is the single goroutine that touches the node.
 func (r *Runtime) applyLoop(ctx context.Context) error {
-	outs := r.node.Start(r.now())
-	r.dispatch(outs)
+	sink := rtSink{r}
+	r.node.Start(r.now(), sink)
 	ticker := time.NewTicker(r.cfg.TickInterval)
 	defer ticker.Stop()
 	for {
@@ -202,50 +257,99 @@ func (r *Runtime) applyLoop(ctx context.Context) error {
 		case <-r.stop:
 			return nil
 		case ev := <-r.events:
-			r.dispatch(r.node.Deliver(r.now(), ev.from, ev.msg))
+			r.node.Deliver(r.now(), ev.from, ev.msg, sink)
 		case fn := <-r.local:
-			r.dispatch(fn(r.now()))
+			fn(r.now(), sink)
 		case <-ticker.C:
-			r.dispatch(r.node.Tick(r.now()))
+			r.node.Tick(r.now(), sink)
 		}
 	}
 }
 
-// dispatch encodes and queues outbound envelopes.
-func (r *Runtime) dispatch(outs []transport.Envelope) {
-	for _, env := range outs {
-		if env.Msg == nil {
-			continue
-		}
-		frame, err := r.cfg.Codec.Encode(env.Msg)
-		if err != nil {
-			continue // unencodable message: drop, protocol will recover
-		}
-		if env.Broadcast {
-			for _, p := range r.peers {
-				if p != nil {
-					p.send(frame)
-				}
+// rtSink is the transport.Sink handed to the node: it encodes each pushed
+// envelope once and routes the frame to the destination peers' lane queues.
+type rtSink struct{ r *Runtime }
+
+// Send implements transport.Sink.
+func (s rtSink) Send(env transport.Envelope) { s.r.emit(env) }
+
+// Broadcast implements transport.Sink.
+func (s rtSink) Broadcast(msg transport.Message) {
+	s.r.emit(transport.Envelope{Broadcast: true, Msg: msg})
+}
+
+// emit encodes and enqueues one outbound envelope onto its lane.
+func (r *Runtime) emit(env transport.Envelope) {
+	if env.Msg == nil {
+		return
+	}
+	frame, err := r.cfg.Codec.Encode(env.Msg)
+	if err != nil || len(frame) == 0 {
+		// Unencodable (or empty-frame) message: drop, protocol will
+		// recover. The empty check also protects sendLoop, whose nil
+		// frame is the shutdown sentinel.
+		return
+	}
+	lane := env.EffectiveLane()
+	if env.Broadcast {
+		for _, p := range r.peers {
+			if p != nil {
+				p.send(frame, lane)
 			}
-			continue
 		}
-		if int(env.To) < len(r.peers) {
-			if p := r.peers[env.To]; p != nil {
-				p.send(frame)
-			}
+		return
+	}
+	if int(env.To) < len(r.peers) {
+		if p := r.peers[env.To]; p != nil {
+			p.send(frame, lane)
 		}
 	}
 }
 
-func (p *peer) send(frame []byte) {
+// send enqueues a frame onto the peer's lane queue without blocking the
+// apply loop; a full queue drops the frame.
+func (p *peer) send(frame []byte, lane transport.Lane) {
+	q := p.bulk
+	if lane == transport.LaneControl && p.control != nil {
+		q = p.control
+	}
 	select {
-	case p.queue <- frame:
+	case q <- frame:
 	default:
-		p.drops++
+		p.drops.Add(1)
 	}
 }
 
-// sendLoop dials the peer (with retry) and writes queued frames.
+// next dequeues the peer's next outbound frame with strict lane priority:
+// anything in the control queue goes first; bulk transmits only while the
+// control queue is empty. A control frame enqueued while a bulk frame is
+// on the wire therefore overtakes every still-queued bulk frame. Returns
+// a nil frame when the runtime stops.
+func (r *Runtime) next(p *peer) ([]byte, transport.Lane) {
+	if p.control != nil {
+		select {
+		case frame := <-p.control:
+			return frame, transport.LaneControl
+		default:
+		}
+		select {
+		case <-r.stop:
+			return nil, transport.LaneAuto
+		case frame := <-p.control:
+			return frame, transport.LaneControl
+		case frame := <-p.bulk:
+			return frame, transport.LaneBulk
+		}
+	}
+	select {
+	case <-r.stop:
+		return nil, transport.LaneAuto
+	case frame := <-p.bulk:
+		return frame, transport.LaneBulk
+	}
+}
+
+// sendLoop dials the peer (with retry) and writes frames in lane order.
 func (r *Runtime) sendLoop(p *peer) {
 	var conn net.Conn
 	defer func() {
@@ -274,25 +378,46 @@ func (r *Runtime) sendLoop(p *peer) {
 			}
 		}
 	}
-	for {
-		select {
-		case <-r.stop:
-			return
-		case frame := <-p.queue:
-			for {
+	// write transmits one frame, reconnecting as needed; false = stopping.
+	write := func(frame []byte) bool {
+		for {
+			if conn == nil {
+				conn = connect()
 				if conn == nil {
-					conn = connect()
-					if conn == nil {
+					return false
+				}
+			}
+			if err := writeFrame(conn, frame); err != nil {
+				conn.Close()
+				conn = nil
+				continue // reconnect and resend this frame
+			}
+			return true
+		}
+	}
+	for {
+		frame, lane := r.next(p)
+		if frame == nil {
+			return
+		}
+		if lane == transport.LaneBulk && p.control != nil {
+			// next()'s blocking select picks uniformly when both lanes are
+			// ready, so a control frame may have been enqueued while we
+			// were parked; strict priority means it transmits before the
+			// bulk frame we just dequeued.
+			for drained := false; !drained; {
+				select {
+				case c := <-p.control:
+					if !write(c) {
 						return
 					}
+				default:
+					drained = true
 				}
-				if err := writeFrame(conn, frame); err != nil {
-					conn.Close()
-					conn = nil
-					continue // reconnect and resend this frame
-				}
-				break
 			}
+		}
+		if !write(frame) {
+			return
 		}
 	}
 }

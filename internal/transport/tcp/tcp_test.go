@@ -108,9 +108,8 @@ func TestLeopardOverTCP(t *testing.T) {
 		target := 2 + i%2
 		req := types.Request{ClientID: uint64(target), Seq: uint64(i), Payload: []byte(fmt.Sprintf("req-%d", i))}
 		node := nodes[target]
-		if err := runtimes[target].Inject(func(now time.Duration) []transport.Envelope {
+		if err := runtimes[target].Inject(func(now time.Duration, out transport.Sink) {
 			node.SubmitRequest(now, req)
-			return nil
 		}); err != nil {
 			t.Fatal(err)
 		}

@@ -1,9 +1,61 @@
 // Package transport defines the message-passing abstractions shared by the
-// network simulator (internal/simnet) and the real TCP transport. Protocol
-// nodes are event-driven state machines: they receive messages and timer
-// ticks, and return envelopes to send. This keeps 600-replica simulations
-// single-threaded and deterministic while letting the TCP runtime drive the
-// same state machine with goroutines.
+// network simulator (internal/simnet) and the real TCP transport.
+//
+// Protocol nodes are event-driven state machines driven through a
+// push-based outbound API: the transport hands every event handler a Sink,
+// and the node emits its outbound envelopes into it as it processes the
+// event. This replaces the older pull-style API in which every handler
+// returned a []Envelope slice — the push model eliminates the per-event
+// slice churn, lets a transport start transmitting the first envelope
+// before the handler finishes, and gives the transport an explicit
+// scheduling signal per envelope (its Lane) instead of one undifferentiated
+// queue.
+//
+// # Sink contract
+//
+// A Sink accepts envelopes in the order the node emits them and must
+// preserve that order per (sender, receiver, lane) — the protocol relies on
+// per-pair FIFO within a lane. Send never blocks the calling node for an
+// unbounded time and never reports failure: a transport under pressure
+// drops envelopes rather than stalling the state machine — bulk first (its
+// queues are tightly bounded), and in the extreme control too (its queues
+// are deep, but a long-unreachable peer can fill them). The protocol must
+// therefore treat every send as best-effort and recover dropped traffic
+// through its own timers (retrieval, re-query, view change). The Sink
+// passed to a handler is only valid for the duration of that call; nodes
+// must not retain it.
+//
+// # Lanes
+//
+// Every envelope travels in one of two outbound lanes. LaneControl carries
+// the metadata consensus path — votes, proofs, view-change, checkpoint and
+// other small messages whose latency bounds agreement progress. LaneBulk
+// carries datablock dissemination and retrieval transfers — the large
+// payloads whose throughput the paper's design offloads from the critical
+// path. Transports schedule LaneControl strictly ahead of LaneBulk so a
+// multi-MiB datablock transfer can never head-of-line-block a 100-byte
+// vote; this is the transport-level mirror of Leopard's separation of
+// metadata consensus from data dissemination. The lane is derived from the
+// message class (LaneFor) unless the envelope overrides it.
+//
+// # Determinism
+//
+// Simulated transports must be deterministic: the same seed and the same
+// call sequence yield byte-identical runs. To keep that property, nodes
+// must emit into the Sink deterministically (no map-iteration order, no
+// wall-clock reads), and deterministic transports process the pushed
+// envelopes strictly in emission order. The TCP runtime is free to
+// interleave lanes nondeterministically — real networks do — but must still
+// preserve per-lane FIFO per peer.
+//
+// # Migration note for external Node implementors
+//
+// Before this API, transport.Node handlers returned []Envelope. To migrate
+// an implementation: add the trailing Sink parameter to Start/Deliver/Tick,
+// replace `out = append(out, env)` with `out.Send(env)` and
+// `out = append(out, transport.Broadcast(msg))` with `out.Broadcast(msg)`,
+// and delete the return value. Drivers that previously collected the
+// returned slice can pass a *SliceSink and read its Envelopes field.
 package transport
 
 import (
@@ -93,9 +145,11 @@ type PayloadCarrier interface {
 	CarriesPayload() bool
 }
 
-// IsBulk reports whether msg should be charged to the processing stage:
-// datablocks, retrieval transfers and raw request submissions always are;
-// other messages only if they declare themselves payload carriers.
+// IsBulk reports whether msg carries bulk payload bytes: datablocks,
+// retrieval transfers and raw request submissions always do; other messages
+// only if they declare themselves payload carriers. It drives both the
+// default lane classification (LaneFor) and the simulator's CPU-stage
+// charging.
 func IsBulk(msg Message) bool {
 	switch msg.Class() {
 	case ClassDatablock, ClassRetrieval, ClassRequest:
@@ -107,12 +161,65 @@ func IsBulk(msg Message) bool {
 	return false
 }
 
+// Lane is an outbound scheduling class. Transports transmit LaneControl
+// envelopes strictly ahead of LaneBulk envelopes queued to the same peer.
+type Lane uint8
+
+const (
+	// LaneAuto (the zero value) resolves to LaneFor(env.Msg): bulk classes
+	// ride the bulk lane, everything else the control lane.
+	LaneAuto Lane = iota
+	// LaneControl is the metadata consensus path: votes, proofs, proposals,
+	// view-change, checkpoint. Scheduled ahead of bulk.
+	LaneControl
+	// LaneBulk is datablock dissemination and retrieval transfers. Bounded
+	// queues; overflow drops (the protocol recovers).
+	LaneBulk
+)
+
+// String implements fmt.Stringer.
+func (l Lane) String() string {
+	switch l {
+	case LaneAuto:
+		return "auto"
+	case LaneControl:
+		return "control"
+	case LaneBulk:
+		return "bulk"
+	default:
+		return "unknown"
+	}
+}
+
+// LaneFor derives the default lane of a message from its class.
+func LaneFor(msg Message) Lane {
+	if IsBulk(msg) {
+		return LaneBulk
+	}
+	return LaneControl
+}
+
 // Envelope is an outbound message. If Broadcast is set the message goes to
 // every replica except the sender; otherwise it goes to To.
 type Envelope struct {
 	To        types.ReplicaID
 	Broadcast bool
 	Msg       Message
+	// Lane overrides the outbound scheduling lane. LaneAuto (the zero
+	// value) derives it from the message class via LaneFor; a node can pin
+	// a normally-bulk message onto the control lane (or vice versa) when
+	// its urgency differs from its class — e.g. a tiny redo datablock that
+	// unblocks a view change.
+	Lane Lane
+}
+
+// EffectiveLane resolves the envelope's scheduling lane, applying the
+// LaneAuto default.
+func (e Envelope) EffectiveLane() Lane {
+	if e.Lane != LaneAuto {
+		return e.Lane
+	}
+	return LaneFor(e.Msg)
 }
 
 // Unicast builds a single-destination envelope.
@@ -125,17 +232,63 @@ func Broadcast(msg Message) Envelope {
 	return Envelope{Broadcast: true, Msg: msg}
 }
 
-// Node is an event-driven protocol participant. Implementations must not
-// retain the envelope slice capacity across calls and must be deterministic:
-// the same call sequence yields the same outputs.
+// Sink receives a node's outbound envelopes as the node emits them. See the
+// package doc for the ordering, non-blocking and lifetime contract.
+type Sink interface {
+	// Send pushes one outbound envelope.
+	Send(Envelope)
+	// Broadcast is shorthand for Send(Broadcast(msg)).
+	Broadcast(Message)
+}
+
+// SinkFunc adapts a function to the Sink interface; Broadcast wraps the
+// message in a broadcast envelope and forwards to the function.
+type SinkFunc func(Envelope)
+
+// Send implements Sink.
+func (f SinkFunc) Send(env Envelope) { f(env) }
+
+// Broadcast implements Sink.
+func (f SinkFunc) Broadcast(msg Message) { f(Envelope{Broadcast: true, Msg: msg}) }
+
+// SliceSink collects envelopes in emission order. It is the bridge for
+// drivers (tests, synchronous routers) that want the old pull-style slice:
+// pass a *SliceSink into a handler, then read Envelopes. The zero value is
+// ready to use.
+type SliceSink struct {
+	Envelopes []Envelope
+}
+
+// Send implements Sink.
+func (s *SliceSink) Send(env Envelope) { s.Envelopes = append(s.Envelopes, env) }
+
+// Broadcast implements Sink.
+func (s *SliceSink) Broadcast(msg Message) { s.Send(Envelope{Broadcast: true, Msg: msg}) }
+
+// Reset clears the collected envelopes, retaining capacity.
+func (s *SliceSink) Reset() { s.Envelopes = s.Envelopes[:0] }
+
+// Discard is a Sink that drops everything (crash-like fault injection,
+// benchmarks measuring the emit path alone).
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Send(Envelope)     {}
+func (discardSink) Broadcast(Message) {}
+
+// Node is an event-driven protocol participant. Handlers emit outbound
+// envelopes by pushing into the Sink argument; they must not retain the
+// Sink past the call and must be deterministic: the same call sequence
+// yields the same emissions in the same order.
 type Node interface {
 	// ID returns the replica id this node runs as.
 	ID() types.ReplicaID
 	// Start is called once before any other event, with the initial time.
-	Start(now time.Duration) []Envelope
+	Start(now time.Duration, out Sink)
 	// Deliver handles a message from another replica.
-	Deliver(now time.Duration, from types.ReplicaID, msg Message) []Envelope
+	Deliver(now time.Duration, from types.ReplicaID, msg Message, out Sink)
 	// Tick fires periodically so nodes can run timers (view-change,
 	// retrieval timeouts, pacing). The interval is runtime-configured.
-	Tick(now time.Duration) []Envelope
+	Tick(now time.Duration, out Sink)
 }
