@@ -129,7 +129,7 @@ func run(configPath string, id int, statusAddr string) error {
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
-			snap, err := snapshot(rt, node)
+			snap, err := snapshot(rt, node, n)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
@@ -198,12 +198,24 @@ type statusSnapshot struct {
 	DatablocksHeld    int64           `json:"datablocksHeld"`
 	Retrievals        int64           `json:"retrievals"`
 	ViewChanges       int64           `json:"viewChanges"`
+	// Bulk-lane streaming / flow control, aggregated over peers (see
+	// metrics.StreamStats): how much bulk output is parked awaiting
+	// credit, how much of the credit windows is in flight, how many
+	// streams are queued or mid-transfer, and the frames lost to
+	// park-budget evictions or control-queue overflow.
+	QueuedBulkBytes     int64 `json:"queuedBulkBytes"`
+	PeakQueuedBulkBytes int64 `json:"peakQueuedBulkBytes"`
+	CreditsOutstanding  int64 `json:"creditsOutstanding"`
+	StreamsActive       int64 `json:"streamsActive"`
+	StreamEvictions     int64 `json:"streamEvictions"`
+	DroppedFrames       int64 `json:"droppedFrames"`
 }
 
 // snapshot reads the node's counters under the runtime's serialization:
 // the closure runs on the apply loop, the only goroutine allowed to touch
-// node state, and hands the copied values back over a channel.
-func snapshot(rt *tcp.Runtime, node *leopard.Node) (statusSnapshot, error) {
+// node state, and hands the copied values back over a channel. nReplicas
+// is the cluster size, for summing per-peer transport counters.
+func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapshot, error) {
 	done := make(chan statusSnapshot, 1)
 	err := rt.Inject(func(now time.Duration, out transport.Sink) {
 		st := node.Stats()
@@ -225,17 +237,31 @@ func snapshot(rt *tcp.Runtime, node *leopard.Node) (statusSnapshot, error) {
 	if err != nil {
 		return statusSnapshot{}, err
 	}
+	// Transport-side counters live behind their own locks, not the apply
+	// loop, so they are read here rather than inside the Inject closure.
+	fill := func(snap statusSnapshot) statusSnapshot {
+		st := rt.StreamTotals()
+		snap.QueuedBulkBytes = st.QueuedBytes
+		snap.PeakQueuedBulkBytes = st.PeakQueuedBytes
+		snap.CreditsOutstanding = st.CreditsOutstanding
+		snap.StreamsActive = st.StreamsActive
+		snap.StreamEvictions = st.Evictions
+		for i := 0; i < nReplicas; i++ {
+			snap.DroppedFrames += rt.Drops(types.ReplicaID(i))
+		}
+		return snap
+	}
 	// The closure may be enqueued but never run if the runtime stops
 	// first; waiting on done alone would hang this handler forever.
 	select {
 	case snap := <-done:
-		return snap, nil
+		return fill(snap), nil
 	case <-rt.Done():
 		// The snapshot may have been delivered in the same instant the
 		// runtime stopped; prefer it over the shutdown error.
 		select {
 		case snap := <-done:
-			return snap, nil
+			return fill(snap), nil
 		default:
 			return statusSnapshot{}, errors.New("runtime stopped")
 		}

@@ -35,6 +35,7 @@ var knownExperiments = []struct{ id, desc string }{
 	{"fig13", "view-change time and communication cost"},
 	{"attack", "throughput under f selective-attacking replicas"},
 	{"vclanes", "view-change convergence under saturated bulk lanes (lanes vs FIFO)"},
+	{"stream", "slow-receiver datablock fan-out: credit streaming vs drop-on-overflow"},
 }
 
 func main() {
@@ -204,6 +205,17 @@ func run(id string, scales []int) error {
 		for _, r := range rows {
 			fmt.Printf("%4d   %9.1f   %16.1f\n",
 				r.N, float64(r.Laned.Microseconds())/1e3, float64(r.SingleQ.Microseconds())/1e3)
+		}
+	case "stream":
+		rows, err := experiments.StreamScenario(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   mode     converge(ms)   peak-queued(KB)   drops   retrievals")
+		for _, r := range rows {
+			fmt.Printf("%4d   %-6s   %12.1f   %15.1f   %5d   %10d\n",
+				r.N, r.Mode, float64(r.Converged.Microseconds())/1e3,
+				float64(r.PeakQueuedBytes)/1e3, r.BulkDrops, r.Retrievals)
 		}
 	case "attack":
 		if len(scales) == 0 {

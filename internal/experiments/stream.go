@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"leopard/internal/leopard"
+	"leopard/internal/simnet"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// StreamResult is one row of the stream scenario: a mixed ~1 MiB datablock
+// fan-out with one slow receiver, run under the chunked credit-based bulk
+// lane and under the drop-on-overflow baseline it replaced.
+type StreamResult struct {
+	N    int
+	Mode string // "stream" (BulkCredit) or "drop" (BulkDrop baseline)
+	// Converged is from first submission until every replica holds every
+	// datablock (by any path: dissemination or retrieval).
+	Converged time.Duration
+	// PeakQueuedBytes is the largest bulk backlog any sender parked for
+	// one peer set at once — the memory cost of not dropping.
+	PeakQueuedBytes int64
+	// BulkDrops counts datablock/retrieval frames lost at the bulk lane
+	// (tail drops in the baseline, park-budget evictions under credits).
+	BulkDrops int64
+	// Retrievals counts datablocks recovered via Alg. 3 across replicas —
+	// the protocol-level repair work transport losses force.
+	Retrievals int64
+}
+
+// streamParams sizes one scenario run. The CLI uses full ~1 MiB blocks;
+// the regression test shrinks everything to stay fast.
+type streamParams struct {
+	dbRequests int     // requests per datablock (×128 B payload)
+	blocksPer  int     // datablocks per generator
+	linkBps    float64 // cluster link rate
+	slowBps    float64 // the slow receiver's ingress rate
+	window     int64   // credit window / in-flight bound, both modes
+	chunk      int     // stream chunk size
+	dropBudget int64   // baseline bounded-queue size (PR 3 sizing)
+	parkBudget int64   // streaming park budget
+	timeout    time.Duration
+}
+
+func defaultStreamParams() streamParams {
+	return streamParams{
+		dbRequests: 8192, // ~1.2 MiB datablocks at 128 B payload
+		blocksPer:  4,
+		linkBps:    200e6,
+		slowBps:    20e6,
+		window:     256 << 10,
+		chunk:      64 << 10,
+		dropBudget: 2 << 20,
+		parkBudget: 64 << 20,
+		timeout:    120 * time.Second,
+	}
+}
+
+// StreamScenario runs the slow-receiver fan-out at each scale under both
+// bulk models. Two generators broadcast blocksPer ~1 MiB datablocks each
+// while the last replica's ingress runs at a tenth of the cluster's link
+// rate. Under credits the backlog parks at the senders and drains at the
+// receiver's pace — zero drops, zero retrievals; under the
+// drop-on-overflow baseline the bounded queue sheds datablocks and the
+// slow replica must repair via retrieval.
+func StreamScenario(scales []int) ([]StreamResult, error) {
+	if len(scales) == 0 {
+		scales = []int{4, 8}
+	}
+	var out []StreamResult
+	for _, n := range scales {
+		for _, mode := range []simnet.BulkModel{simnet.BulkCredit, simnet.BulkDrop} {
+			r, err := streamOnce(n, mode, defaultStreamParams())
+			if err != nil {
+				return nil, fmt.Errorf("stream n=%d %s: %w", n, r.Mode, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func streamOnce(n int, mode simnet.BulkModel, p streamParams) (StreamResult, error) {
+	res := StreamResult{N: n, Mode: "stream"}
+	if mode == simnet.BulkDrop {
+		res.Mode = "drop"
+	}
+	if n < 4 {
+		return res, fmt.Errorf("need n >= 4, got %d", n)
+	}
+	slow := types.ReplicaID(n - 1)
+	net := netConfig()
+	net.EgressBps = p.linkBps
+	net.IngressBps = p.linkBps
+	net.ProcBps = 0 // a pure transport scenario: the wire is the bottleneck
+	net.TickInterval = 5 * time.Millisecond
+	net.Bulk = mode
+	net.IngressBpsPer = make([]float64, n)
+	net.IngressBpsPer[slow] = p.slowBps
+	net.Stream = transport.StreamConfig{
+		ChunkSize:    p.chunk,
+		CreditWindow: p.window,
+		ParkBudget:   p.parkBudget,
+	}
+	if mode == simnet.BulkDrop {
+		// The baseline's bounded queue uses the PR 3 sizing: small, since
+		// without flow control a deep queue just pins stale datablocks.
+		net.Stream.ParkBudget = p.dropBudget
+	}
+
+	// No background saturation: the scenario injects an exact burst.
+	c, err := leopardClusterDepth(n, p.dbRequests, 10, 0, net, func(cfg *leopard.Config) {
+		cfg.ViewChangeTimeout = time.Hour
+		// Generous retrieval timer, as the paper's network-profiled
+		// adaptive timer: parked-but-flowing datablocks must not trigger
+		// spurious queries, while frames the baseline dropped (which will
+		// never arrive) still get repaired.
+		cfg.RetrievalTimeout = 4 * time.Second
+		cfg.MaxOutstandingDatablocks = 2
+		// Keep every datablock pooled until the run ends so convergence
+		// can be read off DatablocksHeld (no checkpoint GC mid-run).
+		cfg.MaxParallel = 200
+	})
+	if err != nil {
+		return res, err
+	}
+	c.Start()
+	c.Net.Run(50 * time.Millisecond) // connect/tick warm-up
+
+	// Two generators, skipping the view-1 leader (replica 1) and the slow
+	// receiver: replicas 0 and 2 each submit exactly blocksPer datablocks'
+	// worth of requests.
+	generators := []types.ReplicaID{0, 2}
+	for _, g := range generators {
+		c.SubmitN(g, p.blocksPer*p.dbRequests)
+	}
+	totalBlocks := int64(len(generators) * p.blocksPer)
+
+	nodes := make([]*leopard.Node, 0, n)
+	for _, r := range c.Replicas {
+		if node, ok := r.(*leopard.Node); ok {
+			nodes = append(nodes, node)
+		}
+	}
+	start := c.Net.Now()
+	converged := func() bool {
+		for _, node := range nodes {
+			if node.Stats().DatablocksHeld < totalBlocks {
+				return false
+			}
+		}
+		return true
+	}
+	if ok := c.RunUntil(start+p.timeout, 10*time.Millisecond, converged); !ok {
+		held := make([]int64, n)
+		for i, node := range nodes {
+			held[i] = node.Stats().DatablocksHeld
+		}
+		return res, fmt.Errorf("no convergence within %v: held %v of %d, drops %d",
+			p.timeout, held, totalBlocks, c.Net.TotalBulkDrops())
+	}
+	res.Converged = c.Net.Now() - start
+	res.PeakQueuedBytes = c.Net.PeakQueuedBytes()
+	res.BulkDrops = c.Net.TotalBulkDrops()
+	for _, node := range nodes {
+		res.Retrievals += node.Stats().Retrievals
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/simnet"
+)
+
+// testStreamParams shrinks the stream scenario so the regression runs in
+// seconds: ~70 KiB datablocks, a 10 Mbps slow receiver on 100 Mbps links,
+// a 32 KiB credit window and a baseline queue of under two datablocks.
+func testStreamParams() streamParams {
+	return streamParams{
+		dbRequests: 512,
+		blocksPer:  3,
+		linkBps:    100e6,
+		slowBps:    10e6,
+		window:     32 << 10,
+		chunk:      8 << 10,
+		dropBudget: 128 << 10,
+		parkBudget: 8 << 20,
+		timeout:    90 * time.Second,
+	}
+}
+
+// TestStreamScenarioCreditVsDrop is the acceptance regression for the
+// streamed bulk lane: with one slow receiver under a datablock fan-out,
+// the credit-based run must complete with zero bulk drops and no
+// retrieval repair, while the drop-on-overflow baseline sheds datablocks
+// and leans on retrieval to converge.
+func TestStreamScenarioCreditVsDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	const n = 4
+	stream, err := streamOnce(n, simnet.BulkCredit, testStreamParams())
+	if err != nil {
+		t.Fatalf("stream mode: %v", err)
+	}
+	drop, err := streamOnce(n, simnet.BulkDrop, testStreamParams())
+	if err != nil {
+		t.Fatalf("drop baseline: %v", err)
+	}
+	t.Logf("stream: %+v", stream)
+	t.Logf("drop:   %+v", drop)
+
+	// The credit run parks instead of dropping: every datablock arrives
+	// by dissemination, so no transport loss and no repair traffic.
+	if stream.BulkDrops != 0 {
+		t.Errorf("credit run dropped %d bulk frames, want 0", stream.BulkDrops)
+	}
+	if stream.Retrievals != 0 {
+		t.Errorf("credit run needed %d retrievals, want 0", stream.Retrievals)
+	}
+	// The backlog it parked instead must be visible — and bounded by the
+	// park budget.
+	if stream.PeakQueuedBytes == 0 {
+		t.Error("credit run recorded no parked backlog despite the slow receiver")
+	}
+	if stream.PeakQueuedBytes > testStreamParams().parkBudget {
+		t.Errorf("parked %d bytes over the %d budget", stream.PeakQueuedBytes, testStreamParams().parkBudget)
+	}
+
+	// The baseline's bounded queue sheds datablocks, and the slow replica
+	// converges only through retrieval retries.
+	if drop.BulkDrops == 0 {
+		t.Error("drop baseline lost no frames: the scenario exerted no pressure")
+	}
+	if drop.Retrievals == 0 {
+		t.Error("drop baseline converged without retrieval: drops were free?")
+	}
+	// Repairing after the fact cannot beat never losing the data.
+	if stream.Converged > drop.Converged {
+		t.Errorf("credit run converged in %v, slower than the drop baseline's %v",
+			stream.Converged, drop.Converged)
+	}
+}

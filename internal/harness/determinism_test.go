@@ -12,13 +12,15 @@ import (
 	"leopard/internal/metrics"
 	"leopard/internal/protocol"
 	"leopard/internal/simnet"
+	"leopard/internal/transport"
 	"leopard/internal/types"
 )
 
 // runFingerprint runs a full Leopard cluster under load (with jitter, so
 // the seeded RNG is actually exercised) and returns every replica's
-// bandwidth counters plus a rendering of its protocol counters.
-func runFingerprint(t *testing.T, seed int64) ([]metrics.Bandwidth, []string) {
+// bandwidth counters plus a rendering of its protocol counters. streaming
+// selects the chunked credit-based bulk model instead of the legacy pipes.
+func runFingerprint(t *testing.T, seed int64, streaming bool) ([]metrics.Bandwidth, []string) {
 	t.Helper()
 	const n = 7
 	q, err := types.NewQuorumParams(n)
@@ -33,6 +35,18 @@ func runFingerprint(t *testing.T, seed int64) ([]metrics.Bandwidth, []string) {
 	net.Seed = seed
 	net.Jitter = 200 * time.Microsecond
 	net.TickInterval = 2 * time.Millisecond
+	if streaming {
+		net.Bulk = simnet.BulkCredit
+		// A small window and chunk relative to the ~3 KiB datablocks so
+		// the run actually exercises chunk interleaving, parking and
+		// credit grants, not just single-chunk streams.
+		net.Stream = transport.StreamConfig{
+			ChunkSize:       1024,
+			StreamThreshold: 1024,
+			CreditWindow:    8 << 10,
+			ParkBudget:      1 << 20,
+		}
+	}
 	c, err := harness.NewCluster(harness.Options{
 		N:               n,
 		Net:             net,
@@ -75,8 +89,8 @@ func runFingerprint(t *testing.T, seed int64) ([]metrics.Bandwidth, []string) {
 // produce byte-identical bandwidth accounting and protocol counters at
 // every replica, while a different seed (with jitter active) diverges.
 func TestDeterministicStatsAcrossRuns(t *testing.T) {
-	bw1, st1 := runFingerprint(t, 42)
-	bw2, st2 := runFingerprint(t, 42)
+	bw1, st1 := runFingerprint(t, 42, false)
+	bw2, st2 := runFingerprint(t, 42, false)
 	if !reflect.DeepEqual(bw1, bw2) {
 		t.Fatal("bandwidth stats differ across identically-seeded runs")
 	}
@@ -88,5 +102,35 @@ func TestDeterministicStatsAcrossRuns(t *testing.T) {
 	// Sanity: the fingerprint reflects real work, not an idle cluster.
 	if bw1[0].Total() == 0 {
 		t.Fatal("fingerprint run did no work")
+	}
+}
+
+// TestDeterministicStatsWithStreaming extends the determinism guarantee
+// to the chunked credit-based bulk model: the per-pair chunk schedules,
+// credit grants and park/resume cycles are all heap events, so two
+// identically-seeded streaming runs must stay byte-identical too.
+func TestDeterministicStatsWithStreaming(t *testing.T) {
+	bw1, st1 := runFingerprint(t, 42, true)
+	bw2, st2 := runFingerprint(t, 42, true)
+	if !reflect.DeepEqual(bw1, bw2) {
+		t.Fatal("bandwidth stats differ across identically-seeded streaming runs")
+	}
+	for i := range st1 {
+		if st1[i] != st2[i] {
+			t.Fatalf("replica %d protocol stats differ:\n run1: %s\n run2: %s", i, st1[i], st2[i])
+		}
+	}
+	if bw1[0].Total() == 0 {
+		t.Fatal("fingerprint run did no work")
+	}
+	// The streaming fingerprint must actually have streamed: credit
+	// grants show up as ClassMisc traffic, which the pipe model never
+	// produces.
+	var misc int64
+	for i := range bw1 {
+		misc += bw1[i].Sent[transport.ClassMisc]
+	}
+	if misc == 0 {
+		t.Fatal("streaming run granted no credits: bulk model not exercised")
 	}
 }

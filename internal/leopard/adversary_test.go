@@ -105,7 +105,7 @@ func TestQueryServedOncePerRequester(t *testing.T) {
 	if count := countResponses(); count != 1 {
 		t.Fatalf("served %d responses to repeated queries, want 1", count)
 	}
-	// A burst inside the cooldown (4×RetrievalTimeout = 40ms) stays
+	// A burst inside the cooldown (6×RetrievalTimeout = 60ms) stays
 	// suppressed…
 	r.now += 10 * time.Millisecond
 	if count := countResponses(); count != 0 {

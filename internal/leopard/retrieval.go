@@ -59,11 +59,27 @@ func (n *Node) checkRetrievalTimers(out transport.Sink) {
 }
 
 // serveCooldown is how long a (digest, requester) pair is refused after
-// being served — the retrieval anti-amplification bound. It must stay
-// below the re-query cadence (8×RetrievalTimeout, checkRetrievalTimers)
-// so a legitimate retry is never refused; the served-map sweep in
-// advanceWatermark uses the same window to expire entries.
-func (n *Node) serveCooldown() time.Duration { return 4 * n.cfg.RetrievalTimeout }
+// being served — the retrieval anti-amplification bound.
+//
+// Invariant: serveCooldown must stay strictly below the re-query cadence
+// (8×RetrievalTimeout, checkRetrievalTimers), so that by the time an
+// honest requester legitimately re-queries, its previous serve has aged
+// out and the retry is answered. The served-map sweep in advanceWatermark
+// uses the same window to expire entries, so the invariant also bounds
+// that map's size.
+//
+// Derivation: under the drop-on-overflow transport the cooldown was
+// 4×RetrievalTimeout — deliberately well under the cadence, because a
+// RespMsg lost to a full bulk queue was a routine event and the requester
+// might effectively need a fast second serve. Under credit-based flow
+// control the bulk lane no longer drops on overflow: a response parks
+// until the requester grants credit, and is lost only to the rare
+// park-budget eviction of a stalled peer or a connection reset. With
+// response loss exceptional rather than routine, the cooldown widens to
+// 6×RetrievalTimeout — cutting the amplification a Byzantine querier can
+// extract by another third — while keeping the strict margin below 8× so
+// a retry after an eviction is always served.
+func (n *Node) serveCooldown() time.Duration { return 6 * n.cfg.RetrievalTimeout }
 
 // rsCodec returns the (f+1, n) Reed–Solomon codec shared by retrieval. The
 // GF(2^8) code supports at most 256 chunks, so for n > 256 the retrieval

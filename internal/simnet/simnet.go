@@ -54,6 +54,23 @@ type Config struct {
 	// single-queue baseline for lane A/B experiments (the simulated mirror
 	// of tcp.Config.DisableLanes).
 	DisableLanePriority bool
+	// Bulk selects the bulk-lane model: the legacy unbounded pipes
+	// (BulkPipes, the default), a bounded per-pair queue that drops on
+	// overflow (BulkDrop, the PR 3 TCP baseline), or chunked streaming
+	// with credit-based per-peer flow control (BulkCredit, the current
+	// TCP runtime). See BulkModel.
+	Bulk BulkModel
+	// Stream tunes the BulkDrop queue bound (ParkBudget) and the
+	// BulkCredit chunking/credit parameters; zero fields take the
+	// transport package defaults. It is the same StreamConfig the TCP
+	// runtime uses, so a simulated sender splits and parks exactly where
+	// the real one would.
+	Stream transport.StreamConfig
+	// IngressBpsPer overrides IngressBps per replica when non-nil (zero
+	// entries keep the global rate). Used to model a slow receiver, e.g.
+	// the stream-scenario follower whose NIC lags the cluster. Ignored
+	// under HalfDuplex.
+	IngressBpsPer []float64
 	// Codec, when set, enables wire fidelity: every message is encoded to
 	// a fresh frame and decoded again per receiver before delivery, exactly
 	// as the TCP transport would, instead of being delivered by reference.
@@ -81,12 +98,38 @@ func DefaultConfig() Config {
 // Return false to drop the message silently.
 type Filter func(now time.Duration, from, to types.ReplicaID, msg transport.Message) bool
 
+// BulkModel selects how the simulator moves bulk-lane traffic.
+type BulkModel uint8
+
+const (
+	// BulkPipes is the legacy model: a bulk message books the sender's
+	// egress and the receiver's ingress pipes immediately and queues
+	// without bound. No drops, no flow control, no observable queue.
+	BulkPipes BulkModel = iota
+	// BulkDrop models the PR 3 TCP runtime: per (sender, receiver) pair
+	// the bulk lane is a bounded byte queue (Stream.ParkBudget) drained
+	// one whole frame at a time at the pace the receiver absorbs them;
+	// a frame arriving at a full queue is dropped (the protocol recovers
+	// via retrieval). This is the drop-on-overflow baseline the stream
+	// scenario compares against.
+	BulkDrop
+	// BulkCredit models the streaming TCP runtime: bulk frames become
+	// streams, split into chunks (Stream.ChunkLen) and interleaved
+	// round-robin per pair; each chunk debits the pair's credit window
+	// and the receiver grants consumed bytes back as control-lane
+	// CreditMsg traffic. At zero credit the flow parks; the park budget
+	// evicts the oldest unstarted streams (the only loss path).
+	BulkCredit
+)
+
 type eventKind uint8
 
 const (
 	evDeliver eventKind = iota + 1
 	evTick
 	evCall
+	evChunk  // one bulk chunk finished its ingress transfer
+	evCredit // a credit grant reached the sender
 )
 
 type event struct {
@@ -97,6 +140,8 @@ type event struct {
 	to   types.ReplicaID
 	msg  transport.Message
 	fn   func(now time.Duration)
+	flow *flow
+	n    int64 // chunk payload / granted bytes
 }
 
 type eventHeap []*event
@@ -130,6 +175,11 @@ type Network struct {
 	stats   []metrics.Bandwidth
 	filter  Filter
 	crashed []bool
+
+	// flows holds per-(sender, receiver) bulk flow state under the
+	// BulkDrop and BulkCredit models; nil under BulkPipes. flows[from] is
+	// allocated lazily, flows[from][to] on first bulk send of the pair.
+	flows [][]*flow
 
 	queue eventHeap
 	seq   uint64
@@ -177,6 +227,7 @@ func New(cfg Config, nodes []transport.Node) (*Network, error) {
 			return nil, fmt.Errorf("simnet: node at slot %d reports id %d", i, n.ID())
 		}
 	}
+	cfg.Stream.Normalize()
 	n := &Network{
 		cfg:     cfg,
 		nodes:   nodes,
@@ -186,6 +237,9 @@ func New(cfg Config, nodes []transport.Node) (*Network, error) {
 		stats:   make([]metrics.Bandwidth, len(nodes)),
 		crashed: make([]bool, len(nodes)),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Bulk != BulkPipes {
+		n.flows = make([][]*flow, len(nodes))
 	}
 	n.snk.net = n
 	return n, nil
@@ -200,8 +254,22 @@ func (n *Network) SetFilter(f Filter) { n.filter = f }
 // Crash stops delivering events to a replica; its in-flight output is lost.
 func (n *Network) Crash(id types.ReplicaID) { n.crashed[id] = true }
 
-// Restart resumes delivery to a crashed replica (its state is as it was).
-func (n *Network) Restart(id types.ReplicaID) { n.crashed[id] = false }
+// Restart resumes delivery to a crashed replica (its state is as it was)
+// and unparks every bulk flow toward it. Sim simplification: partial
+// stream state survives the crash, where a real receiver would force its
+// senders to rewind streams on reconnect.
+func (n *Network) Restart(id types.ReplicaID) {
+	n.crashed[id] = false
+	if n.flows == nil {
+		return
+	}
+	for _, row := range n.flows {
+		if row == nil || row[id] == nil {
+			continue
+		}
+		n.flowPump(row[id])
+	}
+}
 
 // Stats returns the bandwidth accounting for a replica. The pointer stays
 // valid across Run calls; callers must not mutate it.
@@ -258,9 +326,57 @@ func occupy(pipe []time.Duration, idx int, earliest, d time.Duration, preempt bo
 	return done
 }
 
+// rates returns the (egress, ingress) rates for a (sender, receiver)
+// pair, applying half-duplex splitting and the per-replica ingress
+// override.
+func (n *Network) rates(to types.ReplicaID) (txRate, rxRate float64) {
+	txRate, rxRate = n.cfg.EgressBps, n.cfg.IngressBps
+	if n.cfg.HalfDuplex {
+		txRate = n.cfg.EgressBps / 2
+		return txRate, txRate
+	}
+	if int(to) < len(n.cfg.IngressBpsPer) && n.cfg.IngressBpsPer[to] > 0 {
+		rxRate = n.cfg.IngressBpsPer[to]
+	}
+	return txRate, rxRate
+}
+
+// procDone charges the receiver's CPU stage for a bulk message and returns
+// the delivery time. Only payload-bearing bulk classes are charged —
+// deserializing and hashing request bytes is what saturates the paper's
+// 4-vCPU replicas, while votes and proofs are small and handled
+// out-of-band (separate connections/cores), so modeling them through the
+// same FIFO would add a priority inversion real systems do not have. This
+// keys on the message itself (IsBulk), not the scheduling lane: re-laning
+// a bulk message onto the control lane expedites its transmission but
+// cannot waive its CPU cost.
+func (n *Network) procDone(to types.ReplicaID, msg transport.Message, rxDone time.Duration) time.Duration {
+	if n.cfg.ProcBps <= 0 || !transport.IsBulk(msg) {
+		return rxDone
+	}
+	pStart := n.proc[to]
+	if pStart < rxDone {
+		pStart = rxDone
+	}
+	deliverAt := pStart + transmissionDelay(msg.WireSize(), n.cfg.ProcBps)
+	n.proc[to] = deliverAt
+	return deliverAt
+}
+
+// arrival applies propagation latency and jitter to an egress completion.
+func (n *Network) arrival(txDone time.Duration) time.Duration {
+	arrive := txDone + n.cfg.Latency
+	if n.cfg.Jitter > 0 {
+		arrive += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	return arrive
+}
+
 // send routes one unicast message through the bandwidth model. The lane
 // decides pipe scheduling: control-lane messages preempt queued bulk on
-// both the egress and ingress pipes, bulk queues FIFO.
+// both the egress and ingress pipes; bulk queues FIFO under the legacy
+// pipe model, or enters the pair's flow (bounded queue / credit stream)
+// under the BulkDrop and BulkCredit models.
 func (n *Network) send(from, to types.ReplicaID, msg transport.Message, lane transport.Lane) {
 	if int(to) >= len(n.nodes) || from == to {
 		return
@@ -283,46 +399,271 @@ func (n *Network) send(from, to types.ReplicaID, msg transport.Message, lane tra
 	}
 	size := msg.WireSize()
 	n.stats[from].AddSent(msg.Class(), size)
-	preempt := lane == transport.LaneControl && !n.cfg.DisableLanePriority
-
-	// Half duplex splits one link capacity between the directions.
-	txRate, rxRate := n.cfg.EgressBps, n.cfg.IngressBps
-	if n.cfg.HalfDuplex {
-		txRate = n.cfg.EgressBps / 2
-		rxRate = txRate
+	if lane == transport.LaneBulk && n.flows != nil {
+		n.flowEnqueue(from, to, msg, size)
+		return
 	}
+	preempt := lane == transport.LaneControl && !n.cfg.DisableLanePriority
+	txRate, rxRate := n.rates(to)
 
 	// Egress: serialize through the sender's pipe.
 	txDone := occupy(n.egress, int(from), n.now, transmissionDelay(size, txRate), preempt)
-
-	// Propagation.
-	arrive := txDone + n.cfg.Latency
-	if n.cfg.Jitter > 0 {
-		arrive += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
-	}
-
-	// Ingress: serialize through the receiver's pipe.
+	// Propagation, then ingress: serialize through the receiver's pipe.
+	arrive := n.arrival(txDone)
 	rxDone := occupy(n.ingress, int(to), arrive, transmissionDelay(size, rxRate), preempt)
+	n.push(&event{at: n.procDone(to, msg, rxDone), kind: evDeliver, from: from, to: to, msg: msg})
+}
 
-	// Processing: the receiver's CPU stage. Only payload-bearing bulk
-	// classes are charged — deserializing and hashing request bytes is
-	// what saturates the paper's 4-vCPU replicas, while votes and proofs
-	// are small and handled out-of-band (separate connections/cores), so
-	// modeling them through the same FIFO would add a priority inversion
-	// real systems do not have. This keys on the message itself (IsBulk),
-	// not the scheduling lane: re-laning a bulk message onto the control
-	// lane expedites its transmission but cannot waive its CPU cost.
-	deliverAt := rxDone
-	if n.cfg.ProcBps > 0 && transport.IsBulk(msg) {
-		pStart := n.proc[to]
-		if pStart < rxDone {
-			pStart = rxDone
+// flow is one (sender, receiver) pair's bulk lane under the BulkDrop or
+// BulkCredit model: the simulated mirror of the TCP runtime's per-peer
+// stream scheduler (BulkCredit) or bounded bulk queue (BulkDrop). All
+// state advances deterministically through heap events.
+type flow struct {
+	from, to types.ReplicaID
+	streams  []*simStream
+	rr       int
+	inflight int64 // bytes booked on the pipes and not yet arrived
+	credit   int64 // BulkCredit: remaining send window
+	consumed int64 // BulkCredit: receiver bytes not yet granted back
+	queued   int64 // unsent bulk payload parked in this flow
+	peak     int64
+	evicts   int64
+}
+
+// simStream is one queued bulk message mid-stream.
+type simStream struct {
+	msg  transport.Message
+	size int
+	off  int
+}
+
+// flowFor returns (lazily creating) the pair's flow.
+func (n *Network) flowFor(from, to types.ReplicaID) *flow {
+	if n.flows[from] == nil {
+		n.flows[from] = make([]*flow, len(n.nodes))
+	}
+	f := n.flows[from][to]
+	if f == nil {
+		f = &flow{from: from, to: to, credit: n.cfg.Stream.CreditWindow}
+		n.flows[from][to] = f
+	}
+	return f
+}
+
+// flowEnqueue admits one bulk message into the pair's flow, enforcing the
+// park budget: BulkDrop tail-drops the new frame like a full bounded
+// queue; BulkCredit evicts the oldest not-yet-started streams first (the
+// slow-peer eviction path) and drops the new frame only if the budget
+// still cannot fit it.
+func (n *Network) flowEnqueue(from, to types.ReplicaID, msg transport.Message, size int) {
+	f := n.flowFor(from, to)
+	budget := n.cfg.Stream.ParkBudget
+	if f.queued+int64(size) > budget {
+		if n.cfg.Bulk == BulkDrop {
+			f.evicts++
+			return
 		}
-		deliverAt = pStart + transmissionDelay(size, n.cfg.ProcBps)
-		n.proc[to] = deliverAt
+		kept := f.streams[:0]
+		for _, st := range f.streams {
+			if f.queued+int64(size) > budget && st.off == 0 {
+				f.queued -= int64(st.size)
+				f.evicts++
+				continue
+			}
+			kept = append(kept, st)
+		}
+		f.streams = kept
+		f.rr = 0
+		if f.queued+int64(size) > budget {
+			f.evicts++
+			return
+		}
+	}
+	f.queued += int64(size)
+	if f.queued > f.peak {
+		f.peak = f.queued
+	}
+	f.streams = append(f.streams, &simStream{msg: msg, size: size})
+	n.flowPump(f)
+}
+
+// flowPump books transfer units on the pipes until the flow's window is
+// full: round-robin chunks under BulkCredit (each debiting the credit
+// window, parking at zero credit), whole frames under BulkDrop (bounded
+// by the same window's worth of in-flight bytes, modeling the kernel
+// socket buffer ahead of PR 3's bounded queue). In both modes the window
+// caps the bytes booked-but-not-arrived, so a slow receiver backpressures
+// the queue exactly as a full TCP window would while the pipe stays full
+// within the window, and the parked backlog is observable (StreamStats).
+func (n *Network) flowPump(f *flow) {
+	for n.flowBookOne(f) {
+	}
+}
+
+// flowBookOne books one unit; false means the flow is drained or parked.
+func (n *Network) flowBookOne(f *flow) bool {
+	if len(f.streams) == 0 || n.crashed[f.to] {
+		return false
+	}
+	var st *simStream
+	var chunk int
+	if n.cfg.Bulk == BulkDrop {
+		if f.inflight >= n.cfg.Stream.CreditWindow {
+			return false // socket buffer full: the queue holds the rest
+		}
+		st = f.streams[0]
+		chunk = st.size
+	} else {
+		if f.credit <= 0 {
+			return false // parked: a credit grant re-pumps
+		}
+		active := len(f.streams)
+		if active > n.cfg.Stream.MaxStreams {
+			active = n.cfg.Stream.MaxStreams
+		}
+		if f.rr >= active {
+			f.rr = 0
+		}
+		st = f.streams[f.rr]
+		chunk = n.cfg.Stream.ChunkLen(st.size, st.off)
+		if int64(chunk) > f.credit {
+			chunk = int(f.credit) // partial chunk, like the TCP scheduler
+		}
+		f.credit -= int64(chunk)
+	}
+	st.off += chunk
+	f.queued -= int64(chunk)
+	f.inflight += int64(chunk)
+	var final transport.Message
+	if st.off == st.size {
+		final = st.msg
+		if n.cfg.Bulk == BulkDrop {
+			f.streams = f.streams[1:]
+		} else {
+			f.streams = append(f.streams[:f.rr], f.streams[f.rr+1:]...)
+		}
+	} else {
+		f.rr++
 	}
 
-	n.push(&event{at: deliverAt, kind: evDeliver, from: from, to: to, msg: msg})
+	txRate, rxRate := n.rates(f.to)
+	txDone := occupy(n.egress, int(f.from), n.now, transmissionDelay(chunk, txRate), false)
+	arrive := n.arrival(txDone)
+	rxDone := occupy(n.ingress, int(f.to), arrive, transmissionDelay(chunk, rxRate), false)
+	n.push(&event{at: rxDone, kind: evChunk, from: f.from, to: f.to, msg: final, flow: f, n: int64(chunk)})
+	return true
+}
+
+// chunkArrived handles evChunk: the unit finished its ingress transfer.
+// The receiver accounts consumed bytes toward a credit grant, the final
+// chunk of a stream schedules the message's delivery (through the CPU
+// stage), and the flow pumps its next unit.
+func (n *Network) chunkArrived(e *event) {
+	f := e.flow
+	f.inflight -= e.n
+	if n.crashed[f.to] {
+		// The chunk hits a dead receiver: it is lost (no delivery, no
+		// grant), but its credit refunds immediately — the sim's
+		// stand-in for the TCP sender's fresh window after the
+		// connection reset. Without the refund, a flow with a full
+		// window in flight at the crash would stay parked forever and
+		// Restart could never unpark it.
+		if n.cfg.Bulk == BulkCredit {
+			f.credit += e.n
+			if f.credit > n.cfg.Stream.CreditWindow {
+				f.credit = n.cfg.Stream.CreditWindow
+			}
+		}
+		return
+	}
+	if n.cfg.Bulk == BulkCredit {
+		f.consumed += e.n
+		if f.consumed >= n.cfg.Stream.GrantThreshold() {
+			n.sendGrant(f, f.consumed)
+			f.consumed = 0
+		}
+	}
+	if e.msg != nil {
+		n.push(&event{at: n.procDone(f.to, e.msg, n.now), kind: evDeliver, from: f.from, to: f.to, msg: e.msg})
+	}
+	n.flowPump(f)
+}
+
+// sendGrant models the receiver's CreditMsg: a small control-lane frame
+// from f.to back to f.from, preempting queued bulk like any control
+// traffic, charged to both pipes and accounted under ClassMisc.
+func (n *Network) sendGrant(f *flow, bytes int64) {
+	grant := &transport.CreditMsg{Consumed: bytes}
+	size := grant.WireSize()
+	preempt := !n.cfg.DisableLanePriority
+	n.stats[f.to].AddSent(grant.Class(), size)
+	txRate, rxRate := n.rates(f.from)
+	txDone := occupy(n.egress, int(f.to), n.now, transmissionDelay(size, txRate), preempt)
+	arrive := n.arrival(txDone)
+	rxDone := occupy(n.ingress, int(f.from), arrive, transmissionDelay(size, rxRate), preempt)
+	n.stats[f.from].AddReceived(grant.Class(), size)
+	n.push(&event{at: rxDone, kind: evCredit, flow: f, n: bytes})
+}
+
+// creditArrived handles evCredit: the grant reopens the window (capped,
+// as in the TCP scheduler) and unparks the flow.
+func (n *Network) creditArrived(e *event) {
+	f := e.flow
+	f.credit += e.n
+	if f.credit > n.cfg.Stream.CreditWindow {
+		f.credit = n.cfg.Stream.CreditWindow
+	}
+	n.flowPump(f)
+}
+
+// StreamStats aggregates the bulk flow-control counters across every flow
+// originating at sender id: parked bytes, in-flight window, queued
+// streams and park-budget evictions. Zero under BulkPipes.
+func (n *Network) StreamStats(id types.ReplicaID) metrics.StreamStats {
+	var out metrics.StreamStats
+	if n.flows == nil || n.flows[id] == nil {
+		return out
+	}
+	for _, f := range n.flows[id] {
+		if f == nil {
+			continue
+		}
+		out.Accumulate(metrics.StreamStats{
+			QueuedBytes:        f.queued,
+			PeakQueuedBytes:    f.peak,
+			CreditsOutstanding: n.cfg.Stream.CreditWindow - f.credit,
+			StreamsActive:      int64(len(f.streams)),
+			Evictions:          f.evicts,
+		})
+	}
+	return out
+}
+
+// BulkDrops returns the bulk frames sender id lost to the park budget
+// (BulkCredit evictions or BulkDrop overflow).
+func (n *Network) BulkDrops(id types.ReplicaID) int64 {
+	return n.StreamStats(id).Evictions
+}
+
+// TotalBulkDrops sums BulkDrops over all senders.
+func (n *Network) TotalBulkDrops() int64 {
+	var total int64
+	for i := range n.nodes {
+		total += n.BulkDrops(types.ReplicaID(i))
+	}
+	return total
+}
+
+// PeakQueuedBytes returns the largest bulk backlog any single sender
+// parked at once (the max over senders of their per-sender peak).
+func (n *Network) PeakQueuedBytes() int64 {
+	var peak int64
+	for i := range n.nodes {
+		if p := n.StreamStats(types.ReplicaID(i)).PeakQueuedBytes; p > peak {
+			peak = p
+		}
+	}
+	return peak
 }
 
 // dispatch fans an envelope out into unicast sends, applying the filter.
@@ -390,6 +731,10 @@ func (n *Network) Run(until time.Duration) {
 			n.scheduleTick(n.now + n.cfg.TickInterval)
 		case evCall:
 			e.fn(n.now)
+		case evChunk:
+			n.chunkArrived(e)
+		case evCredit:
+			n.creditArrived(e)
 		}
 	}
 	if n.now < until {

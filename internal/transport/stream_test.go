@@ -1,0 +1,270 @@
+package transport_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"leopard/internal/transport"
+)
+
+// chunkPlan is one pending chunk of a simulated sender.
+type chunkPlan struct {
+	hdr     transport.StreamHeader
+	payload []byte
+}
+
+// planStream splits payload into in-order chunks with random sizes.
+func planStream(rng *rand.Rand, id uint64, payload []byte) []chunkPlan {
+	var plan []chunkPlan
+	total := uint64(len(payload))
+	off := 0
+	for off < len(payload) {
+		n := 1 + rng.Intn(len(payload)-off)
+		if rng.Intn(4) == 0 {
+			n = len(payload) - off // occasional jumbo final chunk
+		}
+		end := off + n
+		plan = append(plan, chunkPlan{
+			hdr: transport.StreamHeader{
+				StreamID: id,
+				Offset:   uint64(off),
+				Total:    total,
+				Fin:      end == len(payload),
+			},
+			payload: payload[off:end],
+		})
+		off = end
+	}
+	return plan
+}
+
+// TestStreamReassemblyProperty drives >=3 concurrent streams of random
+// payloads through the reassembler with random chunk sizes and a random
+// cross-stream interleaving, asserting every stream reassembles to exactly
+// its original payload. This is the sender/receiver contract the TCP
+// runtime and simnet both build on.
+func TestStreamReassemblyProperty(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		nStreams := 3 + rng.Intn(3)
+		want := make(map[uint64][]byte, nStreams)
+		pending := make([][]chunkPlan, nStreams)
+		for i := 0; i < nStreams; i++ {
+			payload := make([]byte, 1+rng.Intn(4096))
+			rng.Read(payload)
+			id := uint64(i)
+			want[id] = payload
+			pending[i] = planStream(rng, id, payload)
+		}
+		asm := transport.NewReassembler(transport.StreamConfig{}, 1<<20)
+		got := make(map[uint64][]byte)
+		for remaining := nStreams; remaining > 0; {
+			// Random interleaving: pick any stream with chunks left and
+			// feed its next in-order chunk.
+			i := rng.Intn(nStreams)
+			if len(pending[i]) == 0 {
+				continue
+			}
+			c := pending[i][0]
+			pending[i] = pending[i][1:]
+			complete, err := asm.Add(c.hdr, c.payload)
+			if err != nil {
+				t.Fatalf("iter %d: Add(stream %d off %d): %v", iter, c.hdr.StreamID, c.hdr.Offset, err)
+			}
+			if c.hdr.Fin {
+				if complete == nil {
+					t.Fatalf("iter %d: fin chunk of stream %d did not complete", iter, c.hdr.StreamID)
+				}
+				got[c.hdr.StreamID] = complete
+				remaining--
+			} else if complete != nil {
+				t.Fatalf("iter %d: non-fin chunk completed stream %d", iter, c.hdr.StreamID)
+			}
+		}
+		for id, payload := range want {
+			if !bytes.Equal(got[id], payload) {
+				t.Fatalf("iter %d: stream %d reassembled %d bytes, want %d", iter, id, len(got[id]), len(payload))
+			}
+		}
+		if asm.Streams() != 0 || asm.Buffered() != 0 {
+			t.Fatalf("iter %d: reassembler retained %d streams / %d bytes", iter, asm.Streams(), asm.Buffered())
+		}
+	}
+}
+
+// TestStreamReassemblyViolations tables the loud-failure paths: every
+// malformed sequence must return an error, never silently resync.
+func TestStreamReassemblyViolations(t *testing.T) {
+	hdr := func(id, off, total uint64, fin bool) transport.StreamHeader {
+		return transport.StreamHeader{StreamID: id, Offset: off, Total: total, Fin: fin}
+	}
+	pay := func(n int) []byte { return make([]byte, n) }
+	cases := []struct {
+		name  string
+		feed  []chunkPlan
+		fails int // index of the chunk that must error
+	}{
+		{"zero total", []chunkPlan{{hdr(1, 0, 0, true), pay(1)}}, 0},
+		{"oversized total", []chunkPlan{{hdr(1, 0, 1<<30, false), pay(8)}}, 0},
+		{"empty chunk", []chunkPlan{{hdr(1, 0, 8, false), nil}}, 0},
+		{"chunk past total", []chunkPlan{{hdr(1, 0, 4, true), pay(8)}}, 0},
+		{"offset wraparound", []chunkPlan{{hdr(1, ^uint64(0)-1, 8, true), pay(4)}}, 0},
+		{"new stream mid-offset", []chunkPlan{{hdr(1, 4, 8, true), pay(4)}}, 0},
+		{"gap", []chunkPlan{{hdr(1, 0, 8, false), pay(2)}, {hdr(1, 4, 8, true), pay(4)}}, 1},
+		{"overlap", []chunkPlan{{hdr(1, 0, 8, false), pay(4)}, {hdr(1, 2, 8, false), pay(2)}}, 1},
+		{"duplicate chunk", []chunkPlan{{hdr(1, 0, 8, false), pay(4)}, {hdr(1, 0, 8, false), pay(4)}}, 1},
+		{"total changed", []chunkPlan{{hdr(1, 0, 8, false), pay(4)}, {hdr(1, 4, 12, false), pay(4)}}, 1},
+		{"early fin", []chunkPlan{{hdr(1, 0, 8, true), pay(4)}}, 0},
+		{"missing fin", []chunkPlan{{hdr(1, 0, 8, false), pay(8)}}, 0},
+		{"duplicated fin", []chunkPlan{
+			{hdr(1, 0, 8, true), pay(8)},
+			{hdr(1, 0, 8, true), pay(8)}, // stream 1 is gone; a "new" stream 1 completing again is fine…
+			{hdr(1, 8, 8, true), pay(1)}, // …but a trailing fin beyond it must fail
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			asm := transport.NewReassembler(transport.StreamConfig{}, 1<<20)
+			for i, c := range tc.feed {
+				_, err := asm.Add(c.hdr, c.payload)
+				if i == tc.fails {
+					if err == nil {
+						t.Fatalf("chunk %d accepted, want error", i)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("chunk %d: unexpected error %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamReassemblyStreamCap: more concurrent partial streams than
+// MaxStreams is a protocol violation.
+func TestStreamReassemblyStreamCap(t *testing.T) {
+	cfg := transport.StreamConfig{MaxStreams: 2}
+	asm := transport.NewReassembler(cfg, 1<<20)
+	for id := uint64(0); id < 2; id++ {
+		if _, err := asm.Add(transport.StreamHeader{StreamID: id, Total: 8}, make([]byte, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := asm.Add(transport.StreamHeader{StreamID: 9, Total: 8}, make([]byte, 4)); err == nil {
+		t.Fatal("third concurrent stream accepted over MaxStreams=2")
+	}
+}
+
+// TestStreamHeaderRoundTrip pins the wire layout.
+func TestStreamHeaderRoundTrip(t *testing.T) {
+	in := transport.StreamHeader{StreamID: 7, Offset: 1 << 40, Total: 1<<40 + 9, Fin: true}
+	frame := transport.AppendStreamHeader(nil, in)
+	frame = append(frame, 0xAA, 0xBB)
+	if len(frame) != transport.StreamHeaderSize+2 {
+		t.Fatalf("encoded header is %d bytes, want %d", len(frame)-2, transport.StreamHeaderSize)
+	}
+	out, payload, err := transport.ParseStreamHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+	if len(payload) != 2 || payload[0] != 0xAA {
+		t.Fatalf("payload not preserved: %x", payload)
+	}
+	if _, _, err := transport.ParseStreamHeader(frame[:10]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	bad := transport.AppendStreamHeader(nil, in)
+	bad[24] |= 0x80 // unknown flag bit
+	if _, _, err := transport.ParseStreamHeader(bad); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+}
+
+// TestChunkLenPolicy pins the shared chunking function both transports
+// split with.
+func TestChunkLenPolicy(t *testing.T) {
+	cfg := transport.StreamConfig{ChunkSize: 100, StreamThreshold: 300}
+	cfg.Normalize()
+	if got := cfg.ChunkLen(300, 0); got != 300 {
+		t.Fatalf("frame at threshold split: chunk %d, want 300", got)
+	}
+	if got := cfg.ChunkLen(301, 0); got != 100 {
+		t.Fatalf("frame above threshold: first chunk %d, want 100", got)
+	}
+	if got := cfg.ChunkLen(301, 300); got != 1 {
+		t.Fatalf("final remainder chunk %d, want 1", got)
+	}
+}
+
+// FuzzStreamReassemble feeds arbitrary framed chunk sequences to the
+// reassembler: it must never panic, never complete a frame whose length
+// differs from the advertised total, and never retain more than MaxStreams
+// partial streams. Input format: repeated [2-byte big-endian frame length |
+// frame], each frame parsed as chunk header + payload.
+func FuzzStreamReassemble(f *testing.F) {
+	seed := func(chunks ...chunkPlan) []byte {
+		var buf []byte
+		for _, c := range chunks {
+			frame := transport.AppendStreamHeader(nil, c.hdr)
+			frame = append(frame, c.payload...)
+			var ln [2]byte
+			binary.BigEndian.PutUint16(ln[:], uint16(len(frame)))
+			buf = append(buf, ln[:]...)
+			buf = append(buf, frame...)
+		}
+		return buf
+	}
+	f.Add(seed(chunkPlan{transport.StreamHeader{StreamID: 1, Total: 3, Fin: true}, []byte("abc")}))
+	f.Add(seed(
+		chunkPlan{transport.StreamHeader{StreamID: 1, Total: 4}, []byte("ab")},
+		chunkPlan{transport.StreamHeader{StreamID: 2, Total: 2, Fin: true}, []byte("xy")},
+		chunkPlan{transport.StreamHeader{StreamID: 1, Offset: 2, Total: 4, Fin: true}, []byte("cd")},
+	))
+	// Malformed seeds: overlapping offsets, oversized total, dup fin.
+	f.Add(seed(
+		chunkPlan{transport.StreamHeader{StreamID: 1, Total: 8}, []byte("abcd")},
+		chunkPlan{transport.StreamHeader{StreamID: 1, Offset: 2, Total: 8}, []byte("cd")},
+	))
+	f.Add(seed(chunkPlan{transport.StreamHeader{StreamID: 1, Total: 1 << 62, Fin: false}, []byte("a")}))
+	f.Add(seed(
+		chunkPlan{transport.StreamHeader{StreamID: 1, Total: 1, Fin: true}, []byte("a")},
+		chunkPlan{transport.StreamHeader{StreamID: 1, Offset: 1, Total: 1, Fin: true}, []byte("a")},
+	))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxTotal = 1 << 16
+		cfg := transport.StreamConfig{MaxStreams: 4}
+		asm := transport.NewReassembler(cfg, maxTotal)
+		for len(data) >= 2 {
+			n := int(binary.BigEndian.Uint16(data[:2]))
+			data = data[2:]
+			if n > len(data) {
+				n = len(data)
+			}
+			frame := data[:n]
+			data = data[n:]
+			hdr, payload, err := transport.ParseStreamHeader(frame)
+			if err != nil {
+				continue // malformed header: a transport drops the peer
+			}
+			complete, err := asm.Add(hdr, payload)
+			if err != nil {
+				return // loud failure: the connection dies here
+			}
+			if complete != nil && uint64(len(complete)) != hdr.Total {
+				t.Fatalf("completed %d bytes, advertised total %d", len(complete), hdr.Total)
+			}
+			if asm.Streams() > 4 {
+				t.Fatalf("%d partial streams retained over cap 4", asm.Streams())
+			}
+			if asm.Buffered() > 4*maxTotal {
+				t.Fatalf("buffered %d bytes over bound", asm.Buffered())
+			}
+		}
+	})
+}

@@ -111,28 +111,52 @@ func runLaneOrder(t *testing.T, disableLanes bool) []byte {
 	defer conn.Close()
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 
-	var hello [4]byte
+	var hello [8]byte // replica id + connection epoch
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		t.Fatalf("hello: %v", err)
 	}
-	if got := binary.BigEndian.Uint32(hello[:]); got != 0 {
+	if got := binary.BigEndian.Uint32(hello[:4]); got != 0 {
 		t.Fatalf("hello from replica %d, want 0", got)
 	}
+	// Read wire frames ([len | kind | body]) until three messages have
+	// crossed: whole frames decode directly, bulk frames arrive as stream
+	// chunks and reassemble first.
+	asm := transport.NewReassembler(transport.StreamConfig{}, 64<<20)
 	var order []byte
-	for i := 0; i < 3; i++ {
-		var hdr [4]byte
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-			t.Fatalf("frame %d header: %v", i, err)
-		}
-		frame := make([]byte, binary.BigEndian.Uint32(hdr[:]))
-		if _, err := io.ReadFull(conn, frame); err != nil {
-			t.Fatalf("frame %d body: %v", i, err)
-		}
+	decodeTag := func(frame []byte) {
 		msg, err := laneCodec{}.Decode(frame)
 		if err != nil {
-			t.Fatalf("frame %d: %v", i, err)
+			t.Fatalf("decode: %v", err)
 		}
 		order = append(order, msg.(*laneMsg).tag)
+	}
+	for len(order) < 3 {
+		var hdr [5]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			t.Fatalf("frame %d header: %v", len(order), err)
+		}
+		body := make([]byte, binary.BigEndian.Uint32(hdr[:4])-1)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			t.Fatalf("frame %d body: %v", len(order), err)
+		}
+		switch hdr[4] {
+		case 0x00: // whole message
+			decodeTag(body)
+		case 0x01: // stream chunk
+			sh, payload, err := transport.ParseStreamHeader(body)
+			if err != nil {
+				t.Fatalf("chunk header: %v", err)
+			}
+			complete, err := asm.Add(sh, payload)
+			if err != nil {
+				t.Fatalf("reassemble: %v", err)
+			}
+			if complete != nil {
+				decodeTag(complete)
+			}
+		default:
+			t.Fatalf("unexpected frame kind %#x", hdr[4])
+		}
 	}
 	return order
 }

@@ -1,17 +1,27 @@
 // Package tcp hosts an event-driven protocol node (transport.Node) over
 // real TCP connections, for deployments and integration tests of the kind
-// the paper ran on EC2. Frames are length-prefixed; each replica dials
-// every peer and uses the dialed connection for sending, while accepted
-// connections are receive-only, so no connection-ownership races exist.
+// the paper ran on EC2. Frames are length-prefixed and kind-tagged; each
+// replica dials every peer and uses the dialed connection for sending,
+// while accepted connections are receive-only, so no connection-ownership
+// races exist.
 //
 // Outbound traffic is scheduled in two lanes per peer, mirroring the
 // transport.Sink contract: the control lane (votes, proofs, proposals,
 // view-change, checkpoint) is transmitted strictly ahead of the bulk lane
 // (datablocks, retrieval transfers), so a queued multi-MiB datablock can
-// never head-of-line-block the metadata consensus path. The bulk queue is
-// bounded and drops on overflow — the protocol recovers via retrieval and
-// the ready round — while control frames get a deeper queue sized for vote
-// bursts.
+// never head-of-line-block the metadata consensus path.
+//
+// The bulk lane streams: every bulk frame becomes a stream, large frames
+// are split into fixed-size chunks (transport.StreamHeader), and the
+// per-peer scheduler interleaves chunks fairly across the streams queued to
+// that peer. Delivery of a control frame therefore waits at most one chunk,
+// even mid-transfer. Instead of a bounded queue that drops on overflow, the
+// bulk lane runs credit-based per-peer flow control: the receiver's read
+// loop grants cumulative byte credits on the control lane (CreditMsg) as it
+// consumes chunks, the sender debits its window per chunk and parks its
+// streams at zero credit. A slow peer backpressures its sender instead of
+// forcing drops; only when the sender's park budget fills are the oldest
+// parked streams evicted (Config.Stream tunes all of this).
 //
 // Peer identity is announced in a hello frame. The protocol layer's
 // signatures authenticate everything consequential (votes, proposals,
@@ -30,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leopard/internal/metrics"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -37,9 +48,28 @@ import (
 // Codec converts protocol messages to and from wire frames. It is an alias
 // of transport.Codec, whose doc states the ownership contract: Decode may
 // retain the frame (zero-copy decode), and this runtime honours that by
-// reading every message into a fresh buffer (see readFrame) and never
-// touching it after Decode.
+// handing Decode only buffers it will never touch again — a fresh
+// allocation per whole-message frame, and the reassembler's output buffer
+// for streamed frames (chunk payloads are copied out of the read scratch
+// buffer during reassembly, so the reassembled frame is fresh by
+// construction).
 type Codec = transport.Codec
+
+// Wire frame kinds. Every frame after the hello is length-prefixed and
+// starts with one of these tags.
+const (
+	// frameKindMsg is a whole codec frame (control lane, plus everything
+	// in DisableLanes mode).
+	frameKindMsg = 0x00
+	// frameKindChunk is a bulk stream chunk: transport.StreamHeader
+	// followed by payload bytes.
+	frameKindChunk = 0x01
+	// frameKindCredit is a flow-control grant (transport.CreditMsg): a
+	// 4-byte connection epoch followed by an 8-byte cumulative count of
+	// bulk payload bytes the sender of this frame has consumed from us on
+	// that epoch's connection (both big-endian).
+	frameKindCredit = 0x02
+)
 
 // Config describes one replica's place in the cluster.
 type Config struct {
@@ -53,20 +83,25 @@ type Config struct {
 	TickInterval time.Duration
 	// DialRetry is the reconnect backoff (default 500ms).
 	DialRetry time.Duration
-	// MaxFrame bounds accepted frame sizes (default 64 MiB).
+	// MaxFrame bounds accepted frame sizes, including reassembled stream
+	// totals (default 64 MiB).
 	MaxFrame int
 	// ControlQueue is the per-peer control-lane queue depth (default
 	// 4096 frames). Control frames are small; the depth is sized for vote
 	// bursts at large n. Overflow drops the frame.
 	ControlQueue int
-	// BulkQueue is the per-peer bulk-lane queue depth (default 256
-	// frames). Bulk frames are large, so the bound is what keeps a slow
-	// peer from pinning unbounded datablock memory; overflow drops the
-	// frame and the protocol recovers via retrieval.
+	// BulkQueue is the per-peer queue depth used only by the DisableLanes
+	// single-FIFO baseline (default 256 frames). With lanes enabled the
+	// bulk lane has no frame queue: it streams under Stream's credit
+	// window and park budget instead.
 	BulkQueue int
+	// Stream tunes bulk-lane chunking and credit-based flow control; zero
+	// fields take the transport package defaults.
+	Stream transport.StreamConfig
 	// DisableLanes collapses outbound scheduling to a single FIFO (every
-	// frame rides the bulk queue, sized ControlQueue+BulkQueue). This is
-	// the pre-lane behaviour, kept as an A/B baseline for benchmarks.
+	// frame rides one bounded queue, sized ControlQueue+BulkQueue, no
+	// streaming, drop on overflow). This is the pre-lane behaviour, kept
+	// as an A/B baseline for benchmarks.
 	DisableLanes bool
 }
 
@@ -92,6 +127,7 @@ func (c *Config) validate() error {
 	if c.BulkQueue <= 0 {
 		c.BulkQueue = 256
 	}
+	c.Stream.Normalize()
 	return nil
 }
 
@@ -120,17 +156,72 @@ type Runtime struct {
 	wg      sync.WaitGroup
 }
 
-// peer is one outbound connection with two lane queues. The apply loop is
-// the only producer; the peer's sendLoop goroutine is the only consumer.
+// peer is one outbound connection. The apply loop is the only producer;
+// the peer's sendLoop goroutine is the only consumer of the queues, while
+// the read loop of the peer's inbound connection feeds credit grants into
+// the scheduler.
 type peer struct {
 	id   types.ReplicaID
 	addr string
-	// control carries LaneControl frames, transmitted strictly before
-	// anything queued in bulk.
+	// control carries kind-prefixed control-lane wire bodies,
+	// transmitted strictly before bulk chunks.
 	control chan []byte
-	// bulk carries LaneBulk frames; bounded, drops on overflow.
-	bulk  chan []byte
+	// bulk is the DisableLanes single FIFO; nil with lanes enabled.
+	bulk chan []byte
+	// sched streams the bulk lane under credit flow control; nil in
+	// DisableLanes mode.
+	sched *streamSched
 	drops atomic.Int64
+
+	// The grant mailbox holds the newest credit grant owed to this peer.
+	// It is a one-slot coalescing store rather than a queue entry:
+	// grants are cumulative, so only the latest matters, and a mailbox
+	// can never be lost to queue overflow — which would deadlock a
+	// fully parked sender, since no further chunks arrive to trigger
+	// another grant. The read loop fills it; the send loop drains it
+	// with control-lane priority.
+	grantMu     sync.Mutex
+	grantEpoch  uint32
+	grantVal    int64
+	grantDirty  bool
+	grantNotify chan struct{}
+}
+
+// setGrant records the newest cumulative grant for this peer. A newer
+// connection epoch replaces the slot outright; within an epoch the
+// counter only grows. An older epoch is discarded: after a reconnect the
+// old connection's readLoop can linger, draining kernel-buffered chunks
+// concurrently with the new one, and its late grants must not clobber
+// the new epoch's — the peer would discard the stale epoch on arrival
+// and, if fully parked, never receive another grant.
+func (p *peer) setGrant(epoch uint32, consumed int64) {
+	p.grantMu.Lock()
+	newer := int32(epoch-p.grantEpoch) > 0 // wraparound-safe
+	if newer || (epoch == p.grantEpoch && consumed > p.grantVal) {
+		p.grantEpoch = epoch
+		p.grantVal = consumed
+		p.grantDirty = true
+	}
+	p.grantMu.Unlock()
+	select {
+	case p.grantNotify <- struct{}{}:
+	default:
+	}
+}
+
+// takeGrant drains the mailbox into a wire body, or returns nil.
+func (p *peer) takeGrant() []byte {
+	p.grantMu.Lock()
+	defer p.grantMu.Unlock()
+	if !p.grantDirty {
+		return nil
+	}
+	p.grantDirty = false
+	body := make([]byte, 1+4+8)
+	body[0] = frameKindCredit
+	binary.BigEndian.PutUint32(body[1:5], p.grantEpoch)
+	binary.BigEndian.PutUint64(body[5:], uint64(p.grantVal))
+	return body
 }
 
 // New creates a runtime for node. Call Run to start serving.
@@ -143,7 +234,8 @@ func New(cfg Config, node transport.Node) (*Runtime, error) {
 		node: node,
 		// The event queue absorbs receive bursts from n-1 reader
 		// goroutines feeding one apply loop; its size bounds memory, and
-		// readers block (applying TCP backpressure) when it fills.
+		// readers block (applying TCP backpressure, which in turn stalls
+		// credit grants) when it fills.
 		events: make(chan event, 4096),
 		local:  make(chan func(now time.Duration, out transport.Sink), 256),
 		stop:   make(chan struct{}),
@@ -153,14 +245,13 @@ func New(cfg Config, node transport.Node) (*Runtime, error) {
 			r.peers = append(r.peers, nil)
 			continue
 		}
-		p := &peer{id: types.ReplicaID(id), addr: addr}
+		p := &peer{id: types.ReplicaID(id), addr: addr, grantNotify: make(chan struct{}, 1)}
 		if cfg.DisableLanes {
 			// Single-FIFO baseline: everything rides one queue.
 			p.bulk = make(chan []byte, cfg.ControlQueue+cfg.BulkQueue)
-			p.control = nil
 		} else {
 			p.control = make(chan []byte, cfg.ControlQueue)
-			p.bulk = make(chan []byte, cfg.BulkQueue)
+			p.sched = newStreamSched(cfg.Stream, &p.drops)
 		}
 		r.peers = append(r.peers, p)
 	}
@@ -221,13 +312,40 @@ func (r *Runtime) now() time.Duration { return time.Since(r.start) }
 // yet run when the runtime stopped will never execute.
 func (r *Runtime) Done() <-chan struct{} { return r.stop }
 
-// Drops returns the number of outbound frames dropped to peer id because a
-// lane queue was full (diagnostics; zero for the self slot).
+// Drops returns the number of outbound frames lost toward peer id
+// (diagnostics; zero for the self slot): control-queue overflow, plus
+// bulk-stream evictions when the park budget filled. Bulk frames are never
+// dropped merely because a queue was momentarily full — they park under
+// flow control — so a nonzero bulk component here means a peer stalled
+// past the park budget.
 func (r *Runtime) Drops(id types.ReplicaID) int64 {
 	if int(id) >= len(r.peers) || r.peers[id] == nil {
 		return 0
 	}
 	return r.peers[id].drops.Load()
+}
+
+// StreamStats returns the bulk-lane flow-control counters toward peer id
+// (zero value for the self slot and in DisableLanes mode).
+func (r *Runtime) StreamStats(id types.ReplicaID) metrics.StreamStats {
+	if int(id) >= len(r.peers) || r.peers[id] == nil || r.peers[id].sched == nil {
+		return metrics.StreamStats{}
+	}
+	return r.peers[id].sched.stats()
+}
+
+// StreamTotals aggregates StreamStats across all peers: total parked
+// bytes, credits in flight and active streams, with the peak as the max
+// over peers.
+func (r *Runtime) StreamTotals() metrics.StreamStats {
+	var total metrics.StreamStats
+	for _, p := range r.peers {
+		if p == nil || p.sched == nil {
+			continue
+		}
+		total.Accumulate(p.sched.stats())
+	}
+	return total
 }
 
 // Inject runs fn on the apply loop; fn may call into the node safely and
@@ -267,7 +385,7 @@ func (r *Runtime) applyLoop(ctx context.Context) error {
 }
 
 // rtSink is the transport.Sink handed to the node: it encodes each pushed
-// envelope once and routes the frame to the destination peers' lane queues.
+// envelope once and routes the frame to the destination peers' lanes.
 type rtSink struct{ r *Runtime }
 
 // Send implements transport.Sink.
@@ -286,72 +404,122 @@ func (r *Runtime) emit(env transport.Envelope) {
 	frame, err := r.cfg.Codec.Encode(env.Msg)
 	if err != nil || len(frame) == 0 {
 		// Unencodable (or empty-frame) message: drop, protocol will
-		// recover. The empty check also protects sendLoop, whose nil
-		// frame is the shutdown sentinel.
+		// recover.
 		return
 	}
 	lane := env.EffectiveLane()
+	var body []byte
+	if lane != transport.LaneBulk || r.cfg.DisableLanes {
+		// Whole-message wire body, shared read-only across the fan-out.
+		body = append(make([]byte, 0, 1+len(frame)), frameKindMsg)
+		body = append(body, frame...)
+	}
 	if env.Broadcast {
 		for _, p := range r.peers {
 			if p != nil {
-				p.send(frame, lane)
+				p.send(frame, body, lane)
 			}
 		}
 		return
 	}
 	if int(env.To) < len(r.peers) {
 		if p := r.peers[env.To]; p != nil {
-			p.send(frame, lane)
+			p.send(frame, body, lane)
 		}
 	}
 }
 
-// send enqueues a frame onto the peer's lane queue without blocking the
-// apply loop; a full queue drops the frame.
-func (p *peer) send(frame []byte, lane transport.Lane) {
+// send routes one encoded frame onto the peer's lane without blocking the
+// apply loop. Bulk frames become streams under flow control; control
+// frames (and everything in DisableLanes mode) ride a bounded queue whose
+// overflow drops the frame.
+func (p *peer) send(frame, body []byte, lane transport.Lane) {
+	if p.sched != nil && lane == transport.LaneBulk {
+		p.sched.enqueue(frame)
+		return
+	}
 	q := p.bulk
 	if lane == transport.LaneControl && p.control != nil {
 		q = p.control
 	}
 	select {
-	case q <- frame:
+	case q <- body:
 	default:
 		p.drops.Add(1)
 	}
 }
 
-// next dequeues the peer's next outbound frame with strict lane priority:
-// anything in the control queue goes first; bulk transmits only while the
-// control queue is empty. A control frame enqueued while a bulk frame is
-// on the wire therefore overtakes every still-queued bulk frame. Returns
-// a nil frame when the runtime stops.
-func (r *Runtime) next(p *peer) ([]byte, transport.Lane) {
-	if p.control != nil {
+// sendCredit posts a flow-control grant to peer id's mailbox: the
+// cumulative consumed-bytes counter of the inbound connection with the
+// given epoch. The send loop transmits it with control-lane priority.
+func (r *Runtime) sendCredit(id types.ReplicaID, epoch uint32, consumed int64) {
+	if int(id) >= len(r.peers) || r.peers[id] == nil {
+		return
+	}
+	r.peers[id].setGrant(epoch, consumed)
+}
+
+// applyCredit feeds a received grant into the scheduler for peer id.
+func (r *Runtime) applyCredit(id types.ReplicaID, epoch uint32, consumed int64) {
+	if int(id) >= len(r.peers) || r.peers[id] == nil || r.peers[id].sched == nil {
+		return
+	}
+	r.peers[id].sched.grant(epoch, consumed)
+}
+
+// next blocks until the peer has something to transmit, with strict lane
+// priority: a pending credit grant and anything in the control queue go
+// first; the bulk scheduler is consulted only while those are empty, and
+// hands out one chunk at a time, so a control frame enqueued mid-stream
+// waits at most one chunk write. Parked bulk (zero credit) does not
+// busy-wait: the send loop sleeps until a credit grant or a new stream
+// signals the scheduler. Returns ok=false when the runtime stops.
+func (r *Runtime) next(p *peer, hdrBuf []byte) (msg, chunkBody, chunkPayload []byte, ok bool) {
+	for {
+		if body := p.takeGrant(); body != nil {
+			return body, nil, nil, true
+		}
 		select {
-		case frame := <-p.control:
-			return frame, transport.LaneControl
+		case f := <-p.control:
+			return f, nil, nil, true
 		default:
+		}
+		if p.sched == nil {
+			// DisableLanes: single FIFO.
+			select {
+			case <-r.stop:
+				return nil, nil, nil, false
+			case f := <-p.bulk:
+				return f, nil, nil, true
+			case <-p.grantNotify:
+			}
+			continue
+		}
+		if body, payload, ok := p.sched.nextChunk(hdrBuf); ok {
+			return nil, body, payload, true
 		}
 		select {
 		case <-r.stop:
-			return nil, transport.LaneAuto
-		case frame := <-p.control:
-			return frame, transport.LaneControl
-		case frame := <-p.bulk:
-			return frame, transport.LaneBulk
+			return nil, nil, nil, false
+		case f := <-p.control:
+			return f, nil, nil, true
+		case <-p.sched.notify:
+		case <-p.grantNotify:
 		}
-	}
-	select {
-	case <-r.stop:
-		return nil, transport.LaneAuto
-	case frame := <-p.bulk:
-		return frame, transport.LaneBulk
 	}
 }
 
-// sendLoop dials the peer (with retry) and writes frames in lane order.
+// sendLoop dials the peer (with retry) and writes wire frames in lane
+// order. On reconnect the stream scheduler is rewound (resetConn, which
+// also advances the connection epoch announced in the hello): the new
+// connection's receiver has a fresh reassembler and a fresh credit
+// window, so partially sent streams — including one whose fin chunk died
+// with the old connection — restart from offset zero, while an
+// interrupted control frame is retransmitted as-is.
 func (r *Runtime) sendLoop(p *peer) {
 	var conn net.Conn
+	var pending []byte // control frame to retransmit after a reconnect
+	hdrBuf := make([]byte, 0, 1+transport.StreamHeaderSize)
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -366,7 +534,14 @@ func (r *Runtime) sendLoop(p *peer) {
 			}
 			c, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
 			if err == nil {
-				if err := writeHello(c, r.cfg.Self); err == nil {
+				// Rewind the scheduler before the hello so the epoch the
+				// hello announces is the one this connection's grants
+				// must carry.
+				var epoch uint32
+				if p.sched != nil {
+					epoch = p.sched.resetConn()
+				}
+				if err := writeHello(c, r.cfg.Self, epoch); err == nil {
 					return c
 				}
 				c.Close()
@@ -378,46 +553,42 @@ func (r *Runtime) sendLoop(p *peer) {
 			}
 		}
 	}
-	// write transmits one frame, reconnecting as needed; false = stopping.
-	write := func(frame []byte) bool {
-		for {
+	for {
+		if conn == nil {
+			conn = connect()
 			if conn == nil {
-				conn = connect()
-				if conn == nil {
-					return false
-				}
+				return
 			}
-			if err := writeFrame(conn, frame); err != nil {
+		}
+		if pending != nil {
+			if err := writeWireFrame(conn, pending, nil); err != nil {
 				conn.Close()
 				conn = nil
-				continue // reconnect and resend this frame
+				continue
 			}
-			return true
+			pending = nil
 		}
-	}
-	for {
-		frame, lane := r.next(p)
-		if frame == nil {
+		msg, chunkBody, chunkPayload, ok := r.next(p, hdrBuf)
+		if !ok {
 			return
 		}
-		if lane == transport.LaneBulk && p.control != nil {
-			// next()'s blocking select picks uniformly when both lanes are
-			// ready, so a control frame may have been enqueued while we
-			// were parked; strict priority means it transmits before the
-			// bulk frame we just dequeued.
-			for drained := false; !drained; {
-				select {
-				case c := <-p.control:
-					if !write(c) {
-						return
-					}
-				default:
-					drained = true
-				}
+		var err error
+		if msg != nil {
+			err = writeWireFrame(conn, msg, nil)
+			if err != nil {
+				pending = msg // resend the control frame on the new conn
 			}
+		} else {
+			err = writeWireFrame(conn, chunkBody, chunkPayload)
+			if err == nil {
+				p.sched.chunkWritten()
+			}
+			// A failed chunk is abandoned: resetConn rewinds its stream,
+			// including a fin chunk's stream parked in the sending slot.
 		}
-		if !write(frame) {
-			return
+		if err != nil {
+			conn.Close()
+			conn = nil
 		}
 	}
 }
@@ -438,69 +609,159 @@ func (r *Runtime) acceptLoop() {
 	}
 }
 
-// readLoop validates the hello and forwards frames to the apply loop.
+// readLoop validates the hello and forwards frames to the apply loop. It
+// owns the connection's stream reassembler and the receive half of flow
+// control: consumed chunk bytes accumulate into cumulative credit grants
+// flushed at the grant threshold. Any stream-protocol violation (malformed
+// header, overlapping offsets, oversized totals, too many streams) drops
+// the connection — loud failure, never resynchronization.
 func (r *Runtime) readLoop(conn net.Conn) {
-	from, err := readHello(conn)
+	from, epoch, err := readHello(conn)
 	if err != nil || int(from) >= len(r.cfg.Addrs) || from == r.cfg.Self {
 		return
 	}
-	for {
-		frame, err := readFrame(conn, r.cfg.MaxFrame)
-		if err != nil {
-			return
-		}
+	asm := transport.NewReassembler(r.cfg.Stream, r.cfg.MaxFrame)
+	var scratch []byte // chunk read buffer, reused (payloads are copied)
+	var consumed, granted int64
+	deliver := func(frame []byte) bool {
 		msg, err := r.cfg.Codec.Decode(frame)
 		if err != nil {
-			return // protocol violation: drop the connection
+			return false // protocol violation: drop the connection
 		}
 		select {
 		case r.events <- event{from: from, msg: msg}:
+			return true
 		case <-r.stop:
+			return false
+		}
+	}
+	for {
+		kind, frame, err := readWireFrame(conn, r.cfg.MaxFrame, &scratch)
+		if err != nil {
 			return
+		}
+		switch kind {
+		case frameKindMsg:
+			if !deliver(frame) {
+				return
+			}
+		case frameKindChunk:
+			hdr, payload, err := transport.ParseStreamHeader(frame)
+			if err != nil {
+				return
+			}
+			complete, err := asm.Add(hdr, payload)
+			if err != nil {
+				return
+			}
+			if complete != nil && !deliver(complete) {
+				return
+			}
+			// Credit the payload at receipt: the window then bounds the
+			// bytes parked in partial streams plus the wire, and a stream
+			// larger than the window still completes. When the apply loop
+			// stalls, the events queue fills, this loop blocks in deliver,
+			// grants stop, and the sender parks — backpressure end to end.
+			consumed += int64(len(payload))
+			if consumed-granted >= r.cfg.Stream.GrantThreshold() {
+				r.sendCredit(from, epoch, consumed)
+				granted = consumed
+			}
+		case frameKindCredit:
+			if len(frame) != 12 {
+				return
+			}
+			r.applyCredit(from,
+				binary.BigEndian.Uint32(frame[:4]),
+				int64(binary.BigEndian.Uint64(frame[4:])))
+		default:
+			return // unknown frame kind: protocol violation
 		}
 	}
 }
 
-func writeHello(conn net.Conn, self types.ReplicaID) error {
-	var buf [4]byte
-	binary.BigEndian.PutUint32(buf[:], uint32(self))
+// writeHello announces the dialer's replica id and the connection epoch
+// its credit grants must carry (see streamSched.epoch).
+func writeHello(conn net.Conn, self types.ReplicaID, epoch uint32) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(self))
+	binary.BigEndian.PutUint32(buf[4:], epoch)
 	_, err := conn.Write(buf[:])
 	return err
 }
 
-func readHello(conn net.Conn) (types.ReplicaID, error) {
-	var buf [4]byte
+func readHello(conn net.Conn) (types.ReplicaID, uint32, error) {
+	var buf [8]byte
 	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return types.ReplicaID(binary.BigEndian.Uint32(buf[:])), nil
+	return types.ReplicaID(binary.BigEndian.Uint32(buf[:4])),
+		binary.BigEndian.Uint32(buf[4:]), nil
 }
 
-func writeFrame(conn net.Conn, frame []byte) error {
+// writeWireFrame writes one frame: 4-byte big-endian length of
+// body+payload, then body (which starts with the frame kind), then the
+// optional payload. Small bodies (the chunk kind+header prefix, credit
+// grants, little control frames) are coalesced with the length prefix
+// into one write; large bodies — a whole-message frame can be megabytes —
+// are written in place, never copied.
+func writeWireFrame(conn net.Conn, body, payload []byte) error {
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+len(payload)))
+	if len(body) <= 512 {
+		head := make([]byte, 0, 4+len(body))
+		head = append(head, hdr[:]...)
+		head = append(head, body...)
+		if _, err := conn.Write(head); err != nil {
+			return err
+		}
+	} else {
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := conn.Write(body); err != nil {
+			return err
+		}
 	}
-	_, err := conn.Write(frame)
-	return err
+	if len(payload) > 0 {
+		if _, err := conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func readFrame(conn net.Conn, max int) ([]byte, error) {
-	var hdr [4]byte
+// readWireFrame reads one frame and returns its kind and the bytes after
+// the kind tag. Whole-message frames (frameKindMsg) are read into a fresh
+// allocation whose ownership transfers to the codec's Decode (the
+// transport.Codec zero-copy contract — do not pool those). Chunk frames
+// are read into *scratch, which is reused across frames: their payloads
+// are copied into the reassembler, never retained.
+func readWireFrame(conn net.Conn, max int, scratch *[]byte) (byte, []byte, error) {
+	var hdr [5]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	size := int(binary.BigEndian.Uint32(hdr[:]))
+	size := int(binary.BigEndian.Uint32(hdr[:4]))
 	if size > max {
-		return nil, fmt.Errorf("tcp: frame of %d exceeds limit %d", size, max)
+		return 0, nil, fmt.Errorf("tcp: frame of %d exceeds limit %d", size, max)
 	}
-	// One fresh allocation per frame, never reused: ownership transfers to
-	// the codec's Decode, which is free to hand out sub-slices of it
-	// (transport.Codec's zero-copy contract). Do not pool this buffer.
-	frame := make([]byte, size)
-	if _, err := io.ReadFull(conn, frame); err != nil {
-		return nil, err
+	if size < 1 {
+		return 0, nil, errors.New("tcp: empty frame")
 	}
-	return frame, nil
+	kind := hdr[4]
+	size-- // remaining body after the kind tag
+	var buf []byte
+	if kind == frameKindChunk {
+		if cap(*scratch) < size {
+			*scratch = make([]byte, size)
+		}
+		buf = (*scratch)[:size]
+	} else {
+		buf = make([]byte, size)
+	}
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, nil, err
+	}
+	return kind, buf, nil
 }

@@ -13,17 +13,41 @@
 //
 // # Sink contract
 //
-// A Sink accepts envelopes in the order the node emits them and must
-// preserve that order per (sender, receiver, lane) — the protocol relies on
-// per-pair FIFO within a lane. Send never blocks the calling node for an
-// unbounded time and never reports failure: a transport under pressure
-// drops envelopes rather than stalling the state machine — bulk first (its
-// queues are tightly bounded), and in the extreme control too (its queues
-// are deep, but a long-unreachable peer can fill them). The protocol must
-// therefore treat every send as best-effort and recover dropped traffic
-// through its own timers (retrieval, re-query, view change). The Sink
-// passed to a handler is only valid for the duration of that call; nodes
-// must not retain it.
+// A Sink accepts envelopes in the order the node emits them. Control-lane
+// delivery preserves that order per (sender, receiver): the protocol relies
+// on per-pair FIFO for the metadata consensus path. Bulk-lane envelopes are
+// streamed (see "Bulk streaming" below): each envelope arrives intact and
+// chunks of one envelope stay ordered, but two bulk envelopes to the same
+// peer may complete out of emission order because their streams interleave
+// on the wire — bulk consumers must be (and in this codebase are)
+// order-independent, addressing payloads by digest.
+//
+// Send never blocks the calling node for an unbounded time and never
+// reports failure. A transport under bulk pressure parks envelopes under
+// credit-based per-peer flow control (StreamConfig) rather than dropping
+// them; only when a peer stops granting credit for long enough that the
+// park budget fills are the oldest parked envelopes evicted — and in the
+// extreme control drops too (its queues are deep, but a long-unreachable
+// peer can fill them). The protocol must therefore still treat every send
+// as best-effort and recover evicted traffic through its own timers
+// (retrieval, re-query, view change); flow control makes that recovery
+// path rare instead of routine. The Sink passed to a handler is only valid
+// for the duration of that call; nodes must not retain it.
+//
+// # Bulk streaming and flow control
+//
+// Large bulk envelopes are split into fixed-size stream chunks
+// (StreamHeader: stream id, offset, total, fin) and interleaved fairly
+// across the streams queued to one peer, so a newly emitted bulk envelope
+// starts flowing without waiting for megabytes of earlier bulk to finish.
+// Receivers reassemble chunks (Reassembler) before decoding and grant
+// byte credits back on the control lane (CreditMsg) as they consume;
+// senders debit their per-peer credit window per chunk and park at zero
+// credit. StreamConfig holds the shared policy — chunk size, split
+// threshold, credit window, park budget, per-peer stream cap — used
+// identically by the TCP runtime and the simulator's credit-based bulk
+// model, which is what keeps the simulated chunk schedule faithful to the
+// real one.
 //
 // # Lanes
 //
@@ -172,8 +196,10 @@ const (
 	// LaneControl is the metadata consensus path: votes, proofs, proposals,
 	// view-change, checkpoint. Scheduled ahead of bulk.
 	LaneControl
-	// LaneBulk is datablock dissemination and retrieval transfers. Bounded
-	// queues; overflow drops (the protocol recovers).
+	// LaneBulk is datablock dissemination and retrieval transfers:
+	// streamed in chunks under credit-based per-peer flow control, parked
+	// (not dropped) at zero credit, evicted only when the park budget
+	// fills (the protocol recovers).
 	LaneBulk
 )
 
