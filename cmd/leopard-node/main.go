@@ -18,6 +18,12 @@
 // seq(8) || payload, and each confirmation is echoed back as the same
 // 16-byte identity.
 //
+// With -data-dir the replica is durable: executed blocks go to a
+// segmented CRC-checked write-ahead log, stable checkpoints anchor it, and
+// a restart with the same directory recovers locally then state-transfers
+// whatever the cluster decided in the meantime. Each replica needs its own
+// directory.
+//
 // With -status the replica also serves an HTTP JSON snapshot of its
 // counters (GET /status). The snapshot is taken on the runtime's apply
 // loop via Inject — the node is a single-goroutine state machine, so
@@ -44,6 +50,7 @@ import (
 
 	"leopard/internal/crypto"
 	"leopard/internal/leopard"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/transport/tcp"
 	"leopard/internal/types"
@@ -63,14 +70,17 @@ func main() {
 		configPath = flag.String("config", "cluster.json", "cluster config file")
 		id         = flag.Int("id", -1, "replica id")
 		statusAddr = flag.String("status", "", "HTTP status listen address (empty disables)")
+		dataDir    = flag.String("data-dir", "", "durable state directory for this replica (empty runs in-memory); "+
+			"holds the executed-block WAL, the stable-checkpoint anchor and replica metadata — "+
+			"on restart the replica recovers from it and state-transfers the rest from peers")
 	)
 	flag.Parse()
-	if err := run(*configPath, *id, *statusAddr); err != nil {
+	if err := run(*configPath, *id, *statusAddr, *dataDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath string, id int, statusAddr string) error {
+func run(configPath string, id int, statusAddr, dataDir string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -91,12 +101,23 @@ func run(configPath string, id int, statusAddr string) error {
 	if err != nil {
 		return err
 	}
+	var store storage.Store
+	if dataDir != "" {
+		wal, err := storage.Open(dataDir, storage.Options{})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", dataDir, err)
+		}
+		defer wal.Close()
+		store = wal
+		log.Printf("replica %d: durable state in %s", id, dataDir)
+	}
 	node, err := leopard.NewNode(leopard.Config{
 		ID:            types.ReplicaID(id),
 		Quorum:        q,
 		Suite:         suite,
 		DatablockSize: cfg.DatablockSize,
 		BFTBlockSize:  cfg.BFTBlockSize,
+		Store:         store,
 	})
 	if err != nil {
 		return err
@@ -209,6 +230,19 @@ type statusSnapshot struct {
 	StreamsActive       int64 `json:"streamsActive"`
 	StreamEvictions     int64 `json:"streamEvictions"`
 	DroppedFrames       int64 `json:"droppedFrames"`
+	// Durability and recovery (all zero without -data-dir): the stable
+	// checkpoint the replica is anchored at, the write-ahead log's shape,
+	// what restart recovery replayed, and the state-transfer traffic this
+	// replica served and consumed.
+	LastCheckpointSeq  types.SeqNum `json:"lastCheckpointSeq"`
+	LogSegments        int64        `json:"logSegments"`
+	LogBytes           int64        `json:"logBytes"`
+	BlocksReplayed     int64        `json:"blocksReplayed"`
+	BytesReplayed      int64        `json:"bytesReplayed"`
+	StateReqsServed    int64        `json:"stateReqsServed"`
+	StateRespsReceived int64        `json:"stateRespsReceived"`
+	StateBlocksApplied int64        `json:"stateBlocksApplied"`
+	WALErrors          int64        `json:"walErrors"`
 }
 
 // snapshot reads the node's counters under the runtime's serialization:
@@ -232,6 +266,16 @@ func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapsho
 			DatablocksHeld:    st.DatablocksHeld,
 			Retrievals:        st.Retrievals,
 			ViewChanges:       st.ViewChanges,
+
+			LastCheckpointSeq:  st.LastCheckpointSeq,
+			LogSegments:        st.LogSegments,
+			LogBytes:           st.LogBytes,
+			BlocksReplayed:     st.BlocksReplayed,
+			BytesReplayed:      st.BytesReplayed,
+			StateReqsServed:    st.StateReqsServed,
+			StateRespsReceived: st.StateRespsReceived,
+			StateBlocksApplied: st.StateBlocksApplied,
+			WALErrors:          st.WALErrors,
 		}
 	})
 	if err != nil {

@@ -36,6 +36,7 @@ var knownExperiments = []struct{ id, desc string }{
 	{"attack", "throughput under f selective-attacking replicas"},
 	{"vclanes", "view-change convergence under saturated bulk lanes (lanes vs FIFO)"},
 	{"stream", "slow-receiver datablock fan-out: credit streaming vs drop-on-overflow"},
+	{"recover", "crash-restart a replica: WAL recovery + state transfer vs no-durability baseline"},
 }
 
 func main() {
@@ -216,6 +217,22 @@ func run(id string, scales []int) error {
 			fmt.Printf("%4d   %-6s   %12.1f   %15.1f   %5d   %10d\n",
 				r.N, r.Mode, float64(r.Converged.Microseconds())/1e3,
 				float64(r.PeakQueuedBytes)/1e3, r.BulkDrops, r.Retrievals)
+		}
+	case "recover":
+		rows, err := experiments.RecoverScenario(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   mode       caught-up   catchup(ms)   height@restart   replayed   transferred   retrievals   re-votes")
+		for _, r := range rows {
+			caught := "yes"
+			catchup := fmt.Sprintf("%11.1f", float64(r.CatchupTime.Microseconds())/1e3)
+			if !r.CaughtUp {
+				caught, catchup = "NO", fmt.Sprintf("%11s", "never")
+			}
+			fmt.Printf("%4d   %-8s   %9s   %s   %14d   %8d   %11d   %10d   %8d\n",
+				r.N, r.Mode, caught, catchup, r.HeightAtRestart,
+				r.BlocksReplayed, r.StateBlocks, r.Retrievals, r.ReVotes)
 		}
 	case "attack":
 		if len(scales) == 0 {

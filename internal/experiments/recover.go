@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"leopard/internal/leopard"
+	"leopard/internal/storage"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// RecoverResult is one row of the recover scenario: a replica is killed
+// mid-run and restarted after the cluster has advanced past several stable
+// checkpoints, under the durable subsystem (WAL recovery + state transfer)
+// and under the pre-durability baseline (fresh empty node, no state
+// transfer).
+type RecoverResult struct {
+	N    int
+	Mode string // "durable" or "baseline"
+	// CaughtUp reports whether the restarted replica reached the cluster's
+	// executed height within the deadline. The baseline never does: its
+	// executed prefix was garbage-collected cluster-wide, and without state
+	// transfer there is no protocol path to recover it.
+	CaughtUp bool
+	// CatchupTime is restart → executed height parity with the live
+	// cluster.
+	CatchupTime time.Duration
+	// HeightAtRestart is the live cluster's executed height at the moment
+	// of restart; HeightCaught is the height at catch-up.
+	HeightAtRestart types.SeqNum
+	HeightCaught    types.SeqNum
+	// BlocksReplayed counts WAL records replayed locally at restart;
+	// StateBlocks counts blocks fetched from peers via state transfer.
+	BlocksReplayed int64
+	StateBlocks    int64
+	// Retrievals counts per-datablock retrievals at the restarted replica
+	// after restart — state transfer must make this zero (the baseline's
+	// alternative was a retrieval storm, and past the watermark not even
+	// that works).
+	Retrievals int64
+	// ReVotes counts agreement votes the restarted replica cast for serial
+	// numbers at or below HeightAtRestart: the transferred range must incur
+	// zero re-votes.
+	ReVotes int64
+
+	// traffic is a per-replica sent/received byte signature of the whole
+	// run, folded into RecoverRunDigest's determinism assertion.
+	traffic string
+}
+
+// recoverParams sizes one scenario run; the regression test shrinks it.
+type recoverParams struct {
+	dbRequests  int
+	bftSize     int
+	maxParallel int
+	checkpoint  int
+	loadEvery   time.Duration
+	crashAt     time.Duration
+	restartAt   time.Duration
+	loadUntil   time.Duration // absolute; generators stop submitting here
+	deadline    time.Duration // catch-up budget after restart
+	seed        int64
+}
+
+// defaultRecoverParams: the checkpoint interval is deliberately wide
+// relative to block production so the restarted replica exercises both
+// recovery paths — the anchor jump to the cluster's stable checkpoint AND
+// paged block transfer for the executed range above it. (A tight interval
+// degenerates to a pure jump: everything below the watermark is
+// garbage-collected the moment it stabilizes.)
+func defaultRecoverParams() recoverParams {
+	return recoverParams{
+		dbRequests:  200,
+		bftSize:     4,
+		maxParallel: 32,
+		checkpoint:  16,
+		loadEvery:   20 * time.Millisecond,
+		crashAt:     1037 * time.Millisecond,
+		restartAt:   3 * time.Second,
+		loadUntil:   3200 * time.Millisecond,
+		deadline:    30 * time.Second,
+		seed:        1,
+	}
+}
+
+// RecoverScenario runs the crash-restart experiment at each scale under
+// both modes.
+func RecoverScenario(scales []int) ([]RecoverResult, error) {
+	if len(scales) == 0 {
+		scales = []int{4, 8}
+	}
+	var out []RecoverResult
+	for _, n := range scales {
+		for _, durable := range []bool{true, false} {
+			r, err := recoverOnce(n, durable, defaultRecoverParams())
+			if err != nil {
+				return nil, fmt.Errorf("recover n=%d %s: %w", n, r.Mode, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// recoverOnce builds an n-replica cluster where every replica persists to a
+// deterministic in-memory store, kills the last non-leader replica at
+// crashAt, restarts it at restartAt — rebuilt over its surviving store
+// (durable) or empty with state transfer disabled (baseline) — and
+// measures catch-up.
+func recoverOnce(n int, durable bool, p recoverParams) (RecoverResult, error) {
+	res := RecoverResult{N: n, Mode: "durable"}
+	if !durable {
+		res.Mode = "baseline"
+	}
+	if n < 4 {
+		return res, fmt.Errorf("need n >= 4, got %d", n)
+	}
+	victim := types.ReplicaID(n - 1)
+
+	net := netConfig()
+	net.TickInterval = 5 * time.Millisecond
+	net.Seed = p.seed
+
+	// One deterministic in-memory store per replica; it survives the crash
+	// and is handed to the rebuilt victim, exactly as an on-disk WAL
+	// survives a process restart.
+	stores := make([]storage.Store, n)
+	for i := range stores {
+		stores[i] = storage.NewMemLog()
+	}
+	baseline := !durable
+
+	c, err := leopardClusterDepth(n, p.dbRequests, p.bftSize, 0, net, func(cfg *leopard.Config) {
+		cfg.ViewChangeTimeout = time.Hour // the victim is not the leader
+		cfg.RetrievalTimeout = 50 * time.Millisecond
+		cfg.MaxParallel = p.maxParallel
+		cfg.CheckpointEvery = p.checkpoint
+		cfg.MaxOutstandingDatablocks = 2
+		cfg.Store = stores[cfg.ID]
+		if baseline {
+			cfg.DisableStateTransfer = true
+			if cfg.ID == types.ReplicaID(n-1) {
+				cfg.Store = nil // the baseline victim restarts empty
+			}
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Re-votes for the transferred range: count agreement votes the victim
+	// sends for seqs at or below the cluster height captured at restart.
+	var heightAtRestart types.SeqNum
+	var restarted bool
+	c.Net.SetFilter(func(now time.Duration, from, to types.ReplicaID, msg transport.Message) bool {
+		if restarted && from == victim {
+			if v, ok := msg.(*leopard.VoteMsg); ok && v.Block.Seq <= heightAtRestart {
+				res.ReVotes++
+			}
+		}
+		return true
+	})
+
+	c.Start()
+
+	// Deterministic load: two non-leader, non-victim generators submit one
+	// datablock's worth of requests every loadEvery until loadUntil.
+	leader := c.Replicas[0].Leader()
+	var generators []types.ReplicaID
+	for i := 0; i < n && len(generators) < 2; i++ {
+		id := types.ReplicaID(i)
+		if id != leader && id != victim {
+			generators = append(generators, id)
+		}
+	}
+	var scheduleLoad func(at time.Duration)
+	scheduleLoad = func(at time.Duration) {
+		c.Net.ScheduleCall(at, func(now time.Duration) {
+			if now >= p.loadUntil {
+				return
+			}
+			for _, g := range generators {
+				c.SubmitN(g, p.dbRequests)
+			}
+			scheduleLoad(now + p.loadEvery)
+		})
+	}
+	scheduleLoad(50 * time.Millisecond)
+
+	clusterHeight := func() types.SeqNum {
+		var h types.SeqNum
+		for i, r := range c.Replicas {
+			if types.ReplicaID(i) == victim {
+				continue
+			}
+			if e := r.(*leopard.Node).ExecutedTo(); e > h {
+				h = e
+			}
+		}
+		return h
+	}
+
+	c.Net.ScheduleCall(p.crashAt, func(now time.Duration) {
+		c.Net.Crash(victim)
+	})
+	c.Net.Run(p.restartAt)
+
+	heightAtRestart = clusterHeight()
+	if heightAtRestart == 0 {
+		return res, fmt.Errorf("cluster made no progress before restart")
+	}
+	victimBefore := c.Replicas[victim].(*leopard.Node)
+	if victimBefore.ExecutedTo() >= heightAtRestart {
+		return res, fmt.Errorf("victim not behind at restart: %d >= %d", victimBefore.ExecutedTo(), heightAtRestart)
+	}
+	res.HeightAtRestart = heightAtRestart
+	restarted = true
+	if err := c.Restart(victim); err != nil {
+		return res, err
+	}
+	restartTime := c.Net.Now()
+	node := c.Replicas[victim].(*leopard.Node)
+
+	caught := func() bool { return node.ExecutedTo() >= clusterHeight() }
+	res.CaughtUp = c.RunUntil(restartTime+p.deadline, 10*time.Millisecond, caught)
+	st := node.Stats()
+	res.BlocksReplayed = st.BlocksReplayed
+	res.StateBlocks = st.StateBlocksApplied
+	res.Retrievals = st.Retrievals
+	res.HeightCaught = node.ExecutedTo()
+	if res.CaughtUp {
+		res.CatchupTime = c.Net.Now() - restartTime
+	}
+	for i := 0; i < n; i++ {
+		bw := c.Net.Stats(types.ReplicaID(i))
+		res.traffic += fmt.Sprintf("%d:%d/%d ", i, bw.TotalSent(), bw.TotalReceived())
+	}
+	return res, nil
+}
+
+// RecoverRunDigest renders one durable-mode run — the victim's counters
+// plus every replica's per-class bandwidth totals — as a deterministic
+// string: two identically-seeded runs must produce byte-identical digests
+// (TestRecoverScenarioDeterministic).
+func RecoverRunDigest(n int, p recoverParams) (string, error) {
+	r, err := recoverOnce(n, true, p)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("n=%d caught=%v t=%v h0=%d h1=%d replayed=%d transferred=%d retr=%d revotes=%d traffic=%s",
+		r.N, r.CaughtUp, r.CatchupTime, r.HeightAtRestart, r.HeightCaught,
+		r.BlocksReplayed, r.StateBlocks, r.Retrievals, r.ReVotes, r.traffic), nil
+}

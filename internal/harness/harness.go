@@ -208,6 +208,21 @@ func (c *Cluster) SubmitN(id types.ReplicaID, count int) {
 	}
 }
 
+// Restart rebuilds the replica at id with the cluster's Build function and
+// swaps it into the network (simnet.Replace): the crash-restart-with-
+// durable-state model. The Build closure decides what survives — a
+// replica built over the same storage.Store recovers its durable state;
+// one built without a store models the pre-durability baseline.
+func (c *Cluster) Restart(id types.ReplicaID) error {
+	r, err := c.opts.Build(id)
+	if err != nil {
+		return fmt.Errorf("harness: rebuild replica %d: %w", id, err)
+	}
+	r.SetExecutor(c.executorFor(id))
+	c.Replicas[id] = r
+	return c.Net.Replace(id, r)
+}
+
 // RunUntil advances the network in steps of the given granularity until
 // cond returns true or the deadline passes; it reports whether cond held.
 func (c *Cluster) RunUntil(deadline, step time.Duration, cond func() bool) bool {

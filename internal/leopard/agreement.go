@@ -358,6 +358,18 @@ func (n *Node) confirmBlock(inst *instance, out transport.Sink) {
 		return
 	}
 	n.log[inst.block.Seq] = inst.block
+	if inst.block.Seq > n.maxConfirmed {
+		// A frontier gap below maxConfirmed starts the stuckBehind clock
+		// (frontierStalled); if it persists a full retry interval, state
+		// transfer takes over.
+		n.maxConfirmed = inst.block.Seq
+	}
+	if n.store != nil && inst.notarized != nil && inst.confirmed != nil {
+		// Stash the certificates now: execution may happen after a view
+		// change has reset the instance, and the WAL record must carry them
+		// for state-transfer receivers to verify.
+		n.proofStash[inst.block.Seq] = blockProofs{notarized: *inst.notarized, confirmed: *inst.confirmed}
+	}
 	n.stats.ConfirmedBlocks++
 	// Release our own flow-control window and record stage timings;
 	// request counting happens at execution, when all datablocks are
@@ -402,25 +414,18 @@ func (n *Node) tryExecute(out transport.Sink) {
 		if !allHeld {
 			return
 		}
+		datablocks := make([]*types.Datablock, 0, len(block.Content))
 		for _, h := range block.Content {
 			db, _ := n.dbPool.Get(h)
-			n.stats.ConfirmedRequests += int64(len(db.Requests))
-			if n.execFn != nil {
-				n.execFn(block.Seq, db.Requests)
-			}
-			if !n.cfg.SkipRequestDedup {
-				for _, r := range db.Requests {
-					n.reqPool.MarkConfirmed(r.ID())
-				}
-			}
+			datablocks = append(datablocks, db)
 		}
+		n.executeBlock(next, block, datablocks)
 		if inst := n.instances[next]; inst != nil && inst.state < types.StateExecuted {
 			inst.state = types.StateExecuted
 		}
-		blockDigest := crypto.HashBFTblock(block)
-		n.execState = crypto.HashConcat(n.execState[:], blockDigest[:])
-		n.executedTo = next
-		n.stats.ExecutedBlocks++
+		if n.store != nil {
+			n.persistExecuted(next, block, datablocks)
+		}
 		n.maybeCheckpoint(next, out)
 	}
 }

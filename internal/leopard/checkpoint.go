@@ -4,13 +4,14 @@ import (
 	"encoding/binary"
 
 	"leopard/internal/crypto"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
 
-// checkpointDigest derives the digest replicas threshold-sign for a
+// CheckpointDigest derives the digest replicas threshold-sign for a
 // checkpoint: H("checkpoint" || sn || stateHash).
-func checkpointDigest(sn types.SeqNum, state types.Hash) types.Hash {
+func CheckpointDigest(sn types.SeqNum, state types.Hash) types.Hash {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(sn))
 	return crypto.HashConcat([]byte("leopard/checkpoint"), buf[:], state[:])
@@ -25,7 +26,7 @@ func (n *Node) maybeCheckpoint(sn types.SeqNum, out transport.Sink) {
 		return
 	}
 	st := n.execState
-	digest := checkpointDigest(sn, st)
+	digest := CheckpointDigest(sn, st)
 	n.cpDigest[sn] = digest
 	share, err := n.suite.Sign(n.cfg.ID, digest)
 	if err != nil {
@@ -51,7 +52,15 @@ func (n *Node) collectCheckpoint(from types.ReplicaID, m *CheckpointMsg, out tra
 	if m.Seq <= n.lw {
 		return // already garbage-collected
 	}
-	digest := checkpointDigest(m.Seq, m.StateHash)
+	if m.Seq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
+		// No honest replica can execute beyond the watermark window, so no
+		// honest share exists for this seq. Without the bound, f Byzantine
+		// replicas could seed cpShares entries at arbitrary far-future seqs
+		// that the watermark sweep never reaches — an unbounded map on a
+		// long-running leader (regression: TestCheckpointMapsPruned).
+		return
+	}
+	digest := CheckpointDigest(m.Seq, m.StateHash)
 	if err := n.suite.VerifyShare(digest, m.Share); err != nil || m.Share.Signer != from {
 		return
 	}
@@ -85,7 +94,7 @@ func (n *Node) handleCheckpointProof(from types.ReplicaID, m *CheckpointProofMsg
 	if m.Seq <= n.lw {
 		return
 	}
-	digest := checkpointDigest(m.Seq, m.StateHash)
+	digest := CheckpointDigest(m.Seq, m.StateHash)
 	if err := n.suite.VerifyProof(digest, m.Proof); err != nil {
 		return
 	}
@@ -99,6 +108,18 @@ func (n *Node) applyCheckpoint(cp *CheckpointProofMsg) {
 		return
 	}
 	n.lastCheckpoint = cp
+	if n.store != nil {
+		// Durable order matters: the anchor must hit disk before the log
+		// below it becomes eligible for truncation, or a crash in between
+		// could lose the range. SaveCheckpoint is write-through (fsync +
+		// atomic rename); it is also what lets a restarting replica resume
+		// from this checkpoint even when it never executed up to it.
+		if err := n.store.SaveCheckpoint(storage.Checkpoint{Seq: cp.Seq, StateHash: cp.StateHash, Proof: cp.Proof}); err != nil {
+			n.stats.WALErrors++
+		} else if err := n.store.TruncateBelow(cp.Seq); err != nil {
+			n.stats.WALErrors++
+		}
+	}
 	// The watermark always advances: a quorum has executed past cp.Seq, so
 	// nothing at or below it will be proposed again. Data pruning inside
 	// advanceWatermark is limited to this replica's own executed prefix,
@@ -109,24 +130,23 @@ func (n *Node) applyCheckpoint(cp *CheckpointProofMsg) {
 func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 	old := n.lw
 	n.lw = cp.Seq
+	n.pruneBelow()
 	for sn := old + 1; sn <= cp.Seq; sn++ {
-		if inst := n.instances[sn]; inst != nil && inst.block != nil {
-			for _, h := range inst.block.Content {
-				if sn <= n.executedTo {
-					n.dbPool.Remove(h)
-					delete(n.confirmedDBs, h)
-					delete(n.readySet, h)
-					delete(n.linked, h)
-					delete(n.respCache, h)
-				}
-			}
-		}
-		if sn <= n.executedTo {
-			delete(n.instances, sn)
-		}
 		delete(n.votedSeq, sn)
-		delete(n.cpShares, sn)
-		delete(n.cpDigest, sn)
+	}
+	// Sweep the checkpoint share/digest maps wholesale rather than only the
+	// (old, cp.Seq] range: entries can exist at any seq at or below the new
+	// watermark (e.g. after a state-transfer jump moved it far ahead), and
+	// sweeping keyed on the map keeps them bounded by the live window.
+	for sn := range n.cpShares {
+		if sn <= n.lw {
+			delete(n.cpShares, sn)
+		}
+	}
+	for sn := range n.cpDigest {
+		if sn <= n.lw {
+			delete(n.cpDigest, sn)
+		}
 	}
 	// Drop buffered proofs that can no longer matter.
 	for id := range n.pendingProof {
@@ -143,5 +163,53 @@ func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 		if n.now-t >= n.serveCooldown() || !n.dbPool.Has(key.digest) {
 			delete(n.served, key)
 		}
+	}
+	// Same lifetime bound for the state-transfer serve cooldown.
+	for key, t := range n.stateServed {
+		if n.now-t >= n.serveCooldown() {
+			delete(n.stateServed, key)
+		}
+	}
+}
+
+// pruneBelow garbage-collects execution-side state — pooled datablocks,
+// instances, proof stashes — for every serial number that is both executed
+// and at or below the watermark. It resumes from a cursor (prunedTo)
+// rather than the previous watermark: a lagging replica skips pruning a
+// range until it executes it (or jumps past it via a checkpoint anchor),
+// and the cursor is what guarantees the skipped range is swept when
+// execution eventually passes it instead of leaking for the node's
+// lifetime.
+func (n *Node) pruneBelow() {
+	limit := n.lw
+	if n.executedTo < limit {
+		limit = n.executedTo
+	}
+	for sn := n.prunedTo + 1; sn <= limit; sn++ {
+		// The executed block at sn lives in the confirmed log; fall back to
+		// the agreement instance for blocks confirmed but not yet executed.
+		// (Blocks installed by WAL replay or state transfer have no
+		// instance, so the log lookup is what lets their datablocks be
+		// pruned here.)
+		blk := n.log[sn]
+		if blk == nil {
+			if inst := n.instances[sn]; inst != nil {
+				blk = inst.block
+			}
+		}
+		if blk != nil {
+			for _, h := range blk.Content {
+				n.dbPool.Remove(h)
+				delete(n.confirmedDBs, h)
+				delete(n.readySet, h)
+				delete(n.linked, h)
+				delete(n.respCache, h)
+			}
+		}
+		delete(n.instances, sn)
+		delete(n.proofStash, sn)
+	}
+	if limit > n.prunedTo {
+		n.prunedTo = limit
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"leopard/internal/crypto"
 	"leopard/internal/erasure"
+	"leopard/internal/storage"
 	"leopard/internal/types"
 )
 
@@ -77,6 +78,18 @@ type Config struct {
 	// parallelism for large blocks and the decode-matrix cache size. The
 	// zero value selects the erasure package defaults.
 	Erasure erasure.Options
+
+	// Store, when non-nil, makes the replica durable: every executed block
+	// is appended to the write-ahead log, stable checkpoints and local
+	// metadata are persisted, and Start recovers the replica's state from
+	// the store (checkpoint anchor + log-tail replay) before requesting the
+	// rest from peers via state transfer. Nil keeps the replica purely
+	// in-memory (simulations that never crash).
+	Store storage.Store
+	// DisableStateTransfer turns off the recovery protocol — the replica
+	// neither requests nor serves checkpoint-anchored state transfer. Used
+	// by the recover experiment's pre-durability baseline.
+	DisableStateTransfer bool
 	// TrustDigests makes receivers use the digest cached in DatablockMsg
 	// instead of recomputing it. Only safe in simulations where all nodes
 	// share one process; real deployments must leave it false.

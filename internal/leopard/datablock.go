@@ -25,6 +25,7 @@ func (n *Node) maybePackDatablocks(out transport.Sink) {
 			break
 		}
 		n.dbCounter++
+		n.reserveCounter()
 		db := &types.Datablock{
 			Ref:      types.DatablockRef{Generator: n.cfg.ID, Counter: n.dbCounter},
 			Requests: reqs,

@@ -3,6 +3,7 @@ package leopard
 import (
 	"leopard/internal/crypto"
 	"leopard/internal/merkle"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -237,6 +238,66 @@ func (m *ViewChangeMsg) Class() transport.Class { return transport.ClassViewChan
 // carry every outstanding notarized block header and can reach megabytes,
 // so they use the bulk lane of the network model.
 func (m *ViewChangeMsg) CarriesPayload() bool { return true }
+
+// StateReqMsg asks a peer for checkpoint-anchored state transfer: the
+// sender has executed up to Have and wants the newest stable checkpoint
+// plus the executed range above it. Sent by a replica that restarted from
+// its durable log (or that observes the cluster watermark ahead of its own
+// execution) to a rotating set of f+1 peers, so at least one recipient is
+// honest; every response is independently verifiable, so one honest
+// responder suffices.
+type StateReqMsg struct {
+	Have types.SeqNum
+}
+
+var _ transport.Message = (*StateReqMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *StateReqMsg) WireSize() int { return hdrSize + 8 }
+
+// Class implements transport.Message.
+func (m *StateReqMsg) Class() transport.Class { return transport.ClassState }
+
+// MaxStateBlocks bounds the executed-block records one StateRespMsg may
+// carry. A recovering replica pages through the range by re-requesting with
+// its advanced Have — each advance is a fresh serve-cooldown key at the
+// responder, so progressive catch-up is never throttled while a stuck
+// requester repeating one height is.
+const MaxStateBlocks = 8
+
+// StateRespMsg answers a StateReqMsg from the responder's durable log: the
+// newest stable checkpoint certificate (the recovery anchor, may be nil
+// when the responder has none) and up to MaxStateBlocks executed-block
+// records continuing the requester's log. Each record is self-certifying —
+// it carries the block's notarization and confirmation proofs, and the
+// datablocks hash-check against the block's content — so a Byzantine
+// responder cannot fabricate history.
+type StateRespMsg struct {
+	Checkpoint *CheckpointProofMsg
+	Blocks     []*storage.BlockRecord
+}
+
+var _ transport.Message = (*StateRespMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *StateRespMsg) WireSize() int {
+	s := hdrSize + 1
+	if m.Checkpoint != nil {
+		s += m.Checkpoint.WireSize()
+	}
+	for _, rec := range m.Blocks {
+		s += rec.WireSize()
+	}
+	return s
+}
+
+// Class implements transport.Message.
+func (m *StateRespMsg) Class() transport.Class { return transport.ClassState }
+
+// CarriesPayload implements transport.PayloadCarrier: responses carry full
+// datablocks (megabytes at Table II sizing), so they ride the bulk lane and
+// are charged through the receiver's CPU stage.
+func (m *StateRespMsg) CarriesPayload() bool { return true }
 
 // NewViewMsg is broadcast by the new leader: <new-view, v+1, V>.
 type NewViewMsg struct {

@@ -9,6 +9,7 @@ import (
 	"leopard/internal/mempool"
 	"leopard/internal/metrics"
 	"leopard/internal/protocol"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -71,6 +72,21 @@ type Stats struct {
 	ViewChanges       int64
 	View              types.View
 	Stages            *metrics.StageTimer
+
+	// Durability and recovery counters (zero without a Store).
+	LastCheckpointSeq  types.SeqNum // newest stable checkpoint applied
+	LogSegments        int64        // live WAL segment files
+	LogBytes           int64        // live WAL bytes
+	BlocksReplayed     int64        // WAL records replayed at Start
+	BytesReplayed      int64        // byte volume of those records
+	StateReqsServed    int64        // state-transfer responses sent to peers
+	StateRespsReceived int64        // state-transfer responses received
+	StateBlocksApplied int64        // blocks applied via state transfer
+	WALErrors          int64        // persistence failures (append/meta/reset)
+	// CheckpointSeqsTracked is the live size of the leader's checkpoint
+	// share/digest maps — bounded by the watermark window (regression:
+	// TestCheckpointMapsPruned).
+	CheckpointSeqsTracked int
 }
 
 // Node is a Leopard replica. It implements transport.Node and must be
@@ -136,6 +152,30 @@ type Node struct {
 	lastCheckpoint *CheckpointProofMsg
 	cpShares       map[types.SeqNum]map[types.ReplicaID]crypto.Share
 	cpDigest       map[types.SeqNum]types.Hash
+
+	// Durability and recovery (recovery.go). store mirrors cfg.Store;
+	// proofStash holds each confirmed block's certificates until execution
+	// appends them to the WAL; counterReserve is the persisted datablock
+	// counter ceiling. needSync marks a restarted (or gap-detected) replica
+	// that should probe peers for state transfer; lastStateReq /
+	// stateRound pace and rotate those probes; stateServed is the
+	// responder-side (requester, height) cooldown.
+	store          storage.Store
+	proofStash     map[types.SeqNum]blockProofs
+	counterReserve uint64
+	needSync       bool
+	lastStateReq   time.Duration
+	stateRound     int
+	stateServed    map[stateServeKey]time.Duration
+	// behindSince is when the execution frontier first stalled (-1 while
+	// advancing normally); feeds the stuckBehind grace period.
+	behindSince time.Duration
+	// maxConfirmed is the highest serial number in the confirmed log;
+	// frontierStalled compares it against executedTo to detect gaps.
+	maxConfirmed types.SeqNum
+	// prunedTo is the pruneBelow cursor: every sn at or below it has had
+	// its execution-side state garbage-collected.
+	prunedTo types.SeqNum
 
 	// View change.
 	inViewChange bool
@@ -205,6 +245,11 @@ func NewNode(cfg Config) (*Node, error) {
 		vcMsgs:        make(map[types.View]map[types.ReplicaID]*ViewChangeMsg),
 		sentNewView:   make(map[types.View]bool),
 		confirmedDBs:  make(map[types.Hash]struct{}),
+		store:         cfg.Store,
+		proofStash:    make(map[types.SeqNum]blockProofs),
+		stateServed:   make(map[stateServeKey]time.Duration),
+		lastStateReq:  -1,
+		behindSince:   -1,
 	}
 	n.stats.Stages = &n.stages
 	n.selective.node = n
@@ -236,8 +281,24 @@ func (n *Node) Stats() Stats {
 	s := n.stats
 	s.View = n.view
 	s.DatablocksHeld = int64(n.dbPool.Len())
+	if n.lastCheckpoint != nil {
+		s.LastCheckpointSeq = n.lastCheckpoint.Seq
+	}
+	if n.store != nil {
+		st := n.store.Stats()
+		s.LogSegments = st.Segments
+		s.LogBytes = st.LiveBytes
+	}
+	s.CheckpointSeqsTracked = len(n.cpShares)
+	if d := len(n.cpDigest); d > s.CheckpointSeqsTracked {
+		s.CheckpointSeqsTracked = d
+	}
 	return s
 }
+
+// ExecutionState returns the running execution chain hash — the state the
+// checkpoint protocol certifies. Recovery tests compare it across restarts.
+func (n *Node) ExecutionState() types.Hash { return n.execState }
 
 // PendingRequests returns the mempool depth.
 func (n *Node) PendingRequests() int { return n.reqPool.Len() }
@@ -303,10 +364,17 @@ func (n *Node) observe(now time.Duration) {
 	}
 }
 
-// Start implements transport.Node.
+// Start implements transport.Node. With a Store configured, Start first
+// recovers the durable state (checkpoint anchor + WAL replay) and, when
+// that reveals a prior life, probes peers for state transfer.
 func (n *Node) Start(now time.Duration, out transport.Sink) {
 	n.observe(now)
 	n.lastProgress = now
+	if n.store != nil {
+		out = n.outbound(out)
+		defer n.releaseOutbound()
+		n.recoverFromStore(out)
+	}
 }
 
 // Tick implements transport.Node.
@@ -319,6 +387,7 @@ func (n *Node) Tick(now time.Duration, out transport.Sink) {
 		n.maybePropose(out)
 	}
 	n.checkRetrievalTimers(out)
+	n.maybeRequestState(out)
 	n.checkViewChangeTimer(out)
 }
 
@@ -354,6 +423,10 @@ func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Me
 		n.handleViewChange(from, m, out)
 	case *NewViewMsg:
 		n.handleNewView(from, m, out)
+	case *StateReqMsg:
+		n.handleStateReq(from, m, out)
+	case *StateRespMsg:
+		n.handleStateResp(from, m, out)
 	}
 }
 

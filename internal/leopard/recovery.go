@@ -1,0 +1,462 @@
+package leopard
+
+import (
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/storage"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// This file implements the durability and recovery subsystem: persistence
+// of executed blocks and stable checkpoints through Config.Store, replay of
+// the durable state at Start, and the checkpoint-anchored state-transfer
+// protocol (StateReqMsg / StateRespMsg) by which a replica that restarted
+// behind the cluster fetches the newest stable checkpoint certificate and
+// the executed range above it from peers — instead of re-running agreement
+// or storming the per-datablock retrieval path.
+//
+// Restart caveat (documented, out of scope here): votes above the last
+// executed block are not persisted, so a replica that crashes between
+// voting and executing may re-vote differently after restart. Closing that
+// window needs vote-ahead logging (see ROADMAP).
+
+// counterReserveSlack is how far ahead of the live datablock counter the
+// persisted reservation runs. A restart resumes from the reservation,
+// skipping at most this many counters — one metadata fsync per slack-many
+// datablocks buys restart-safe (generator, counter) uniqueness.
+const counterReserveSlack = 1024
+
+// blockProofs stashes a block's agreement certificates between confirmation
+// and execution, so the WAL record persisted at execution carries them even
+// if the instance was reset by an intervening view change.
+type blockProofs struct {
+	notarized crypto.Proof
+	confirmed crypto.Proof
+}
+
+// stateServeKey keys the state-transfer serve cooldown: one serve per
+// (requester, height) per cooldown window. A requester that makes progress
+// presents a new height and is served immediately; one that repeats a
+// height (honest retry after loss, or Byzantine amplification) waits out
+// the cooldown — the same pattern as retrieval's (digest, requester) bound.
+type stateServeKey struct {
+	requester types.ReplicaID
+	have      types.SeqNum
+}
+
+// recoverFromStore restores the replica's durable state at Start: local
+// metadata (view, counter reservation), the stable-checkpoint anchor, and
+// a replay of the contiguous log tail above it. Replayed blocks re-run the
+// executor callback, so the application rebuilds the same state it had at
+// the last fsync batch; the remainder is fetched via state transfer.
+// Records in the local WAL were verified before they were appended, so
+// replay trusts them (the CRC layer guards against disk corruption).
+func (n *Node) recoverFromStore(out transport.Sink) {
+	st := n.store
+	meta := st.Meta()
+	if meta.View > n.view {
+		n.view = meta.View
+	}
+	if meta.CounterReserve > 0 {
+		n.dbCounter = meta.CounterReserve
+		n.counterReserve = meta.CounterReserve
+	}
+	if cp, ok := st.Checkpoint(); ok {
+		n.lastCheckpoint = &CheckpointProofMsg{Seq: cp.Seq, StateHash: cp.StateHash, Proof: cp.Proof}
+		n.lw = cp.Seq
+		if cp.Seq > n.executedTo {
+			// The anchor is ahead of (or at) any replayable record: execution
+			// resumes from the checkpointed state.
+			n.executedTo = cp.Seq
+			n.execState = cp.StateHash
+		}
+	}
+	for {
+		rec, ok := st.Get(n.executedTo + 1)
+		if !ok || rec.Block == nil || len(rec.Datablocks) != len(rec.Block.Content) {
+			break
+		}
+		n.replayRecord(rec)
+	}
+	n.nextSeq = n.executedTo + 1
+	if n.nextSeq <= n.lw {
+		n.nextSeq = n.lw + 1
+	}
+	if n.maxConfirmed < n.executedTo {
+		n.maxConfirmed = n.executedTo
+	}
+	// Nothing below the anchor was pooled in this life; start the prune
+	// cursor there so the first watermark advance does not walk history.
+	n.prunedTo = n.lw
+	if !n.cfg.DisableStateTransfer {
+		// Probe peers for what was decided while this replica was down.
+		// Even an empty store probes: a replica restarted with a lost data
+		// dir still recovers — the whole state arrives anchored at the
+		// cluster's checkpoint. (At genesis the probe is a no-op round:
+		// peers answer with empty acks and the sync flag clears.)
+		n.needSync = true
+		n.sendStateReq(out)
+	}
+}
+
+// replayRecord re-applies one WAL record during recovery: no outbound
+// traffic, no re-verification, just the execution bookkeeping tryExecute
+// would have done.
+func (n *Node) replayRecord(rec *storage.BlockRecord) {
+	block := rec.Block
+	n.log[rec.Seq] = block
+	for i, h := range block.Content {
+		if !n.dbPool.Has(h) {
+			n.dbPool.Add(h, rec.Datablocks[i])
+		}
+		n.confirmedDBs[h] = struct{}{}
+	}
+	n.executeBlock(rec.Seq, block, rec.Datablocks)
+	n.stats.ConfirmedBlocks++
+	n.stats.BlocksReplayed++
+	n.stats.BytesReplayed += int64(rec.WireSize())
+}
+
+// persistExecuted appends the block executed at sn to the WAL, with the
+// agreement proofs stashed at confirmation. Append only stages the record
+// (group-committed fsync), so this sits on the hot execute path at
+// encode+memcpy cost — see storage.Log and BenchmarkWALAppend.
+func (n *Node) persistExecuted(sn types.SeqNum, block *types.BFTblock, datablocks []*types.Datablock) {
+	rec := &storage.BlockRecord{Seq: sn, Block: block, Datablocks: datablocks}
+	if p, ok := n.proofStash[sn]; ok {
+		rec.Notarized, rec.Confirmed = p.notarized, p.confirmed
+		delete(n.proofStash, sn)
+	} else if inst := n.instances[sn]; inst != nil {
+		if inst.notarized != nil {
+			rec.Notarized = *inst.notarized
+		}
+		if inst.confirmed != nil {
+			rec.Confirmed = *inst.confirmed
+		}
+	}
+	if err := n.store.Append(rec); err != nil {
+		n.stats.WALErrors++
+	}
+}
+
+// persistMeta writes the replica-local metadata through the store.
+func (n *Node) persistMeta() {
+	if n.store == nil {
+		return
+	}
+	if err := n.store.SaveMeta(storage.Meta{View: n.view, CounterReserve: n.counterReserve}); err != nil {
+		n.stats.WALErrors++
+	}
+}
+
+// reserveCounter advances the persisted datablock-counter reservation when
+// the live counter catches up to it.
+func (n *Node) reserveCounter() {
+	if n.store == nil || n.dbCounter < n.counterReserve {
+		return
+	}
+	n.counterReserve = n.dbCounter + counterReserveSlack
+	n.persistMeta()
+}
+
+// stateRetryInterval paces a recovering replica's state requests. It must
+// exceed the responder serve cooldown (serveCooldown, 6×RetrievalTimeout)
+// so a retry at the same height is served, mirroring retrieval's re-query
+// cadence.
+func (n *Node) stateRetryInterval() time.Duration { return 8 * n.cfg.RetrievalTimeout }
+
+// frontierStalled reports whether the execution frontier cannot advance
+// right now: the replica is behind a stable checkpoint, or a confirmed
+// block exists above a frontier whose next block was never confirmed
+// here. Both conditions are routinely transient — confirmation proofs
+// arrive out of order, retrieval fills datablock gaps — so stalling only
+// starts the stuckBehind clock; it does not by itself trigger recovery.
+func (n *Node) frontierStalled() bool {
+	if n.lw > n.executedTo {
+		return true
+	}
+	if n.maxConfirmed > n.executedTo {
+		if _, held := n.log[n.executedTo+1]; !held {
+			return true
+		}
+	}
+	return false
+}
+
+// stuckBehind reports whether the frontier has been stalled for a full
+// retry interval — long past anything the normal path (in-flight proofs,
+// retrieval) resolves. Only then may the replica probe peers and, if
+// offered a newer stable checkpoint, jump the anchor and skip local
+// execution of the range below; a merely-slow replica never jumps.
+func (n *Node) stuckBehind() bool {
+	return n.behindSince >= 0 && n.now-n.behindSince >= n.stateRetryInterval()
+}
+
+// maybeRequestState re-probes for state transfer while the replica is
+// syncing after a restart or provably stuck. Driven from Tick.
+func (n *Node) maybeRequestState(out transport.Sink) {
+	if n.cfg.DisableStateTransfer {
+		return
+	}
+	if n.frontierStalled() {
+		if n.behindSince < 0 {
+			n.behindSince = n.now
+		}
+	} else {
+		n.behindSince = -1
+	}
+	if !n.needSync && !n.stuckBehind() {
+		return
+	}
+	if n.lastStateReq >= 0 && n.now-n.lastStateReq < n.stateRetryInterval() {
+		return
+	}
+	n.sendStateReq(out)
+}
+
+// sendStateReq unicasts a state request to the next f+1 peers in a
+// deterministic rotation — at least one recipient is honest, and since
+// responses are self-certifying, one honest responder suffices.
+func (n *Node) sendStateReq(out transport.Sink) {
+	if n.cfg.DisableStateTransfer {
+		return
+	}
+	n.lastStateReq = n.now
+	req := &StateReqMsg{Have: n.executedTo}
+	peers := n.q.N - 1
+	k := n.q.Small()
+	if k > peers {
+		k = peers
+	}
+	for i := 0; i < k; i++ {
+		off := (n.stateRound + i) % peers
+		peer := types.ReplicaID((int(n.cfg.ID) + 1 + off) % n.q.N)
+		out.Send(transport.Unicast(peer, req))
+	}
+	n.stateRound = (n.stateRound + k) % peers
+}
+
+// handleStateReq serves a recovering peer from the durable log: the newest
+// stable checkpoint certificate plus up to MaxStateBlocks records
+// continuing the requester's height. When the range right above the
+// requester has been truncated here, the response anchors the requester at
+// this replica's checkpoint and continues from the watermark instead —
+// that is the checkpoint-anchored jump.
+func (n *Node) handleStateReq(from types.ReplicaID, m *StateReqMsg, out transport.Sink) {
+	if n.cfg.DisableStateTransfer {
+		return
+	}
+	if n.lastCheckpoint == nil && n.store == nil {
+		return
+	}
+	key := stateServeKey{requester: from, have: m.Have}
+	if last, done := n.stateServed[key]; done && n.now-last < n.serveCooldown() {
+		return
+	}
+	resp := &StateRespMsg{Checkpoint: n.lastCheckpoint}
+	if n.store != nil {
+		next := m.Have + 1
+		if _, ok := n.store.Get(next); !ok && n.lw > m.Have {
+			next = n.lw + 1
+		}
+		for len(resp.Blocks) < MaxStateBlocks {
+			rec, ok := n.store.Get(next)
+			if !ok {
+				break
+			}
+			resp.Blocks = append(resp.Blocks, rec)
+			next++
+		}
+	}
+	// An empty response is still sent: it is the "you are caught up" ack
+	// that lets the requester retire its sync probe.
+	n.stateServed[key] = n.now
+	n.stats.StateReqsServed++
+	out.Send(transport.Unicast(from, resp))
+}
+
+// handleStateResp applies a state-transfer response: adopt a verified newer
+// checkpoint anchor when the carried blocks do not connect to our
+// execution frontier, then apply each contiguous self-certifying record.
+// On progress the next page is requested immediately (the advanced height
+// is a fresh cooldown key at responders); a response that offers nothing
+// new means we are caught up.
+func (n *Node) handleStateResp(from types.ReplicaID, m *StateRespMsg, out transport.Sink) {
+	if n.cfg.DisableStateTransfer {
+		return
+	}
+	n.stats.StateRespsReceived++
+	progress := false
+	if cp := m.Checkpoint; cp != nil && cp.Seq > n.executedTo {
+		connects := len(m.Blocks) > 0 && m.Blocks[0] != nil && m.Blocks[0].Seq == n.executedTo+1
+		_, heldNext := n.log[n.executedTo+1]
+		// Jump only when there is no local path to the anchor: the carried
+		// blocks don't connect, and this replica is either freshly
+		// restarted with nothing at its frontier (needSync) or provably
+		// stuck. A slow-but-healthy replica — one whose probe fired before
+		// its in-flight proofs or retrievals landed — keeps executing the
+		// range itself rather than skipping it.
+		if !connects && ((n.needSync && !heldNext) || n.stuckBehind()) {
+			digest := CheckpointDigest(cp.Seq, cp.StateHash)
+			if err := n.suite.VerifyProof(digest, cp.Proof); err == nil {
+				n.adoptCheckpoint(cp)
+				progress = true
+			}
+		}
+	}
+	for _, rec := range m.Blocks {
+		if rec == nil || rec.Block == nil {
+			break
+		}
+		if rec.Seq <= n.executedTo {
+			continue // stale prefix below our frontier
+		}
+		if rec.Seq != n.executedTo+1 {
+			break // gap: nothing beyond it can be applied contiguously
+		}
+		if !n.applyTransferredRecord(rec, out) {
+			break
+		}
+		progress = true
+	}
+	if progress {
+		n.lastProgress = n.now
+		n.tryExecute(out)
+		if n.needSync || n.lw > n.executedTo {
+			n.sendStateReq(out)
+		}
+		return
+	}
+	if n.executedTo >= n.lw {
+		// Nothing newer anywhere we can see: consider the sync done. If the
+		// confirmed log later shows a gap at the execution frontier,
+		// confirmBlock re-arms needSync.
+		n.needSync = false
+	}
+}
+
+// adoptCheckpoint jumps this replica's execution state to a verified stable
+// checkpoint it cannot reach by replay: executedTo and the execution chain
+// hash snap to the certificate, the WAL resets to the new anchor, and the
+// watermark machinery garbage-collects everything below. Blocks skipped by
+// the jump are never executed locally — the quorum certificate stands in
+// for them (applications needing full state need snapshot transfer; see
+// ROADMAP).
+func (n *Node) adoptCheckpoint(cp *CheckpointProofMsg) {
+	n.executedTo = cp.Seq
+	n.execState = cp.StateHash
+	if cp.Seq > n.maxConfirmed {
+		n.maxConfirmed = cp.Seq
+	}
+	// Retrieval waiters below the anchor are moot: those instances will be
+	// garbage-collected, and the datablocks are being pruned cluster-wide.
+	for h, r := range n.missing {
+		for sn := range r.waiters {
+			if sn <= cp.Seq {
+				delete(r.waiters, sn)
+			}
+		}
+		if len(r.waiters) == 0 {
+			delete(n.missing, h)
+		}
+	}
+	// applyCheckpoint durably saves the anchor (if this proof is news) and
+	// advances the watermark; when the proof was applied earlier the anchor
+	// is already on disk. Either way the save happens-before the Reset
+	// below, so a crash in between recovers correctly. pruneBelow runs
+	// explicitly because applyCheckpoint no-ops when the watermark already
+	// reached cp.Seq while execution lagged — the jump is what makes the
+	// skipped range pruneable.
+	n.applyCheckpoint(cp)
+	n.pruneBelow()
+	if n.store != nil {
+		// The WAL tail below the anchor is obsolete history; re-anchor so
+		// appends resume at cp.Seq+1.
+		if err := n.store.Reset(cp.Seq); err != nil {
+			n.stats.WALErrors++
+		}
+	}
+}
+
+// executeBlock runs the execution bookkeeping shared by the normal path
+// (tryExecute), WAL replay and state transfer: the per-datablock executor
+// callback and request dedup, then the chain-hash/height advance. The
+// caller guarantees datablocks[i] matches block.Content[i] and that the
+// block sits exactly at the execution frontier.
+func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks []*types.Datablock) {
+	for _, db := range datablocks {
+		n.stats.ConfirmedRequests += int64(len(db.Requests))
+		if n.execFn != nil {
+			n.execFn(sn, db.Requests)
+		}
+		if !n.cfg.SkipRequestDedup {
+			for _, r := range db.Requests {
+				n.reqPool.MarkConfirmed(r.ID())
+			}
+		}
+	}
+	digest := crypto.HashBFTblock(block)
+	n.execState = crypto.HashConcat(n.execState[:], digest[:])
+	n.executedTo = sn
+	n.stats.ExecutedBlocks++
+	if sn > n.maxConfirmed {
+		n.maxConfirmed = sn
+	}
+}
+
+// applyTransferredRecord verifies and applies one state-transfer record at
+// the execution frontier. Verification is complete — notarization over
+// H(block), confirmation over H(σ1), and every datablock against the
+// block's content hashes — so records from Byzantine responders cannot
+// inject unconfirmed history. Applied blocks execute exactly like locally
+// agreed ones (executor callback, dedup bookkeeping, WAL append) but cast
+// no votes: agreement already happened.
+func (n *Node) applyTransferredRecord(rec *storage.BlockRecord, out transport.Sink) bool {
+	block := rec.Block
+	if block.Seq != rec.Seq || len(rec.Datablocks) != len(block.Content) {
+		return false
+	}
+	digest := crypto.HashBFTblock(block)
+	if err := n.suite.VerifyProof(digest, rec.Notarized); err != nil {
+		return false
+	}
+	sigma1 := crypto.HashBytes(rec.Notarized.Sig)
+	if err := n.suite.VerifyProof(sigma1, rec.Confirmed); err != nil {
+		return false
+	}
+	for i, h := range block.Content {
+		if rec.Datablocks[i] == nil || crypto.HashDatablock(rec.Datablocks[i]) != h {
+			return false
+		}
+	}
+	for i, h := range block.Content {
+		if !n.dbPool.Has(h) && !n.dbPool.Add(h, rec.Datablocks[i]) {
+			// A different datablock with the same (generator, counter) is
+			// pooled — equivocation by its generator. The confirmed one wins
+			// for execution, but the pool cannot hold both; bail out and let
+			// the next response retry after the pool entry is GC'd.
+			return false
+		}
+		n.confirmedDBs[h] = struct{}{}
+	}
+	n.log[rec.Seq] = block
+	n.executeBlock(rec.Seq, block, rec.Datablocks)
+	n.stats.ConfirmedBlocks++
+	n.stats.StateBlocksApplied++
+	if inst := n.instances[rec.Seq]; inst != nil && inst.state < types.StateExecuted {
+		// The slot is decided and executed; a live instance here must not
+		// keep the view-change timer armed.
+		inst.state = types.StateExecuted
+	}
+	if n.store != nil {
+		if err := n.store.Append(rec); err != nil {
+			n.stats.WALErrors++
+		}
+	}
+	for _, h := range block.Content {
+		n.resolveMissing(h, out)
+	}
+	return true
+}

@@ -188,7 +188,7 @@ func (n *Node) validViewChangeMsg(from types.ReplicaID, m *ViewChangeMsg) bool {
 		return false
 	}
 	if m.Checkpoint != nil {
-		d := checkpointDigest(m.Checkpoint.Seq, m.Checkpoint.StateHash)
+		d := CheckpointDigest(m.Checkpoint.Seq, m.Checkpoint.StateHash)
 		if err := n.suite.VerifyProof(d, m.Checkpoint.Proof); err != nil {
 			return false
 		}
@@ -327,6 +327,10 @@ func (n *Node) enterNewView(m *NewViewMsg, out transport.Sink) {
 	n.pendingView = 0
 	n.lastProgress = n.now
 	n.stats.ViewChanges++
+	// Persist the entered view so a restart resumes here instead of at
+	// view 1 (where it would ignore the live leader until the next view
+	// change). Rare event, so the synchronous metadata write is fine.
+	n.persistMeta()
 	if plan.cp != nil && plan.cp.Seq > n.lw {
 		n.applyCheckpoint(plan.cp)
 	}

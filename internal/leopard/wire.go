@@ -6,6 +6,7 @@ import (
 	"leopard/internal/codec"
 	"leopard/internal/crypto"
 	"leopard/internal/merkle"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -38,6 +39,8 @@ const (
 	kindTimeout
 	kindViewChange
 	kindNewView
+	kindStateReq
+	kindStateResp
 )
 
 func writeShare(w *codec.Writer, s crypto.Share) {
@@ -175,6 +178,23 @@ func EncodeMessage(msg transport.Message) ([]byte, error) {
 			encodeViewChange(w, &m.Proofs[i])
 		}
 		writeShare(w, m.Share)
+	case *StateReqMsg:
+		w.U8(kindStateReq)
+		w.U64(uint64(m.Have))
+	case *StateRespMsg:
+		w.U8(kindStateResp)
+		if m.Checkpoint != nil {
+			w.U8(1)
+			w.U64(uint64(m.Checkpoint.Seq))
+			w.Hash(m.Checkpoint.StateHash)
+			writeProof(w, m.Checkpoint.Proof)
+		} else {
+			w.U8(0)
+		}
+		w.U32(uint32(len(m.Blocks)))
+		for _, rec := range m.Blocks {
+			storage.AppendBlockRecord(w, rec)
+		}
 	default:
 		return nil, fmt.Errorf("leopard: cannot encode message type %T", msg)
 	}
@@ -340,6 +360,29 @@ func decodeMessage(buf []byte, borrow bool) (transport.Message, error) {
 		}
 		nv.Share = readShare(r)
 		msg = nv
+	case kindStateReq:
+		msg = &StateReqMsg{Have: types.SeqNum(r.U64())}
+	case kindStateResp:
+		sr := &StateRespMsg{}
+		if readBool(r) {
+			sr.Checkpoint = &CheckpointProofMsg{
+				Seq:       types.SeqNum(r.U64()),
+				StateHash: r.Hash(),
+				Proof:     readProof(r),
+			}
+		}
+		count := int(r.U32())
+		if count < 0 || count > MaxStateBlocks {
+			return nil, fmt.Errorf("leopard: state response carries %d blocks", count)
+		}
+		for i := 0; i < count; i++ {
+			rec, err := storage.ReadBlockRecord(r)
+			if err != nil {
+				return nil, err
+			}
+			sr.Blocks = append(sr.Blocks, rec)
+		}
+		msg = sr
 	default:
 		return nil, fmt.Errorf("leopard: unknown wire kind %d", buf[0])
 	}

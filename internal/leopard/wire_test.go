@@ -9,6 +9,7 @@ import (
 	"leopard/internal/codec"
 	"leopard/internal/crypto"
 	"leopard/internal/merkle"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -102,6 +103,17 @@ func testMessages() []transport.Message {
 		&TimeoutMsg{View: 2, Share: share},
 		&vc,
 		&NewViewMsg{NewView: 4, Proofs: []ViewChangeMsg{vc}, Share: share},
+		&StateReqMsg{Have: 41},
+		&StateRespMsg{
+			Checkpoint: cp,
+			Blocks: []*storage.BlockRecord{{
+				Seq:        51,
+				Block:      &types.BFTblock{View: 2, Seq: 51, Content: []types.Hash{crypto.HashDatablock(db)}},
+				Notarized:  proof,
+				Confirmed:  crypto.Proof{Sig: []byte("sigma2")},
+				Datablocks: []*types.Datablock{db},
+			}},
+		},
 	}
 }
 

@@ -271,6 +271,30 @@ func (n *Network) Restart(id types.ReplicaID) {
 	}
 }
 
+// Replace models a crash-restart with durable state: the slot's node is
+// swapped for a freshly built one (e.g. recovered from its write-ahead
+// log), delivery resumes, and the new node's Start runs at the current
+// virtual time — emitting into the deterministic Sink like any other
+// event, so identically-seeded runs with identical Replace schedules stay
+// byte-identical. The restarted process has no outbound queue, so every
+// bulk flow originating at the slot is dropped (queued streams from the
+// old life die with it); flows toward the slot unpark as in Restart.
+// Sim simplification shared with Restart: in-flight messages addressed to
+// the old life may still deliver to the new one — a stray late frame the
+// protocol tolerates by design.
+func (n *Network) Replace(id types.ReplicaID, node transport.Node) error {
+	if int(node.ID()) != int(id) {
+		return fmt.Errorf("simnet: replacement for slot %d reports id %d", id, node.ID())
+	}
+	n.nodes[id] = node
+	if n.flows != nil {
+		n.flows[id] = nil // fresh outbound: old parked streams are lost
+	}
+	n.Restart(id)
+	node.Start(n.now, n.sinkFor(id))
+	return nil
+}
+
 // Stats returns the bandwidth accounting for a replica. The pointer stays
 // valid across Run calls; callers must not mutate it.
 func (n *Network) Stats(id types.ReplicaID) *metrics.Bandwidth { return &n.stats[id] }

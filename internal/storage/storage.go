@@ -1,0 +1,317 @@
+// Package storage provides the durability layer for a Leopard replica: a
+// segmented, CRC-checked append-only write-ahead log of executed blocks,
+// plus durable stable-checkpoint and replica-local metadata records.
+//
+// # What is persisted
+//
+// The unit of durability is the executed block: a BlockRecord carries the
+// BFTblock, both agreement proofs (σ1 notarization over H(block), σ2
+// confirmation over H(σ1)) and the full datablocks the block links — enough
+// for a restarted replica to replay its executed prefix without the
+// network, and enough for a peer to serve the record over the state-transfer
+// protocol to a recovering replica that can verify it independently.
+// Alongside the log, the latest stable checkpoint (sequence number, state
+// hash, quorum proof — the paper's Alg. 4 certificate) is kept in its own
+// atomically-replaced file: it is the anchor a recovering replica trusts
+// when its own log no longer reaches back far enough, and the bound below
+// which log segments are garbage.
+//
+// # Durability model
+//
+// Appends are group-committed: Append buffers the framed record and returns
+// immediately; a background syncer flushes and fsyncs at most once per
+// Options.FsyncInterval. The hot execute path therefore never waits on the
+// disk (see BenchmarkWALAppend), at the cost of a bounded window — up to one
+// interval of executed blocks — that a crash may lose. That window is safe
+// by construction: everything in it was confirmed by a quorum, so the
+// recovering replica fetches it back via state transfer exactly as it
+// fetches blocks executed while it was down. Checkpoints and metadata are
+// small and rare, and are always written through (write, fsync, rename).
+//
+// # Recovery semantics
+//
+// Open scans segments in order and stops at the first damaged frame —
+// truncated tail, CRC mismatch, or torn mid-record write — truncating the
+// log to the last complete record and discarding any later segments. The
+// replica's durable state is the checkpoint anchor plus the contiguous run
+// of records above it; FuzzWALReplay asserts the scan never panics and
+// never fabricates a record from damage.
+package storage
+
+import (
+	"fmt"
+
+	"leopard/internal/codec"
+	"leopard/internal/crypto"
+	"leopard/internal/types"
+)
+
+// BlockRecord is one executed block as persisted in the WAL and shipped by
+// the state-transfer protocol: the block, its two agreement proofs, and the
+// linked datablocks in Content order.
+type BlockRecord struct {
+	Seq       types.SeqNum
+	Block     *types.BFTblock
+	Notarized crypto.Proof // σ1 over H(block)
+	Confirmed crypto.Proof // σ2 over H(σ1)
+	// Datablocks holds the full linked datablocks, aligned with
+	// Block.Content (Datablocks[i] hashes to Content[i]).
+	Datablocks []*types.Datablock
+}
+
+// WireSize returns the exact encoded size in bytes, matching
+// AppendBlockRecord (codec.MarshalBFTblock spends 20 bytes on the header,
+// unlike the approximate types.BFTblock.Size).
+func (rec *BlockRecord) WireSize() int {
+	s := 8 + 20 + 32*len(rec.Block.Content) + 4 + len(rec.Notarized.Sig) + 4 + len(rec.Confirmed.Sig)
+	for _, db := range rec.Datablocks {
+		s += db.Size()
+	}
+	return s
+}
+
+// AppendBlockRecord appends the canonical encoding of rec to w. The
+// datablock count is implied by len(Block.Content), so a record has exactly
+// one encoding.
+func AppendBlockRecord(w *codec.Writer, rec *BlockRecord) {
+	w.U64(uint64(rec.Seq))
+	codec.MarshalBFTblock(w, rec.Block)
+	w.Bytes(rec.Notarized.Sig)
+	w.Bytes(rec.Confirmed.Sig)
+	for _, db := range rec.Datablocks {
+		codec.MarshalDatablockTo(w, db)
+	}
+}
+
+// ReadBlockRecord decodes one BlockRecord from r in r's mode (borrow or
+// copy), without a terminal trailing-bytes check — the record may be
+// embedded in a larger frame. The datablock count is Block.Content's
+// length, mirroring AppendBlockRecord.
+func ReadBlockRecord(r *codec.Reader) (*BlockRecord, error) {
+	rec := &BlockRecord{Seq: types.SeqNum(r.U64())}
+	block, err := codec.UnmarshalBFTblock(r)
+	if err != nil {
+		return nil, err
+	}
+	rec.Block = block
+	rec.Notarized = crypto.Proof{Sig: r.Bytes()}
+	rec.Confirmed = crypto.Proof{Sig: r.Bytes()}
+	if len(block.Content) > 0 {
+		rec.Datablocks = make([]*types.Datablock, 0, len(block.Content))
+	}
+	for range block.Content {
+		db, err := codec.UnmarshalDatablockFrom(r)
+		if err != nil {
+			return nil, err
+		}
+		rec.Datablocks = append(rec.Datablocks, db)
+	}
+	return rec, r.Err()
+}
+
+// Checkpoint is the durable stable-checkpoint record: the Alg. 4 quorum
+// certificate anchoring recovery and log truncation.
+type Checkpoint struct {
+	Seq       types.SeqNum
+	StateHash types.Hash
+	Proof     crypto.Proof
+}
+
+func appendCheckpoint(w *codec.Writer, cp Checkpoint) {
+	w.U64(uint64(cp.Seq))
+	w.Hash(cp.StateHash)
+	w.Bytes(cp.Proof.Sig)
+}
+
+func readCheckpoint(r *codec.Reader) (Checkpoint, error) {
+	cp := Checkpoint{
+		Seq:       types.SeqNum(r.U64()),
+		StateHash: r.Hash(),
+		Proof:     crypto.Proof{Sig: r.Bytes()},
+	}
+	return cp, r.Finish()
+}
+
+// Meta is small replica-local state that must survive restarts but is not
+// part of the replicated log: the view the replica last entered, and a
+// reserved ceiling for its datablock counter. The counter reservation keeps
+// restarts from reusing a (generator, counter) pair — peers dedup
+// datablocks by that pair, so a reuse would make every peer silently reject
+// the restarted replica's fresh datablocks. The replica persists a reserve
+// some slack above its live counter and resumes from the reserve, skipping
+// at most the slack.
+type Meta struct {
+	View           types.View
+	CounterReserve uint64
+}
+
+func appendMeta(w *codec.Writer, m Meta) {
+	w.U64(uint64(m.View))
+	w.U64(m.CounterReserve)
+}
+
+func readMeta(r *codec.Reader) (Meta, error) {
+	m := Meta{View: types.View(r.U64()), CounterReserve: r.U64()}
+	return m, r.Finish()
+}
+
+// Stats describes a store's shape and activity, for the metrics surface
+// (leopard-node -status, experiment reports).
+type Stats struct {
+	// Segments is the number of live WAL segment files (1 for MemLog).
+	Segments int64
+	// LiveBytes is the total size of live segment files.
+	LiveBytes int64
+	// Records is the number of block records currently retained.
+	Records int64
+	// Appended counts records appended this session.
+	Appended int64
+	// Loaded counts records recovered from disk at Open.
+	Loaded int64
+	// LoadedBytes is the byte volume of records recovered at Open.
+	LoadedBytes int64
+	// Syncs counts fsync batches issued.
+	Syncs int64
+	// TailTruncated reports whether Open discarded a damaged tail.
+	TailTruncated bool
+}
+
+// Store is the durability interface a replica persists through. Two
+// implementations exist: Log (file-backed WAL, real deployments) and MemLog
+// (deterministic in-memory model for the simulator's crash-restart
+// experiments). All methods are safe for use from the replica's single
+// event loop; Log additionally synchronizes with its background syncer.
+type Store interface {
+	// Append durably logs one executed block. Records must be appended in
+	// strictly increasing, contiguous Seq order above the checkpoint.
+	Append(rec *BlockRecord) error
+	// Get returns the retained record at seq, if present.
+	Get(seq types.SeqNum) (*BlockRecord, bool)
+	// Bounds returns the lowest and highest retained record seq (0, 0 when
+	// the log holds no records).
+	Bounds() (first, last types.SeqNum)
+	// SaveCheckpoint durably replaces the stable-checkpoint anchor.
+	SaveCheckpoint(cp Checkpoint) error
+	// Checkpoint returns the saved anchor, if any.
+	Checkpoint() (Checkpoint, bool)
+	// SaveMeta durably replaces the replica-local metadata.
+	SaveMeta(m Meta) error
+	// Meta returns the saved metadata (zero value when never saved).
+	Meta() Meta
+	// TruncateBelow garbage-collects records with seq <= the given bound
+	// (the advanced low watermark). File-backed stores drop whole segments
+	// only, so some records below the bound may be retained — and may still
+	// be served to recovering peers.
+	TruncateBelow(seq types.SeqNum) error
+	// Reset drops every record and re-anchors the log at seq: the next
+	// append must be seq+1. Used when the replica adopts a checkpoint it
+	// cannot reach by replay (state-transfer jump) — everything logged
+	// before the anchor is obsolete history below a stable checkpoint.
+	Reset(seq types.SeqNum) error
+	// Sync forces any buffered appends to durable storage.
+	Sync() error
+	// Stats returns the store's counters.
+	Stats() Stats
+	// Close releases resources after a final Sync.
+	Close() error
+}
+
+// MemLog is a deterministic in-memory Store. It models a WAL whose every
+// append is already fsync-complete — the simulator's crash-restart
+// experiments hand the surviving MemLog to the restarted replica, and the
+// WAL torture tests cover the lost-tail cases a real crash adds on top.
+type MemLog struct {
+	records map[types.SeqNum]*BlockRecord
+	first   types.SeqNum
+	last    types.SeqNum
+	cp      *Checkpoint
+	meta    Meta
+	stats   Stats
+}
+
+// NewMemLog returns an empty in-memory store.
+func NewMemLog() *MemLog {
+	return &MemLog{records: make(map[types.SeqNum]*BlockRecord)}
+}
+
+var _ Store = (*MemLog)(nil)
+
+// Append implements Store.
+func (m *MemLog) Append(rec *BlockRecord) error {
+	if m.last != 0 && rec.Seq != m.last+1 {
+		return fmt.Errorf("storage: non-contiguous append %d after %d", rec.Seq, m.last)
+	}
+	m.records[rec.Seq] = rec
+	if m.first == 0 {
+		m.first = rec.Seq
+	}
+	m.last = rec.Seq
+	m.stats.Appended++
+	return nil
+}
+
+// Get implements Store.
+func (m *MemLog) Get(seq types.SeqNum) (*BlockRecord, bool) {
+	rec, ok := m.records[seq]
+	return rec, ok
+}
+
+// Bounds implements Store.
+func (m *MemLog) Bounds() (types.SeqNum, types.SeqNum) { return m.first, m.last }
+
+// SaveCheckpoint implements Store.
+func (m *MemLog) SaveCheckpoint(cp Checkpoint) error {
+	m.cp = &cp
+	return nil
+}
+
+// Checkpoint implements Store.
+func (m *MemLog) Checkpoint() (Checkpoint, bool) {
+	if m.cp == nil {
+		return Checkpoint{}, false
+	}
+	return *m.cp, true
+}
+
+// SaveMeta implements Store.
+func (m *MemLog) SaveMeta(meta Meta) error {
+	m.meta = meta
+	return nil
+}
+
+// Meta implements Store.
+func (m *MemLog) Meta() Meta { return m.meta }
+
+// TruncateBelow implements Store.
+func (m *MemLog) TruncateBelow(seq types.SeqNum) error {
+	for m.first != 0 && m.first <= seq && m.first <= m.last {
+		delete(m.records, m.first)
+		m.first++
+	}
+	if len(m.records) == 0 {
+		m.first, m.last = 0, 0
+	}
+	return nil
+}
+
+// Reset implements Store.
+func (m *MemLog) Reset(seq types.SeqNum) error {
+	m.records = make(map[types.SeqNum]*BlockRecord)
+	m.first = 0
+	m.last = seq
+	return nil
+}
+
+// Sync implements Store.
+func (m *MemLog) Sync() error { return nil }
+
+// Stats implements Store.
+func (m *MemLog) Stats() Stats {
+	s := m.stats
+	s.Segments = 1
+	s.Records = int64(len(m.records))
+	return s
+}
+
+// Close implements Store.
+func (m *MemLog) Close() error { return nil }

@@ -104,6 +104,9 @@ const (
 	ClassViewChange
 	ClassAck // acknowledgments to clients
 	ClassMisc
+	// ClassState is checkpoint-anchored state transfer: requests from and
+	// responses to replicas recovering their executed log from peers.
+	ClassState
 )
 
 // String implements fmt.Stringer.
@@ -129,13 +132,15 @@ func (c Class) String() string {
 		return "ack"
 	case ClassMisc:
 		return "misc"
+	case ClassState:
+		return "state"
 	default:
 		return "unknown"
 	}
 }
 
 // NumClasses is the count of defined classes, for dense accounting arrays.
-const NumClasses = int(ClassMisc) + 1
+const NumClasses = int(ClassState) + 1
 
 // Message is anything a protocol node can send. WireSize must return the
 // size in bytes the message occupies on the network; the simulator charges
