@@ -164,16 +164,18 @@ func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 			delete(n.served, key)
 		}
 	}
-	// Same lifetime bound for the state-transfer serve cooldown.
-	for key, t := range n.stateServed {
-		if n.now-t >= n.serveCooldown() {
-			delete(n.stateServed, key)
+	// The state-transfer serve map is already bounded (one entry per
+	// requester); dropping lapsed entries is just hygiene.
+	for id, s := range n.stateServed {
+		if n.now-s.at >= n.serveCooldown() {
+			delete(n.stateServed, id)
 		}
 	}
 }
 
 // pruneBelow garbage-collects execution-side state — pooled datablocks,
-// instances, proof stashes — for every serial number that is both executed
+// instances, proof stashes, executed block headers (the confirmed log) —
+// for every serial number that is both executed
 // and at or below the watermark. It resumes from a cursor (prunedTo)
 // rather than the previous watermark: a lagging replica skips pruning a
 // range until it executes it (or jumps past it via a checkpoint anchor),
@@ -208,6 +210,10 @@ func (n *Node) pruneBelow() {
 		}
 		delete(n.instances, sn)
 		delete(n.proofStash, sn)
+		// The executed header itself goes too: everything at or below the
+		// watermark is certified by the stable checkpoint, and without this
+		// the confirmed log grows for the node's lifetime.
+		delete(n.log, sn)
 	}
 	if limit > n.prunedTo {
 		n.prunedTo = limit

@@ -245,6 +245,15 @@ func TestCheckpointAdvancesWatermarkAndPrunes(t *testing.T) {
 		if st.DatablocksHeld > 20 {
 			t.Errorf("replica %d still holds %d datablocks; checkpoint GC not working", node.ID(), st.DatablocksHeld)
 		}
+		// Executed block headers below the watermark are GC'd with the rest
+		// (regression: the confirmed log used to grow for the node's
+		// lifetime).
+		if st.LastCheckpointSeq < 1 {
+			t.Fatalf("replica %d formed no checkpoint", node.ID())
+		}
+		if _, ok := node.LogBlock(1); ok {
+			t.Errorf("replica %d still holds the executed block header at sn=1 below the watermark", node.ID())
+		}
 	}
 }
 

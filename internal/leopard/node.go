@@ -159,14 +159,14 @@ type Node struct {
 	// counter ceiling. needSync marks a restarted (or gap-detected) replica
 	// that should probe peers for state transfer; lastStateReq /
 	// stateRound pace and rotate those probes; stateServed is the
-	// responder-side (requester, height) cooldown.
+	// responder-side per-requester cooldown (bounded at N-1 entries).
 	store          storage.Store
 	proofStash     map[types.SeqNum]blockProofs
 	counterReserve uint64
 	needSync       bool
 	lastStateReq   time.Duration
 	stateRound     int
-	stateServed    map[stateServeKey]time.Duration
+	stateServed    map[types.ReplicaID]stateServeState
 	// behindSince is when the execution frontier first stalled (-1 while
 	// advancing normally); feeds the stuckBehind grace period.
 	behindSince time.Duration
@@ -247,7 +247,7 @@ func NewNode(cfg Config) (*Node, error) {
 		confirmedDBs:  make(map[types.Hash]struct{}),
 		store:         cfg.Store,
 		proofStash:    make(map[types.SeqNum]blockProofs),
-		stateServed:   make(map[stateServeKey]time.Duration),
+		stateServed:   make(map[types.ReplicaID]stateServeState),
 		lastStateReq:  -1,
 		behindSince:   -1,
 	}
@@ -307,7 +307,9 @@ func (n *Node) PendingRequests() int { return n.reqPool.Len() }
 func (n *Node) ExecutedTo() types.SeqNum { return n.executedTo }
 
 // LogBlock returns the confirmed block at sn, if any. Part of the public
-// API so applications can audit the output log.
+// API so applications can audit the output log. Entries at or below the
+// low watermark are garbage-collected once executed (the stable checkpoint
+// certificate stands in for them), so audits should track the live window.
 func (n *Node) LogBlock(sn types.SeqNum) (*types.BFTblock, bool) {
 	b, ok := n.log[sn]
 	return b, ok

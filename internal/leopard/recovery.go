@@ -36,14 +36,19 @@ type blockProofs struct {
 	confirmed crypto.Proof
 }
 
-// stateServeKey keys the state-transfer serve cooldown: one serve per
-// (requester, height) per cooldown window. A requester that makes progress
-// presents a new height and is served immediately; one that repeats a
-// height (honest retry after loss, or Byzantine amplification) waits out
-// the cooldown — the same pattern as retrieval's (digest, requester) bound.
-type stateServeKey struct {
-	requester types.ReplicaID
-	have      types.SeqNum
+// stateServeState is the per-requester state-transfer serve bookkeeping:
+// when the requester was last answered, and the minimum Have that proves
+// it consumed that answer (the last seq the response carried). A requester
+// presenting Have >= nextHave bypasses the cooldown — that is what lets a
+// recovering replica page through the log at transfer speed — while any
+// other request inside the window is refused, as in retrieval's (digest,
+// requester) bound. Keying by requester alone bounds the map at N-1
+// entries, and the monotonic nextHave bounds what a Byzantine requester
+// can extract per window by varying Have to one pass over the log plus
+// one empty ack — the cost of one honest recovery.
+type stateServeState struct {
+	at       time.Duration
+	nextHave types.SeqNum
 }
 
 // recoverFromStore restores the replica's durable state at Start: local
@@ -79,6 +84,20 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 			break
 		}
 		n.replayRecord(rec)
+	}
+	if _, last := st.Bounds(); last != 0 && last != n.executedTo {
+		// The durable tail does not meet the execution frontier: the anchor
+		// was saved ahead of the last appended record (the watermark advanced
+		// on a quorum proof while execution lagged, then the replica
+		// crashed), or replay stopped at a malformed record. Appends resume
+		// at executedTo+1, so re-anchor the log — without this every future
+		// Append fails non-contiguous and the replica silently never
+		// persists again. The discarded records sit under the saved
+		// checkpoint certificate (or are unreadable), so nothing recoverable
+		// is lost.
+		if err := st.Reset(n.executedTo); err != nil {
+			n.stats.WALErrors++
+		}
 	}
 	n.nextSeq = n.executedTo + 1
 	if n.nextSeq <= n.lw {
@@ -218,15 +237,23 @@ func (n *Node) maybeRequestState(out transport.Sink) {
 
 // sendStateReq unicasts a state request to the next f+1 peers in a
 // deterministic rotation — at least one recipient is honest, and since
-// responses are self-certifying, one honest responder suffices.
-func (n *Node) sendStateReq(out transport.Sink) {
+// responses are self-certifying, one honest responder suffices. Used for
+// the initial probe and for the paced retries.
+func (n *Node) sendStateReq(out transport.Sink) { n.sendStateReqWidth(out, n.q.Small()) }
+
+// sendStateReqWidth is sendStateReq with an explicit fan-out. Paging after
+// a productive response uses width 1: every recipient would serve a full
+// page of multi-block records while only one copy can be applied, so the
+// f+1 fan-out multiplies the transferred range's bulk bytes by f+1 for
+// nothing. Liveness is unharmed — if the single rotating peer never
+// answers, the paced retry re-probes f+1 after stateRetryInterval.
+func (n *Node) sendStateReqWidth(out transport.Sink, k int) {
 	if n.cfg.DisableStateTransfer {
 		return
 	}
 	n.lastStateReq = n.now
 	req := &StateReqMsg{Have: n.executedTo}
 	peers := n.q.N - 1
-	k := n.q.Small()
 	if k > peers {
 		k = peers
 	}
@@ -251,8 +278,7 @@ func (n *Node) handleStateReq(from types.ReplicaID, m *StateReqMsg, out transpor
 	if n.lastCheckpoint == nil && n.store == nil {
 		return
 	}
-	key := stateServeKey{requester: from, have: m.Have}
-	if last, done := n.stateServed[key]; done && n.now-last < n.serveCooldown() {
+	if prev, seen := n.stateServed[from]; seen && n.now-prev.at < n.serveCooldown() && m.Have < prev.nextHave {
 		return
 	}
 	resp := &StateRespMsg{Checkpoint: n.lastCheckpoint}
@@ -272,39 +298,58 @@ func (n *Node) handleStateReq(from types.ReplicaID, m *StateReqMsg, out transpor
 	}
 	// An empty response is still sent: it is the "you are caught up" ack
 	// that lets the requester retire its sync probe.
-	n.stateServed[key] = n.now
+	entry := stateServeState{at: n.now}
+	if k := len(resp.Blocks); k > 0 {
+		// Bypassing the cooldown again requires consuming this page, so
+		// in-window serves walk nextHave monotonically through the log.
+		entry.nextHave = resp.Blocks[k-1].Seq
+	} else {
+		// Nothing to give: only cooldown expiry re-enables serving, so
+		// repeated caught-up (or beyond-tail) probes cost one ack per
+		// window.
+		entry.nextHave = ^types.SeqNum(0)
+	}
+	n.stateServed[from] = entry
 	n.stats.StateReqsServed++
 	out.Send(transport.Unicast(from, resp))
 }
 
-// handleStateResp applies a state-transfer response: adopt a verified newer
-// checkpoint anchor when the carried blocks do not connect to our
-// execution frontier, then apply each contiguous self-certifying record.
-// On progress the next page is requested immediately (the advanced height
-// is a fresh cooldown key at responders); a response that offers nothing
-// new means we are caught up.
+// handleStateResp applies a state-transfer response: a verified carried
+// checkpoint always advances the watermark; the execution anchor jumps to
+// the newest verified certificate only when the replica is provably stuck
+// with no connecting blocks; then each contiguous self-certifying record
+// is applied. On progress the next page is requested immediately from one
+// rotating peer (a height at or past the served page's end bypasses the
+// responder cooldown); a response that offers nothing new means we are
+// caught up.
 func (n *Node) handleStateResp(from types.ReplicaID, m *StateRespMsg, out transport.Sink) {
 	if n.cfg.DisableStateTransfer {
 		return
 	}
 	n.stats.StateRespsReceived++
 	progress := false
-	if cp := m.Checkpoint; cp != nil && cp.Seq > n.executedTo {
-		connects := len(m.Blocks) > 0 && m.Blocks[0] != nil && m.Blocks[0].Seq == n.executedTo+1
-		_, heldNext := n.log[n.executedTo+1]
-		// Jump only when there is no local path to the anchor: the carried
-		// blocks don't connect, and this replica is either freshly
-		// restarted with nothing at its frontier (needSync) or provably
-		// stuck. A slow-but-healthy replica — one whose probe fired before
-		// its in-flight proofs or retrievals landed — keeps executing the
-		// range itself rather than skipping it.
-		if !connects && ((n.needSync && !heldNext) || n.stuckBehind()) {
-			digest := CheckpointDigest(cp.Seq, cp.StateHash)
-			if err := n.suite.VerifyProof(digest, cp.Proof); err == nil {
-				n.adoptCheckpoint(cp)
-				progress = true
-			}
+	if cp := m.Checkpoint; cp != nil && cp.Seq > n.lw {
+		// A verified quorum certificate advances the watermark (and durably
+		// saves the anchor) no matter who carried it — exactly as a
+		// broadcast CheckpointProofMsg would. Execution does not jump here.
+		digest := CheckpointDigest(cp.Seq, cp.StateHash)
+		if err := n.suite.VerifyProof(digest, cp.Proof); err == nil {
+			n.applyCheckpoint(cp)
 		}
+	}
+	connects := len(m.Blocks) > 0 && m.Blocks[0] != nil && m.Blocks[0].Seq == n.executedTo+1
+	if cp := n.lastCheckpoint; cp != nil && cp.Seq > n.executedTo && !connects && n.stuckBehind() {
+		// Jump only when provably stuck: the frontier has stalled a full
+		// retry interval, long past anything honest connecting blocks (which
+		// any honest responder sends when it has them) would have resolved.
+		// A single Byzantine first responder offering a bare certificate
+		// must not push a replica with a live local path into skipping
+		// execution — the skipped range is an application-state hole only a
+		// snapshot transfer could fill. The jump targets lastCheckpoint, the
+		// newest certificate this replica has verified (the watermark
+		// advance above keeps it fresh), not whatever this response carried.
+		n.adoptCheckpoint(cp)
+		progress = true
 	}
 	for _, rec := range m.Blocks {
 		if rec == nil || rec.Block == nil {
@@ -325,7 +370,7 @@ func (n *Node) handleStateResp(from types.ReplicaID, m *StateRespMsg, out transp
 		n.lastProgress = n.now
 		n.tryExecute(out)
 		if n.needSync || n.lw > n.executedTo {
-			n.sendStateReq(out)
+			n.sendStateReqWidth(out, 1)
 		}
 		return
 	}

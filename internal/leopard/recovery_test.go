@@ -128,6 +128,56 @@ func TestRecoverReplaysWAL(t *testing.T) {
 	}
 }
 
+// TestRecoverReanchorsStaleWALTail: a stable checkpoint can be durably
+// saved ahead of the WAL tail (the watermark advances on a quorum proof
+// while this replica's execution lags, then it crashes — or it crashes
+// inside the group-commit window right after the save). Restart must
+// re-anchor the log at the recovered frontier; without it every
+// post-recovery Append fails non-contiguous and the replica silently
+// never persists again.
+func TestRecoverReanchorsStaleWALTail(t *testing.T) {
+	st := storage.NewMemLog()
+	for sn := types.SeqNum(1); sn <= 5; sn++ {
+		if err := st.Append(&storage.BlockRecord{Seq: sn, Block: &types.BFTblock{Seq: sn}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.SaveCheckpoint(storage.Checkpoint{Seq: 10, StateHash: types.Hash{7}, Proof: crypto.Proof{Sig: []byte("cp")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := types.NewQuorumParams(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := crypto.NewEd25519Suite(4, []byte("router-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := leopard.NewNode(leopard.Config{
+		ID: 3, Quorum: q, Suite: suite,
+		DatablockSize: 10, BFTBlockSize: 2,
+		BatchTimeout: 5 * time.Millisecond, ViewChangeTimeout: time.Hour,
+		RetrievalTimeout: 10 * time.Millisecond,
+		MaxParallel:      8, CheckpointEvery: 4,
+		Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start(0, transport.Discard)
+
+	if node.ExecutedTo() != 10 {
+		t.Fatalf("recovered to %d, want the anchor 10", node.ExecutedTo())
+	}
+	if _, last := st.Bounds(); last != 10 {
+		t.Fatalf("WAL tail at %d after recovery, want re-anchored at 10", last)
+	}
+	if err := st.Append(&storage.BlockRecord{Seq: 11, Block: &types.BFTblock{Seq: 11}}); err != nil {
+		t.Fatalf("append at the frontier after recovery: %v", err)
+	}
+}
+
 // TestStateTransferCatchup: a replica that restarts far behind — its
 // executed range garbage-collected cluster-wide — must reach the cluster's
 // height via the checkpoint anchor plus paged block transfer, casting no
@@ -183,9 +233,11 @@ func TestStateTransferCatchup(t *testing.T) {
 	}
 }
 
-// TestStateTransferServeCooldown: repeating the same height inside the
-// cooldown window is refused; presenting an advanced height is served
-// immediately — the amplification bound of the serve path.
+// TestStateTransferServeCooldown: inside the cooldown window a requester
+// is served again only when its height proves it consumed the previous
+// page — anything else (repeats, partial or fabricated heights) is refused
+// until the window lapses. That is the amplification bound of the serve
+// path: per requester per window, at most one pass over the log.
 func TestStateTransferServeCooldown(t *testing.T) {
 	r, _ := storedRouter(t, 4, nil)
 	r.submit(0, 60, 0)
@@ -195,29 +247,45 @@ func TestStateTransferServeCooldown(t *testing.T) {
 		t.Fatal("no execution")
 	}
 
-	served := func(have types.SeqNum) int {
+	served := func(have types.SeqNum) *leopard.StateRespMsg {
 		outs := deliver(server, r.now, 3, &leopard.StateReqMsg{Have: have})
-		count := 0
+		var resp *leopard.StateRespMsg
 		for _, env := range outs {
-			if _, ok := env.Msg.(*leopard.StateRespMsg); ok {
-				count++
+			if m, ok := env.Msg.(*leopard.StateRespMsg); ok {
+				if resp != nil {
+					t.Fatal("more than one response to a single request")
+				}
+				resp = m
 			}
 		}
-		return count
+		return resp
 	}
-	if got := served(0); got != 1 {
-		t.Fatalf("first request served %d responses, want 1", got)
+	first := served(0)
+	if first == nil {
+		t.Fatal("first request not served")
 	}
-	if got := served(0); got != 0 {
-		t.Fatalf("repeat inside cooldown served %d responses, want 0", got)
+	if len(first.Blocks) == 0 {
+		t.Fatal("first response carried no blocks; widen the run")
 	}
-	if got := served(1); got != 1 {
-		t.Fatalf("advanced height served %d responses, want 1 (progress must not throttle)", got)
+	pageEnd := first.Blocks[len(first.Blocks)-1].Seq
+	if got := served(0); got != nil {
+		t.Fatal("repeat inside cooldown was served")
+	}
+	if pageEnd > 1 {
+		// A height below the served page's end is not proof of consumption:
+		// a Byzantine requester sweeping Have must not mint fresh serves.
+		if got := served(pageEnd - 1); got != nil {
+			t.Fatal("partial height inside cooldown was served")
+		}
+	}
+	// Consuming the page is what earns the next one immediately.
+	if got := served(pageEnd); got == nil {
+		t.Fatal("consumed-page height refused (progress must not throttle)")
 	}
 	// After the cooldown lapses the original height is served again.
 	r.now += 7 * 10 * time.Millisecond // > serveCooldown = 6×RetrievalTimeout
-	if got := served(0); got != 1 {
-		t.Fatalf("post-cooldown repeat served %d responses, want 1", got)
+	if got := served(0); got == nil {
+		t.Fatal("post-cooldown repeat refused")
 	}
 }
 

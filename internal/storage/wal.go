@@ -448,12 +448,18 @@ func (l *Log) flushStaged() error {
 	l.mu.Lock()
 	chunk := l.pending
 	l.pending = l.spare[:0]
+	// Invariant: spare never aliases pending's backing array. chunk (the
+	// old pending) is recycled into spare only at the end, after the write
+	// is done with it; until then spare is cleared, so no path — including
+	// the empty-chunk and oversized-buffer skips below — can leave a later
+	// flush handing f.Write a buffer that concurrent Appends are growing.
+	l.spare = nil
 	f := l.f
 	l.mu.Unlock()
-	if len(chunk) == 0 || f == nil {
-		return nil
+	var err error
+	if len(chunk) > 0 && f != nil {
+		_, err = f.Write(chunk)
 	}
-	_, err := f.Write(chunk)
 	l.mu.Lock()
 	if cap(chunk) <= 8<<20 {
 		l.spare = chunk[:0]

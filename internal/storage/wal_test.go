@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"leopard/internal/codec"
 	"leopard/internal/crypto"
@@ -256,6 +257,72 @@ func TestWALTortureRecovery(t *testing.T) {
 				t.Fatalf("append after recovery: %v", err)
 			}
 		})
+	}
+}
+
+// TestFlushStagedNeverAliasesSpare is the regression test for a buffer
+// recycling bug: a flush that found nothing staged (a segment roll racing
+// the background syncer), or one whose chunk was too large to recycle,
+// skipped the spare exchange after pending had already been repointed at
+// spare's array — leaving the two aliased, so the next flush handed
+// f.Write a buffer that concurrent Appends were growing, silently
+// corrupting frames on disk.
+func TestFlushStagedNeverAliasesSpare(t *testing.T) {
+	// A huge FsyncInterval keeps the background syncer out of the test.
+	l, err := Open(t.TempDir(), Options{FsyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	aliased := func() bool {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if cap(l.pending) == 0 || cap(l.spare) == 0 {
+			return false
+		}
+		return &l.pending[:1][0] == &l.spare[:1][0]
+	}
+
+	// Populate spare via one normal append+flush cycle.
+	if err := l.Append(testRecord(1, 1, 1, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty flush: nothing staged, so the recycle used to be skipped.
+	l.flushMu.Lock()
+	err = l.flushStaged()
+	l.flushMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased() {
+		t.Fatal("empty flush left spare aliasing pending")
+	}
+
+	// Oversized chunk (> 8 MiB): not recycled, and must not leave the old
+	// spare array shared with pending either.
+	if err := l.Append(testRecord(2, 1, 1, 9<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if aliased() {
+		t.Fatal("oversized flush left spare aliasing pending")
+	}
+
+	// The log must still be intact end to end.
+	if err := l.Append(testRecord(3, 1, 1, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	first, last := l.Bounds()
+	if first != 1 || last != 3 {
+		t.Fatalf("bounds (%d, %d), want (1, 3)", first, last)
 	}
 }
 
