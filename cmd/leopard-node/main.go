@@ -243,6 +243,12 @@ type statusSnapshot struct {
 	StateRespsReceived int64        `json:"stateRespsReceived"`
 	StateBlocksApplied int64        `json:"stateBlocksApplied"`
 	WALErrors          int64        `json:"walErrors"`
+	// WALFailed reports the fail-stop latch: the store hit a sticky error
+	// and the replica stopped voting and proposing (read paths keep
+	// serving). Operators should treat this as a dead disk.
+	WALFailed     bool  `json:"walFailed"`
+	VotesLogged   int64 `json:"votesLogged"`
+	VotesReloaded int64 `json:"votesReloaded"`
 }
 
 // snapshot reads the node's counters under the runtime's serialization:
@@ -276,6 +282,9 @@ func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapsho
 			StateRespsReceived: st.StateRespsReceived,
 			StateBlocksApplied: st.StateBlocksApplied,
 			WALErrors:          st.WALErrors,
+			WALFailed:          st.WALFailed,
+			VotesLogged:        st.VotesLogged,
+			VotesReloaded:      st.VotesReloaded,
 		}
 	})
 	if err != nil {

@@ -37,6 +37,7 @@ var knownExperiments = []struct{ id, desc string }{
 	{"vclanes", "view-change convergence under saturated bulk lanes (lanes vs FIFO)"},
 	{"stream", "slow-receiver datablock fan-out: credit streaming vs drop-on-overflow"},
 	{"recover", "crash-restart a replica: WAL recovery + state transfer vs no-durability baseline"},
+	{"chaos", "seeded fault schedules (partitions, loss, skew, crashes) under the invariant checker"},
 }
 
 func main() {
@@ -233,6 +234,30 @@ func run(id string, scales []int) error {
 			fmt.Printf("%4d   %-8s   %9s   %s   %14d   %8d   %11d   %10d   %8d\n",
 				r.N, r.Mode, caught, catchup, r.HeightAtRestart,
 				r.BlocksReplayed, r.StateBlocks, r.Retrievals, r.ReVotes)
+		}
+	case "chaos":
+		rows, err := experiments.ChaosScenario(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   plan                     height   view-changes   votes-logged   votes-reloaded   violations")
+		bad := 0
+		for _, r := range rows {
+			viol := "none"
+			if len(r.Violations) > 0 {
+				viol = fmt.Sprintf("%d (see below)", len(r.Violations))
+				bad += len(r.Violations)
+			}
+			fmt.Printf("%4d   %-22s   %6d   %12d   %12d   %14d   %s\n",
+				r.N, r.Plan, r.Height, r.ViewChanges, r.VotesLogged, r.VotesReloaded, viol)
+		}
+		for _, r := range rows {
+			for _, v := range r.Violations {
+				fmt.Printf("VIOLATION n=%d plan=%s: %s\n", r.N, r.Plan, v)
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("chaos: %d invariant violations", bad)
 		}
 	case "attack":
 		if len(scales) == 0 {

@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"leopard/internal/crypto"
+	"leopard/internal/faultplan"
+	"leopard/internal/harness"
+	"leopard/internal/leopard"
+	"leopard/internal/protocol"
+	"leopard/internal/storage"
+	"leopard/internal/transport"
+	"leopard/internal/types"
+)
+
+// ChaosResult is one fault schedule run under the cluster invariant
+// checker: the plan's faults are injected into an otherwise loaded
+// cluster, and the checker watches executions, votes, restarts and
+// checkpoint certificates for safety/durability violations while a
+// bounded-liveness probe asserts the cluster resumes after the schedule
+// heals.
+type ChaosResult struct {
+	N    int
+	Plan string
+	// Height is the cluster's maximum executed height at the end of the
+	// run; ViewChanges sums completed view changes across replicas.
+	Height      types.SeqNum
+	ViewChanges int64
+	// VotesLogged/VotesReloaded sum the vote-ahead log counters: votes
+	// persisted before sending, and vote locks restored across restarts.
+	VotesLogged   int64
+	VotesReloaded int64
+	Violations    []string
+
+	// traffic is the per-replica sent/received byte signature folded into
+	// ChaosRunDigest's determinism assertion.
+	traffic string
+}
+
+// chaosParams sizes one chaos run; the regression tests shrink it.
+type chaosParams struct {
+	dbRequests  int
+	bftSize     int
+	maxParallel int
+	checkpoint  int
+	loadEvery   time.Duration
+	vct         time.Duration // ViewChangeTimeout under scheduled faults
+	grace       time.Duration // bounded-liveness budget after the plan heals
+	triggerSeq  types.SeqNum  // amnesia: crash the leader at this proposal
+	seed        int64
+}
+
+func defaultChaosParams() chaosParams {
+	return chaosParams{
+		dbRequests:  200,
+		bftSize:     4,
+		maxParallel: 32,
+		checkpoint:  8,
+		loadEvery:   20 * time.Millisecond,
+		vct:         300 * time.Millisecond,
+		grace:       4 * time.Second,
+		triggerSeq:  4,
+		seed:        1,
+	}
+}
+
+// chaosPlans is the schedule library swept by the chaos experiment. Every
+// plan heals: the invariant checker requires executed height to resume
+// advancing within the grace period after End().
+func chaosPlans(n int, seed int64) []faultplan.Plan {
+	ms := time.Millisecond
+	leader := types.LeaderOf(1, n)
+	f := (n - 1) / 3
+	var nonLeaders []types.ReplicaID
+	for i := 0; i < n; i++ {
+		if id := types.ReplicaID(i); id != leader {
+			nonLeaders = append(nonLeaders, id)
+		}
+	}
+	// The minority is the last f non-leaders; the cluster keeps quorum.
+	minority := append([]types.ReplicaID(nil), nonLeaders[len(nonLeaders)-f:]...)
+	var majority []types.ReplicaID
+	for i := 0; i < n; i++ {
+		if id := types.ReplicaID(i); !member(minority, id) {
+			majority = append(majority, id)
+		}
+	}
+	victim := minority[len(minority)-1]
+	skewed := nonLeaders[0]
+	return []faultplan.Plan{
+		{
+			Name: "partition-minority", Seed: seed,
+			Partitions: []faultplan.Partition{
+				{From: 300 * ms, Until: 900 * ms, A: minority, B: majority},
+			},
+		},
+		{
+			// The leader can send but not hear (asymmetric): proposals go
+			// out, votes never come back, and the cluster must change view.
+			Name: "partition-leader-oneway", Seed: seed + 1,
+			Partitions: []faultplan.Partition{
+				{From: 300 * ms, Until: 1200 * ms, A: nonLeaders, B: []types.ReplicaID{leader}, OneWay: true},
+			},
+		},
+		{
+			Name: "loss-control", Seed: seed + 2,
+			Losses: []faultplan.Loss{
+				{From: 200 * ms, Until: 800 * ms, Prob: 0.2, ControlOnly: true},
+			},
+		},
+		{
+			Name: "delay-skew", Seed: seed + 3,
+			Delays: []faultplan.Delay{
+				{Start: 300 * ms, Until: 900 * ms, From: -1, To: -1, Extra: 30 * ms, Jitter: 10 * ms},
+			},
+			Skews: []faultplan.Skew{
+				{At: 250 * ms, Replica: skewed, Offset: 40 * ms},
+				{At: 950 * ms, Replica: skewed, Offset: 0},
+			},
+		},
+		{
+			Name: "crash-restart", Seed: seed + 4,
+			Crashes: []faultplan.Crash{
+				{At: 400 * ms, Replica: victim, RestartAt: 1000 * ms},
+			},
+		},
+	}
+}
+
+func member(ids []types.ReplicaID, id types.ReplicaID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosCluster builds a fully durable n-replica cluster wired into the
+// invariant checker: every replica persists to a deterministic in-memory
+// store (registered for the durability invariant) and reports executions
+// through the checker's per-replica observer.
+func chaosCluster(n int, p chaosParams, suite crypto.Suite, ic *harness.InvariantChecker,
+	stores []storage.Store, mutate func(*leopard.Config)) (*harness.Cluster, error) {
+	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		return nil, err
+	}
+	net := netConfig()
+	net.TickInterval = 5 * time.Millisecond
+	net.Seed = p.seed
+	c, err := harness.NewCluster(harness.Options{
+		N:             n,
+		Net:           net,
+		PayloadSize:   PayloadSize,
+		LatencySample: 16,
+		Build: func(id types.ReplicaID) (protocol.Replica, error) {
+			cfg := leopard.Config{
+				ID:                       id,
+				Quorum:                   q,
+				Suite:                    suite,
+				DatablockSize:            p.dbRequests,
+				BFTBlockSize:             p.bftSize,
+				MaxParallel:              p.maxParallel,
+				CheckpointEvery:          p.checkpoint,
+				MaxOutstandingDatablocks: 2,
+				RetrievalTimeout:         50 * time.Millisecond,
+				ViewChangeTimeout:        p.vct,
+				// Cap escalation patience below the liveness grace budget:
+				// with the default 16x cap, one escalation wait after the
+				// plan heals could eat the whole grace window by itself.
+				ViewChangeMaxTimeout: 8 * p.vct,
+				TrustDigests:             true,
+				SkipRequestDedup:         true,
+				Store:                    stores[id],
+				OnExecute:                ic.ExecutionObserver(id),
+			}
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			return leopard.NewNode(cfg)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.AttachInvariants(ic)
+	return c, nil
+}
+
+// chaosHeight is the maximum executed height across all replicas.
+func chaosHeight(c *harness.Cluster) types.SeqNum {
+	var h types.SeqNum
+	for _, r := range c.Replicas {
+		if e := r.(*leopard.Node).ExecutedTo(); e > h {
+			h = e
+		}
+	}
+	return h
+}
+
+// chaosLoad schedules the deterministic background workload: the given
+// generators each submit one datablock's worth of requests every
+// loadEvery until the absolute until time.
+func chaosLoad(c *harness.Cluster, generators []types.ReplicaID, p chaosParams, until time.Duration) {
+	var tick func(at time.Duration)
+	tick = func(at time.Duration) {
+		c.Net.ScheduleCall(at, func(now time.Duration) {
+			if now >= until {
+				return
+			}
+			for _, g := range generators {
+				c.SubmitN(g, p.dbRequests)
+			}
+			tick(now + p.loadEvery)
+		})
+	}
+	tick(50 * time.Millisecond)
+}
+
+// chaosGenerators picks f+1 load generators that are neither the leader
+// nor scheduled to crash. The count matters for liveness under faults:
+// only replicas holding pending work vote to leave a stalled view, and
+// f+1 stalled voters are what pull the remaining (idle) replicas into
+// the view change. Fewer generators and a leader-isolating partition
+// would stall the cluster forever without any timeout quorum forming.
+func chaosGenerators(n int, leader types.ReplicaID, plan faultplan.Plan) []types.ReplicaID {
+	var crashed []types.ReplicaID
+	for _, cr := range plan.Crashes {
+		crashed = append(crashed, cr.Replica)
+	}
+	want := (n-1)/3 + 1 // f+1
+	var out []types.ReplicaID
+	for i := 0; i < n && len(out) < want; i++ {
+		if id := types.ReplicaID(i); id != leader && !member(crashed, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// chaosFinish folds the checker verdict and per-replica counters into the
+// result.
+func chaosFinish(res *ChaosResult, c *harness.Cluster, ic *harness.InvariantChecker) {
+	ic.CheckCertificates(c.Replicas)
+	res.Height = chaosHeight(c)
+	for _, r := range c.Replicas {
+		st := r.(*leopard.Node).Stats()
+		res.ViewChanges += st.ViewChanges
+		res.VotesLogged += st.VotesLogged
+		res.VotesReloaded += st.VotesReloaded
+	}
+	for i := 0; i < len(c.Replicas); i++ {
+		bw := c.Net.Stats(types.ReplicaID(i))
+		res.traffic += fmt.Sprintf("%d:%d/%d ", i, bw.TotalSent(), bw.TotalReceived())
+	}
+	res.Violations = ic.Violations()
+}
+
+// chaosOnce runs one scheduled plan under the invariant checker.
+func chaosOnce(n int, plan faultplan.Plan, p chaosParams) (ChaosResult, error) {
+	res := ChaosResult{N: n, Plan: plan.Name}
+	if n < 4 {
+		return res, fmt.Errorf("need n >= 4, got %d", n)
+	}
+	suite, err := crypto.NewSimSuite(n, []byte("chaos"))
+	if err != nil {
+		return res, err
+	}
+	ic := harness.NewInvariantChecker(suite)
+	stores := make([]storage.Store, n)
+	for i := range stores {
+		stores[i] = storage.NewMemLog()
+		ic.RegisterStore(types.ReplicaID(i), stores[i])
+	}
+	c, err := chaosCluster(n, p, suite, ic, stores, nil)
+	if err != nil {
+		return res, err
+	}
+	eng, err := c.InstallPlan(plan)
+	if err != nil {
+		return res, err
+	}
+	c.Start()
+
+	leader := c.Replicas[0].Leader()
+	end := plan.End()
+	deadline := end + p.grace
+	chaosLoad(c, chaosGenerators(n, leader, plan), p, deadline)
+
+	c.Net.Run(end)
+	h0 := chaosHeight(c)
+	if !c.RunUntil(deadline, 10*time.Millisecond, func() bool { return chaosHeight(c) > h0 }) {
+		ic.Violate("liveness: executed height stuck at %d for %v after plan %q healed", h0, p.grace, plan.Name)
+	}
+	for _, e := range eng.Errs() {
+		ic.Violate("schedule: %v", e)
+	}
+	chaosFinish(&res, c, ic)
+	return res, nil
+}
+
+// chaosAmnesia is the crash-between-vote-and-execute schedule: the leader
+// is crashed the moment it broadcasts the proposal at triggerSeq — its
+// σ1 vote cast but the block far from executed — and restarted in the same
+// view shortly after. Without the vote-ahead log the restarted leader has
+// no memory of the vote and re-proposes different content at the same
+// (view, seq): equivocation the message tap detects. With it, the reloaded
+// vote lock parks the slot until the view change re-agrees it.
+func chaosAmnesia(n int, disableVAL bool, p chaosParams) (ChaosResult, error) {
+	name := "amnesia-leader-crash"
+	if disableVAL {
+		name += "-noval"
+	}
+	res := ChaosResult{N: n, Plan: name}
+	if n < 4 {
+		return res, fmt.Errorf("need n >= 4, got %d", n)
+	}
+	suite, err := crypto.NewSimSuite(n, []byte("chaos"))
+	if err != nil {
+		return res, err
+	}
+	ic := harness.NewInvariantChecker(suite)
+	stores := make([]storage.Store, n)
+	for i := range stores {
+		stores[i] = storage.NewMemLog()
+		ic.RegisterStore(types.ReplicaID(i), stores[i])
+	}
+	c, err := chaosCluster(n, p, suite, ic, stores, func(cfg *leopard.Config) {
+		// A patient view-change timer keeps the cluster in the leader's
+		// view long enough for the restarted leader to equivocate before
+		// anyone gives up on it, and a deep outstanding window keeps the
+		// generators producing fresh datablocks while confirmations stall
+		// — the restarted leader needs new content to re-propose.
+		cfg.ViewChangeTimeout = time.Second
+		cfg.MaxOutstandingDatablocks = 64
+		cfg.DisableVoteAheadLog = disableVAL
+	})
+	if err != nil {
+		return res, err
+	}
+	leader := c.Replicas[0].Leader()
+
+	var triggered bool
+	var heightAtCrash types.SeqNum
+	c.Net.SetObserver(func(now time.Duration, from, to types.ReplicaID, msg transport.Message) {
+		ic.ObserveMessage(now, from, to, msg)
+		if triggered || from != leader {
+			return
+		}
+		if bm, ok := msg.(*leopard.BFTblockMsg); ok && bm.Block != nil && bm.Block.Seq >= p.triggerSeq {
+			triggered = true
+			heightAtCrash = chaosHeight(c)
+			c.Net.ScheduleCall(now, func(time.Duration) { c.Net.Crash(leader) })
+			c.Net.ScheduleCall(now+100*time.Millisecond, func(time.Duration) {
+				if err := c.Restart(leader); err != nil {
+					ic.Violate("schedule: restart leader %d: %v", leader, err)
+				}
+			})
+		}
+	})
+	c.Start()
+
+	var generators []types.ReplicaID
+	for i := 0; i < n && len(generators) < 2; i++ {
+		if id := types.ReplicaID(i); id != leader {
+			generators = append(generators, id)
+		}
+	}
+	chaosLoad(c, generators, p, 6*time.Second)
+
+	if !c.RunUntil(4*time.Second, 10*time.Millisecond, func() bool { return triggered }) {
+		return res, fmt.Errorf("amnesia: leader never proposed seq %d", p.triggerSeq)
+	}
+	// Bounded liveness: with the vote-ahead log the parked leader forces a
+	// view change; without it the cluster refuses the equivocating
+	// proposal and also changes view. Either way execution must resume.
+	deadline := c.Net.Now() + 8*time.Second
+	if !c.RunUntil(deadline, 10*time.Millisecond, func() bool { return chaosHeight(c) > heightAtCrash+4 }) {
+		ic.Violate("liveness: executed height stuck near %d after leader crash-restart", heightAtCrash)
+	}
+	chaosFinish(&res, c, ic)
+	return res, nil
+}
+
+// ChaosAmnesia runs the amnesia schedule with default sizing; the A/B over
+// disableVAL is the vote-ahead log's acceptance check.
+func ChaosAmnesia(n int, disableVAL bool) (ChaosResult, error) {
+	return chaosAmnesia(n, disableVAL, defaultChaosParams())
+}
+
+// ChaosScenario sweeps the schedule library (plus the amnesia schedule,
+// vote-ahead logging enabled) at each scale with the invariant checker on.
+// A healthy tree returns zero violations in every row.
+func ChaosScenario(scales []int) ([]ChaosResult, error) {
+	if len(scales) == 0 {
+		scales = []int{4, 8, 16}
+	}
+	p := defaultChaosParams()
+	var out []ChaosResult
+	for _, n := range scales {
+		for _, plan := range chaosPlans(n, p.seed) {
+			r, err := chaosOnce(n, plan, p)
+			if err != nil {
+				return nil, fmt.Errorf("chaos n=%d plan=%s: %w", n, plan.Name, err)
+			}
+			out = append(out, r)
+		}
+		r, err := chaosAmnesia(n, false, p)
+		if err != nil {
+			return nil, fmt.Errorf("chaos n=%d plan=%s: %w", n, r.Plan, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ChaosRunDigest renders the whole schedule library at one scale as a
+// deterministic string: two identically-seeded runs must be byte-identical
+// (TestChaosDeterministic).
+func ChaosRunDigest(n int, p chaosParams) (string, error) {
+	var out string
+	for _, plan := range chaosPlans(n, p.seed) {
+		r, err := chaosOnce(n, plan, p)
+		if err != nil {
+			return "", err
+		}
+		out += fmt.Sprintf("plan=%s h=%d vc=%d logged=%d reloaded=%d viol=%d traffic=%s; ",
+			r.Plan, r.Height, r.ViewChanges, r.VotesLogged, r.VotesReloaded, len(r.Violations), r.traffic)
+	}
+	r, err := chaosAmnesia(n, false, p)
+	if err != nil {
+		return "", err
+	}
+	out += fmt.Sprintf("plan=%s h=%d vc=%d logged=%d reloaded=%d viol=%d traffic=%s",
+		r.Plan, r.Height, r.ViewChanges, r.VotesLogged, r.VotesReloaded, len(r.Violations), r.traffic)
+	return out, nil
+}

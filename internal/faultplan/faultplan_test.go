@@ -1,0 +1,164 @@
+package faultplan
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/leopard"
+	"leopard/internal/types"
+)
+
+func id(ids ...int) []types.ReplicaID {
+	out := make([]types.ReplicaID, len(ids))
+	for i, v := range ids {
+		out[i] = types.ReplicaID(v)
+	}
+	return out
+}
+
+// TestFilterWindows pins the filter semantics: partitions block only
+// inside their [From, Until) window, one-way partitions block a single
+// direction, and control-only loss spares bulk traffic.
+func TestFilterWindows(t *testing.T) {
+	plan := Plan{
+		Name: "windows",
+		Seed: 1,
+		Partitions: []Partition{
+			{From: 100 * time.Millisecond, Until: 200 * time.Millisecond, A: id(0), B: id(1)},
+			{From: 300 * time.Millisecond, Until: 400 * time.Millisecond, A: id(2), B: id(3), OneWay: true},
+		},
+		Losses: []Loss{
+			{From: 500 * time.Millisecond, Until: 600 * time.Millisecond, Prob: 1.0, ControlOnly: true},
+		},
+	}
+	e := New(plan)
+	vote := &leopard.VoteMsg{}
+	bulk := &leopard.DatablockMsg{}
+
+	if !e.Filter(50*time.Millisecond, 0, 1, vote) {
+		t.Error("blocked before the partition window opened")
+	}
+	if e.Filter(150*time.Millisecond, 0, 1, vote) || e.Filter(150*time.Millisecond, 1, 0, vote) {
+		t.Error("symmetric partition admitted a message inside its window")
+	}
+	if !e.Filter(200*time.Millisecond, 0, 1, vote) {
+		t.Error("blocked at the window's exclusive end")
+	}
+	if e.Filter(350*time.Millisecond, 2, 3, vote) {
+		t.Error("one-way partition admitted A->B")
+	}
+	if !e.Filter(350*time.Millisecond, 3, 2, vote) {
+		t.Error("one-way partition blocked the reverse direction")
+	}
+	if e.Filter(550*time.Millisecond, 0, 2, vote) {
+		t.Error("Prob=1 control loss admitted a vote")
+	}
+	if !e.Filter(550*time.Millisecond, 0, 2, bulk) {
+		t.Error("control-only loss dropped a bulk datablock")
+	}
+}
+
+// TestFilterDeterministic: two engines over the same plan admit and drop
+// the identical message sequence — the property the whole chaos suite's
+// byte-identical replay rests on.
+func TestFilterDeterministic(t *testing.T) {
+	plan := Plan{
+		Name:   "coin",
+		Seed:   7,
+		Losses: []Loss{{From: 0, Until: time.Second, Prob: 0.5}},
+	}
+	decide := func() []bool {
+		e := New(plan)
+		var out []bool
+		msg := &leopard.VoteMsg{}
+		for i := 0; i < 500; i++ {
+			now := time.Duration(i) * time.Millisecond
+			out = append(out, e.Filter(now, types.ReplicaID(i%4), types.ReplicaID((i+1)%4), msg))
+		}
+		return out
+	}
+	a, b := decide(), decide()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identically-seeded engines", i)
+		}
+		if !a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("Prob=0.5 loss dropped %d of %d; RNG not engaged", drops, len(a))
+	}
+}
+
+// TestPlanEndAndValidate covers the heal instant and replica-range
+// validation the experiment layer relies on.
+func TestPlanEndAndValidate(t *testing.T) {
+	plan := Plan{
+		Name:       "bounds",
+		Partitions: []Partition{{From: 0, Until: 300 * time.Millisecond, A: id(0), B: id(1)}},
+		Skews:      []Skew{{At: 700 * time.Millisecond, Replica: 2}},
+		Crashes:    []Crash{{At: 100 * time.Millisecond, Replica: 3, RestartAt: 900 * time.Millisecond}},
+	}
+	if got := plan.End(); got != 900*time.Millisecond {
+		t.Errorf("End() = %v, want 900ms (the restart point)", got)
+	}
+	if err := plan.Validate(4); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	if err := plan.Validate(3); err == nil {
+		t.Error("plan referencing replica 3 validated against n=3")
+	}
+}
+
+// TestScheduleExpandsWildcards: a wildcard delay installs (and later
+// clears) every ordered link, and crash/restart land at their instants.
+func TestScheduleExpandsWildcards(t *testing.T) {
+	plan := Plan{
+		Name:    "sched",
+		Delays:  []Delay{{Start: 10 * time.Millisecond, Until: 20 * time.Millisecond, From: -1, To: 1, Extra: 5 * time.Millisecond}},
+		Crashes: []Crash{{At: 30 * time.Millisecond, Replica: 2, RestartAt: 40 * time.Millisecond}},
+	}
+	type event struct {
+		at   time.Duration
+		what string
+	}
+	var fired []event
+	var pending []func(time.Duration)
+	var ats []time.Duration
+	set := 0
+	e := New(plan)
+	e.Schedule(Hooks{
+		N: 4,
+		Schedule: func(at time.Duration, fn func(now time.Duration)) {
+			pending = append(pending, fn)
+			ats = append(ats, at)
+		},
+		Crash:   func(rid types.ReplicaID) { fired = append(fired, event{what: "crash"}) },
+		Restart: func(rid types.ReplicaID) error { fired = append(fired, event{what: "restart"}); return nil },
+		SetLinkDelay: func(from, to types.ReplicaID, extra, jitter time.Duration) {
+			if to != 1 || from == to {
+				t.Errorf("delay installed on unexpected link %d->%d", from, to)
+			}
+			if extra > 0 {
+				set++
+			} else {
+				set--
+			}
+		},
+		SetClockSkew: func(types.ReplicaID, time.Duration) {},
+	})
+	for i, fn := range pending {
+		fn(ats[i])
+	}
+	if set != 0 {
+		t.Errorf("delay install/clear imbalance: %d", set)
+	}
+	if len(fired) != 2 || fired[0].what != "crash" || fired[1].what != "restart" {
+		t.Errorf("crash/restart sequence = %v", fired)
+	}
+	if len(e.Errs()) != 0 {
+		t.Errorf("unexpected scheduled-op errors: %v", e.Errs())
+	}
+}

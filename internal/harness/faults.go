@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"leopard/internal/faultplan"
+	"leopard/internal/types"
+)
+
+// InstallPlan arms a fault schedule on the cluster: the engine's filter
+// takes the network's filter slot (partitions, probabilistic loss) and its
+// timed events (delay spikes, clock skew, crashes, durable restarts) are
+// registered against the simulator clock. Restarts go through the
+// cluster's Restart, so a replica built over a surviving store recovers
+// durably — and trips the invariant checker's durability hooks when one
+// is attached. Install at most one plan per run, before Start.
+func (c *Cluster) InstallPlan(p faultplan.Plan) (*faultplan.Engine, error) {
+	if err := p.Validate(c.opts.N); err != nil {
+		return nil, err
+	}
+	eng := faultplan.New(p)
+	c.Net.SetFilter(eng.Filter)
+	eng.Schedule(faultplan.Hooks{
+		N:            c.opts.N,
+		Schedule:     c.Net.ScheduleCall,
+		Crash:        func(id types.ReplicaID) { c.Net.Crash(id) },
+		Restart:      c.Restart,
+		SetLinkDelay: c.Net.SetLinkDelay,
+		SetClockSkew: c.Net.SetClockSkew,
+	})
+	return eng, nil
+}
+
+// AttachInvariants installs the checker's message tap and remembers it so
+// Restart can assert durability around every crash-restart cycle.
+// Execution observers and stores are per-replica wiring the experiment's
+// Build function owns (Config.OnExecute + RegisterStore).
+func (c *Cluster) AttachInvariants(ic *InvariantChecker) {
+	c.Invariants = ic
+	c.Net.SetObserver(ic.ObserveMessage)
+}
+
+// frontier reports a replica's executed height when it exposes one.
+func frontier(r any) (types.SeqNum, bool) {
+	e, ok := r.(interface{ ExecutedTo() types.SeqNum })
+	if !ok {
+		return 0, false
+	}
+	return e.ExecutedTo(), true
+}
+
+// checkDurability brackets a restart for the invariant checker.
+func (c *Cluster) checkDurability(id types.ReplicaID, rebuild func() error) error {
+	if c.Invariants == nil {
+		return rebuild()
+	}
+	c.Invariants.BeforeRestart(id)
+	if err := rebuild(); err != nil {
+		return err
+	}
+	if recovered, ok := frontier(c.Replicas[id]); ok {
+		c.Invariants.AfterRestart(id, recovered)
+	}
+	return nil
+}

@@ -50,6 +50,9 @@ type Cluster struct {
 	Replicas []protocol.Replica
 	Tracker  *workload.Tracker
 	Gen      *workload.Generator
+	// Invariants, when attached (AttachInvariants), asserts durability
+	// around every Restart and observes traffic for equivocation.
+	Invariants *InvariantChecker
 
 	opts        Options
 	submittedTo map[types.RequestID]types.ReplicaID
@@ -214,13 +217,15 @@ func (c *Cluster) SubmitN(id types.ReplicaID, count int) {
 // replica built over the same storage.Store recovers its durable state;
 // one built without a store models the pre-durability baseline.
 func (c *Cluster) Restart(id types.ReplicaID) error {
-	r, err := c.opts.Build(id)
-	if err != nil {
-		return fmt.Errorf("harness: rebuild replica %d: %w", id, err)
-	}
-	r.SetExecutor(c.executorFor(id))
-	c.Replicas[id] = r
-	return c.Net.Replace(id, r)
+	return c.checkDurability(id, func() error {
+		r, err := c.opts.Build(id)
+		if err != nil {
+			return fmt.Errorf("harness: rebuild replica %d: %w", id, err)
+		}
+		r.SetExecutor(c.executorFor(id))
+		c.Replicas[id] = r
+		return c.Net.Replace(id, r)
+	})
 }
 
 // RunUntil advances the network in steps of the given granularity until

@@ -2,6 +2,7 @@ package leopard
 
 import (
 	"leopard/internal/crypto"
+	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -14,6 +15,12 @@ func (n *Node) maybePropose(out transport.Sink) {
 	for {
 		if n.nextSeq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
 			return // watermark window full; wait for checkpoints
+		}
+		if _, locked := n.votedSeq[n.nextSeq]; locked {
+			// A reloaded vote-ahead lock pins this slot to content proposed
+			// in a previous life that we no longer hold. Proposing anything
+			// else would equivocate; the view change resolves the slot.
+			return
 		}
 		full := len(n.readyQueue) >= n.cfg.BFTBlockSize
 		stale := len(n.readyQueue) > 0 && n.now-n.lastPropose >= n.cfg.BatchTimeout
@@ -54,9 +61,29 @@ func (n *Node) propose(block *types.BFTblock, out transport.Sink) error {
 	inst.proposedAt = n.now
 	inst.voted1 = true
 	n.votedSeq[block.Seq] = digest
+	// The proposal embeds the leader's first-round vote: log it ahead of
+	// the broadcast so a crash right after sending cannot forget it.
+	n.persistVote(1, block.Seq, digest)
 	n.addVote1(inst, share)
 	out.Broadcast(&BFTblockMsg{Block: block, LeaderShare: share})
 	return nil
+}
+
+// persistVote appends one vote-ahead record for the current view. Called
+// before the vote (or the proposal embedding it) leaves the node, so the
+// durable lock always covers anything a peer may have seen. Append errors
+// surface through the store's sticky error and latch the fail-stop.
+func (n *Node) persistVote(round uint8, seq types.SeqNum, digest types.Hash) {
+	if n.store == nil || n.cfg.DisableVoteAheadLog {
+		return
+	}
+	if err := n.store.AppendVote(storage.VoteRecord{
+		View: n.view, Seq: seq, Round: round, Digest: digest,
+	}); err != nil {
+		n.stats.WALErrors++
+		return
+	}
+	n.stats.VotesLogged++
 }
 
 // getInstance returns the instance for sn, creating it if needed.
@@ -77,19 +104,23 @@ func (n *Node) getInstance(sn types.SeqNum) *instance {
 // validate the proposal, ensure every linked datablock is held (starting
 // retrieval otherwise), then cast the first-round vote.
 func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out transport.Sink) {
-	if m.Block == nil || n.inViewChange {
+	if m.Block == nil {
 		return
 	}
 	block := m.Block
 	if block.View > n.view {
 		// Proposal for a future view: buffer until the new-view message
-		// moves us there (bounded against flooding).
+		// moves us there (bounded against flooding). This must happen even
+		// mid-view-change — the new-view announcement is large (it embeds
+		// 2f+1 view-change messages) and the new leader's first proposals
+		// routinely overtake it; dropping them would strand every redo slot,
+		// because the leader proposes each slot exactly once.
 		if from == types.LeaderOf(block.View, n.q.N) && len(n.futureBlocks) < 4*n.cfg.MaxParallel {
 			n.futureBlocks = append(n.futureBlocks, m)
 		}
 		return
 	}
-	if block.View != n.view || from != n.Leader() {
+	if n.inViewChange || block.View != n.view || from != n.Leader() {
 		return
 	}
 	if block.Seq <= n.lw || block.Seq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
@@ -145,12 +176,17 @@ func (n *Node) castVote1(inst *instance, out transport.Sink) {
 	if inst.voted1 {
 		return
 	}
+	n.checkStoreHealth()
+	if n.walFailed {
+		return // fail-stop: cannot durably log the vote
+	}
 	share, err := n.suite.Sign(n.cfg.ID, inst.digest)
 	if err != nil {
 		return
 	}
 	inst.voted1 = true
 	n.votedSeq[inst.block.Seq] = inst.digest
+	n.persistVote(1, inst.block.Seq, inst.digest)
 	vote := &VoteMsg{Block: inst.block.ID(), Round: 1, Digest: inst.digest, Share: share}
 	if n.isLeader() {
 		n.addVote1(inst, share)
@@ -235,6 +271,8 @@ func (n *Node) leaderNotarize(inst *instance, out transport.Sink) {
 	inst.vote2Seen[n.cfg.ID] = struct{}{}
 	inst.vote2Shares = append(inst.vote2Shares, share)
 	inst.voted2 = true
+	n.vote2Lock[inst.block.Seq] = inst.sigma1Digest
+	n.persistVote(2, inst.block.Seq, inst.sigma1Digest)
 }
 
 // leaderConfirm combines 2f+1 second-round shares into the confirmation
@@ -314,11 +352,20 @@ func (n *Node) castVote2(inst *instance, out transport.Sink) {
 	if inst.voted2 || n.inViewChange {
 		return
 	}
+	if lock, ok := n.vote2Lock[inst.block.Seq]; ok && lock != inst.sigma1Digest {
+		return // reloaded vote-ahead lock: already signed a different σ1 digest
+	}
+	n.checkStoreHealth()
+	if n.walFailed {
+		return // fail-stop: cannot durably log the vote
+	}
 	share, err := n.suite.Sign(n.cfg.ID, inst.sigma1Digest)
 	if err != nil {
 		return
 	}
 	inst.voted2 = true
+	n.vote2Lock[inst.block.Seq] = inst.sigma1Digest
+	n.persistVote(2, inst.block.Seq, inst.sigma1Digest)
 	if n.isLeader() {
 		inst.vote2Seen[n.cfg.ID] = struct{}{}
 		inst.vote2Shares = append(inst.vote2Shares, share)

@@ -133,6 +133,7 @@ func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 	n.pruneBelow()
 	for sn := old + 1; sn <= cp.Seq; sn++ {
 		delete(n.votedSeq, sn)
+		delete(n.vote2Lock, sn)
 	}
 	// Sweep the checkpoint share/digest maps wholesale rather than only the
 	// (old, cp.Seq] range: entries can exist at any seq at or below the new
@@ -146,6 +147,13 @@ func (n *Node) advanceWatermark(cp *CheckpointProofMsg) {
 	for sn := range n.cpDigest {
 		if sn <= n.lw {
 			delete(n.cpDigest, sn)
+		}
+	}
+	// Notarizations carried across view changes are certified by the
+	// stable checkpoint once below the watermark.
+	for sn := range n.carried {
+		if sn <= n.lw {
+			delete(n.carried, sn)
 		}
 	}
 	// Drop buffered proofs that can no longer matter.

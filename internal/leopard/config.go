@@ -90,6 +90,24 @@ type Config struct {
 	// neither requests nor serves checkpoint-anchored state transfer. Used
 	// by the recover experiment's pre-durability baseline.
 	DisableStateTransfer bool
+	// DisableVoteAheadLog turns off vote-ahead logging: votes above the
+	// executed frontier are not persisted or reloaded, reopening the
+	// crash-between-vote-and-execute amnesia window. Only the chaos
+	// experiment's A/B schedule should set this.
+	DisableVoteAheadLog bool
+	// ViewChangeMaxTimeout caps the exponential view-change patience
+	// ladder: while a view change is pending, the per-view patience before
+	// escalating to the next view starts at 4×ViewChangeTimeout and doubles
+	// per escalation up to this cap, resetting when a view completes. Zero
+	// defaults to 16×ViewChangeTimeout.
+	ViewChangeMaxTimeout time.Duration
+	// OnExecute, when set, is invoked after every block execution —
+	// including WAL replay and state-transfer apply — with the height, the
+	// executed block and the resulting chain state hash. The harness's
+	// invariant checker uses it to assert cross-replica safety; unlike the
+	// executor callback it also fires for dummy blocks and replayed
+	// history.
+	OnExecute func(sn types.SeqNum, block *types.BFTblock, chain types.Hash)
 	// TrustDigests makes receivers use the digest cached in DatablockMsg
 	// instead of recomputing it. Only safe in simulations where all nodes
 	// share one process; real deployments must leave it false.
@@ -143,6 +161,9 @@ func (c *Config) Validate() error {
 	}
 	if c.ViewChangeTimeout <= 0 {
 		c.ViewChangeTimeout = DefaultViewChangeAfter
+	}
+	if c.ViewChangeMaxTimeout <= 0 {
+		c.ViewChangeMaxTimeout = 16 * c.ViewChangeTimeout
 	}
 	if c.ProposeInterval <= 0 {
 		c.ProposeInterval = DefaultProposeEvery

@@ -83,6 +83,14 @@ type Stats struct {
 	StateRespsReceived int64        // state-transfer responses received
 	StateBlocksApplied int64        // blocks applied via state transfer
 	WALErrors          int64        // persistence failures (append/meta/reset)
+	// WALFailed reports the fail-stop state: the store's backing medium
+	// has a sticky write/fsync failure, so the replica has stopped voting
+	// and proposing (it can no longer persist what it signs).
+	WALFailed bool
+	// VotesLogged counts vote-ahead records persisted this session;
+	// VotesReloaded counts vote locks restored from the store at Start.
+	VotesLogged   int64
+	VotesReloaded int64
 	// CheckpointSeqsTracked is the live size of the leader's checkpoint
 	// share/digest maps — bounded by the watermark window (regression:
 	// TestCheckpointMapsPruned).
@@ -124,7 +132,22 @@ type Node struct {
 	lw           types.SeqNum
 	instances    map[types.SeqNum]*instance
 	votedSeq     map[types.SeqNum]types.Hash // per-view first-vote lock
+	// vote2Lock pins the σ1 digest this replica signed a round-2 vote
+	// over, per seq in the current view. Populated from reloaded
+	// vote-ahead records so a restarted replica never signs a second,
+	// different σ2 for a slot it already voted in.
+	vote2Lock    map[types.SeqNum]types.Hash
 	pendingProof map[types.BlockID][]pendingProof
+	// carried keeps notarized blocks across view changes (highest view per
+	// seq) until they fall below a stable checkpoint. enterNewView wipes
+	// the per-view instances, but the quorum-intersection argument behind
+	// the redo plan needs every replica that ever saw a σ1 proof for a seq
+	// to keep advertising it in its view-change messages — a block can be
+	// confirmed and executed at one replica and then vanish from every
+	// live instance after a cascade of failed view changes, letting a
+	// later redo replace it with a dummy (the analog of PBFT carrying
+	// prepared certificates across views).
+	carried map[types.SeqNum]NotarizedBlock
 
 	// Confirmed log and execution.
 	log        map[types.SeqNum]*types.BFTblock
@@ -177,10 +200,21 @@ type Node struct {
 	// its execution-side state garbage-collected.
 	prunedTo types.SeqNum
 
+	// walFailed latches the fail-stop state once store.Err() reports the
+	// backing medium failed: the replica stops packing, proposing, voting
+	// and checkpointing — it cannot durably log what it signs — while
+	// read-only service (retrieval, state transfer) continues.
+	walFailed bool
+
 	// View change.
 	inViewChange bool
 	pendingView  types.View // target view while a view change is in flight
 	vcStartedAt  time.Duration
+	// vcPatience is the current escalation patience: how long a pending
+	// view change may stall before this replica votes for the next view.
+	// Starts at 4×ViewChangeTimeout on entering a view change, doubles per
+	// escalation up to ViewChangeMaxTimeout, resets when a view completes.
+	vcPatience time.Duration
 	sentTimeout  map[types.View]bool
 	timeoutVotes map[types.View]map[types.ReplicaID]struct{}
 	vcMsgs       map[types.View]map[types.ReplicaID]*ViewChangeMsg
@@ -233,7 +267,9 @@ func NewNode(cfg Config) (*Node, error) {
 		view:          1,
 		instances:     make(map[types.SeqNum]*instance),
 		votedSeq:      make(map[types.SeqNum]types.Hash),
+		vote2Lock:     make(map[types.SeqNum]types.Hash),
 		pendingProof:  make(map[types.BlockID][]pendingProof),
+		carried:       make(map[types.SeqNum]NotarizedBlock),
 		log:           make(map[types.SeqNum]*types.BFTblock),
 		missing:       make(map[types.Hash]*retrievalState),
 		served:        make(map[servedKey]time.Duration),
@@ -293,8 +329,14 @@ func (n *Node) Stats() Stats {
 	if d := len(n.cpDigest); d > s.CheckpointSeqsTracked {
 		s.CheckpointSeqsTracked = d
 	}
+	s.WALFailed = n.walFailed
 	return s
 }
+
+// LastCheckpoint returns the newest stable checkpoint certificate this
+// replica holds, or nil. Read-only: the harness's invariant checker
+// verifies the quorum proof against the cluster's chain.
+func (n *Node) LastCheckpoint() *CheckpointProofMsg { return n.lastCheckpoint }
 
 // ExecutionState returns the running execution chain hash — the state the
 // checkpoint protocol certifies. Recovery tests compare it across restarts.
@@ -384,13 +426,33 @@ func (n *Node) Tick(now time.Duration, out transport.Sink) {
 	n.observe(now)
 	out = n.outbound(out)
 	defer n.releaseOutbound()
-	n.maybePackDatablocks(out)
-	if n.isLeader() && !n.inViewChange {
-		n.maybePropose(out)
+	n.checkStoreHealth()
+	if !n.walFailed {
+		n.maybePackDatablocks(out)
+		if n.isLeader() && !n.inViewChange {
+			n.maybePropose(out)
+		}
 	}
 	n.checkRetrievalTimers(out)
 	n.maybeRequestState(out)
-	n.checkViewChangeTimer(out)
+	if !n.walFailed {
+		n.checkViewChangeTimer(out)
+	}
+}
+
+// checkStoreHealth latches the fail-stop state when the store reports a
+// sticky backing-medium failure. A replica that cannot persist its votes
+// and executed blocks must stop participating in agreement: continuing
+// would let a later crash erase state it already signed for, turning a
+// disk fault into a safety hazard. Read paths keep serving.
+func (n *Node) checkStoreHealth() {
+	if n.walFailed || n.store == nil {
+		return
+	}
+	if err := n.store.Err(); err != nil {
+		n.walFailed = true
+		n.stats.WALErrors++
+	}
 }
 
 // Deliver implements transport.Node.

@@ -1,6 +1,7 @@
 package leopard
 
 import (
+	"encoding/binary"
 	"time"
 
 	"leopard/internal/crypto"
@@ -17,10 +18,13 @@ import (
 // the executed range above it from peers — instead of re-running agreement
 // or storming the per-datablock retrieval path.
 //
-// Restart caveat (documented, out of scope here): votes above the last
-// executed block are not persisted, so a replica that crashes between
-// voting and executing may re-vote differently after restart. Closing that
-// window needs vote-ahead logging (see ROADMAP).
+// Votes above the last executed block are persisted too (vote-ahead
+// logging, persistVote): a replica that crashes between voting and
+// executing reloads its vote locks here and therefore cannot sign
+// different content for the same (view, seq) slot in its next life. The
+// chaos experiment's crash-between-vote-and-execute schedule exercises
+// exactly this window, and fails when Config.DisableVoteAheadLog reopens
+// it.
 
 // counterReserveSlack is how far ahead of the live datablock counter the
 // persisted reservation runs. A restart resumes from the reservation,
@@ -103,6 +107,7 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 	if n.nextSeq <= n.lw {
 		n.nextSeq = n.lw + 1
 	}
+	n.reloadVoteLocks(st)
 	if n.maxConfirmed < n.executedTo {
 		n.maxConfirmed = n.executedTo
 	}
@@ -117,6 +122,40 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 		// peers answer with empty acks and the sync flag clears.)
 		n.needSync = true
 		n.sendStateReq(out)
+	}
+}
+
+// reloadVoteLocks restores the vote-ahead locks from the store: every
+// persisted vote above the recovered execution frontier re-pins its
+// (view, seq) slot, so this life cannot sign different content where the
+// previous one already voted. Round-1 votes re-lock votedSeq (the same
+// lock handleBFTblock checks against equivocating proposals, and the lock
+// maybePropose refuses to re-propose over); round-2 votes pin the σ1
+// digest castVote2 may sign. Votes from earlier views need no lock — the
+// view-change protocol releases them — and a vote from a later view than
+// the recovered meta proves that view was entered, so the view advances
+// to match.
+func (n *Node) reloadVoteLocks(st storage.Store) {
+	if n.cfg.DisableVoteAheadLog {
+		return
+	}
+	votes := st.Votes()
+	for _, v := range votes {
+		if v.View > n.view {
+			n.view = v.View
+		}
+	}
+	for _, v := range votes {
+		if v.View != n.view || v.Seq <= n.executedTo {
+			continue
+		}
+		switch v.Round {
+		case 1:
+			n.votedSeq[v.Seq] = v.Digest
+		case 2:
+			n.vote2Lock[v.Seq] = v.Digest
+		}
+		n.stats.VotesReloaded++
 	}
 }
 
@@ -425,6 +464,24 @@ func (n *Node) adoptCheckpoint(cp *CheckpointProofMsg) {
 	}
 }
 
+// executionDigest is the view-independent identity of an executed block:
+// a redo carried across a view change re-stamps the View field, so a
+// replica that executed the original and one that executed the re-proposal
+// must still converge on the same execution chain — it is what checkpoint
+// shares certify, and mismatched chains would keep them from ever
+// combining into a stable checkpoint.
+func executionDigest(block *types.BFTblock) types.Hash {
+	buf := make([]byte, 0, 20+len(block.Content)*len(types.Hash{}))
+	buf = append(buf, []byte("leopard/exec")...)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(block.Seq))
+	buf = append(buf, tmp[:]...)
+	for _, h := range block.Content {
+		buf = append(buf, h[:]...)
+	}
+	return crypto.HashBytes(buf)
+}
+
 // executeBlock runs the execution bookkeeping shared by the normal path
 // (tryExecute), WAL replay and state transfer: the per-datablock executor
 // callback and request dedup, then the chain-hash/height advance. The
@@ -442,12 +499,15 @@ func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks [
 			}
 		}
 	}
-	digest := crypto.HashBFTblock(block)
+	digest := executionDigest(block)
 	n.execState = crypto.HashConcat(n.execState[:], digest[:])
 	n.executedTo = sn
 	n.stats.ExecutedBlocks++
 	if sn > n.maxConfirmed {
 		n.maxConfirmed = sn
+	}
+	if n.cfg.OnExecute != nil {
+		n.cfg.OnExecute(sn, block, n.execState)
 	}
 }
 

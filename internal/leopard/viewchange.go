@@ -67,9 +67,16 @@ func (n *Node) hasPendingWork() bool {
 // checkViewChangeTimer implements the view-change trigger: if confirmation
 // progress stalls while work is pending, vote to leave the current view;
 // if an in-flight view change itself stalls, escalate to the next view.
+// Escalation patience is exponential: each failed target view doubles the
+// wait (capped at ViewChangeMaxTimeout), so during a long partition the
+// cluster does not burn a view per fixed interval and the backlog of
+// pending views stays small when the network heals.
 func (n *Node) checkViewChangeTimer(out transport.Sink) {
 	if n.inViewChange {
-		if n.now-n.vcStartedAt >= 4*n.cfg.ViewChangeTimeout {
+		if n.vcPatience <= 0 {
+			n.vcPatience = 4 * n.cfg.ViewChangeTimeout
+		}
+		if n.now-n.vcStartedAt >= n.vcPatience {
 			target := n.pendingView // leave the failed target view too
 			n.voteTimeout(target, out)
 		}
@@ -131,6 +138,15 @@ func (n *Node) startViewChange(target types.View, out transport.Sink) {
 	if target <= n.view || (n.inViewChange && target <= n.pendingView) {
 		return
 	}
+	if n.inViewChange {
+		// Escalating past a failed target view: double the patience.
+		n.vcPatience *= 2
+	} else {
+		n.vcPatience = 4 * n.cfg.ViewChangeTimeout
+	}
+	if n.vcPatience > n.cfg.ViewChangeMaxTimeout {
+		n.vcPatience = n.cfg.ViewChangeMaxTimeout
+	}
 	n.inViewChange = true
 	n.pendingView = target
 	n.vcStartedAt = n.now
@@ -148,28 +164,42 @@ func (n *Node) startViewChange(target types.View, out transport.Sink) {
 	out.Send(transport.Envelope{To: newLeader, Msg: msg, Lane: transport.LaneControl})
 }
 
-// buildViewChangeMsg assembles <view-change, v+1, lc, B> (Appendix A).
+// buildViewChangeMsg assembles <view-change, v+1, lc, B> (Appendix A). B
+// merges the live notarized instances with notarizations carried across
+// earlier view changes — dropping the carried ones would break the quorum
+// intersection that keeps a confirmed-and-executed block from being
+// redone as a dummy (see the carried field).
 func (n *Node) buildViewChangeMsg(target types.View) *ViewChangeMsg {
 	msg := &ViewChangeMsg{
 		NewView:    target,
 		Checkpoint: n.lastCheckpoint,
 		Sender:     n.cfg.ID,
 	}
-	sns := make([]types.SeqNum, 0, len(n.instances))
+	best := make(map[types.SeqNum]NotarizedBlock, len(n.instances)+len(n.carried))
+	for sn, nb := range n.carried {
+		if sn > n.lw {
+			best[sn] = nb
+		}
+	}
 	for sn, inst := range n.instances {
 		if sn > n.lw && inst.block != nil && inst.notarized != nil {
-			sns = append(sns, sn)
+			if prev, ok := best[sn]; !ok || inst.block.View > prev.Block.View {
+				best[sn] = NotarizedBlock{
+					Block:     inst.block,
+					Digest:    inst.digest,
+					Notarized: *inst.notarized,
+					Confirmed: inst.confirmed,
+				}
+			}
 		}
+	}
+	sns := make([]types.SeqNum, 0, len(best))
+	for sn := range best {
+		sns = append(sns, sn)
 	}
 	sort.Slice(sns, func(i, j int) bool { return sns[i] < sns[j] })
 	for _, sn := range sns {
-		inst := n.instances[sn]
-		msg.Blocks = append(msg.Blocks, NotarizedBlock{
-			Block:     inst.block,
-			Digest:    inst.digest,
-			Notarized: *inst.notarized,
-			Confirmed: inst.confirmed,
-		})
+		msg.Blocks = append(msg.Blocks, best[sn])
 	}
 	share, err := n.suite.Sign(n.cfg.ID, viewChangeDigest(msg))
 	if err == nil {
@@ -325,6 +355,7 @@ func (n *Node) enterNewView(m *NewViewMsg, out transport.Sink) {
 	n.view = m.NewView
 	n.inViewChange = false
 	n.pendingView = 0
+	n.vcPatience = 0 // completed: next view change starts patient again
 	n.lastProgress = n.now
 	n.stats.ViewChanges++
 	// Persist the entered view so a restart resumes here instead of at
@@ -335,10 +366,26 @@ func (n *Node) enterNewView(m *NewViewMsg, out transport.Sink) {
 		n.applyCheckpoint(plan.cp)
 	}
 
+	// Fold this view's notarizations into the carried set before wiping
+	// the instances, so later view changes still advertise them.
+	for sn, inst := range n.instances {
+		if sn > n.lw && inst.block != nil && inst.notarized != nil {
+			if prev, ok := n.carried[sn]; !ok || inst.block.View > prev.Block.View {
+				n.carried[sn] = NotarizedBlock{
+					Block:     inst.block,
+					Digest:    inst.digest,
+					Notarized: *inst.notarized,
+					Confirmed: inst.confirmed,
+				}
+			}
+		}
+	}
+
 	// Reset per-view agreement state. The confirmed log survives; every
 	// unconfirmed instance will be re-agreed via the redo plan.
 	n.instances = make(map[types.SeqNum]*instance)
 	n.votedSeq = make(map[types.SeqNum]types.Hash)
+	n.vote2Lock = make(map[types.SeqNum]types.Hash)
 	n.pendingProof = make(map[types.BlockID][]pendingProof)
 	n.expectedRedo = make(map[types.SeqNum]types.Hash)
 	n.readyVotes = make(map[types.Hash]map[types.ReplicaID]struct{})

@@ -176,6 +176,15 @@ type Network struct {
 	filter  Filter
 	crashed []bool
 
+	// linkExtra holds per-link delay spikes installed by SetLinkDelay;
+	// nil when no spike was ever installed. skew holds per-replica clock
+	// offsets (SetClockSkew), applied to the virtual time a node's
+	// handlers observe. observer is the post-filter message tap
+	// (SetObserver) used by invariant checkers and fault triggers.
+	linkExtra map[linkKey]linkSpike
+	skew      []time.Duration
+	observer  func(now time.Duration, from, to types.ReplicaID, msg transport.Message)
+
 	// flows holds per-(sender, receiver) bulk flow state under the
 	// BulkDrop and BulkCredit models; nil under BulkPipes. flows[from] is
 	// allocated lazily, flows[from][to] on first bulk send of the pair.
@@ -251,6 +260,60 @@ func (n *Network) Now() time.Duration { return n.now }
 // SetFilter installs a message filter (nil clears it).
 func (n *Network) SetFilter(f Filter) { n.filter = f }
 
+// SetObserver installs a tap invoked for every unicast message the filter
+// admits, before bandwidth charging (nil clears it). The tap must not
+// mutate the message: broadcasts fan out the same message value to every
+// recipient. Invariant checkers and fault-schedule triggers hang off this
+// hook so they compose with, rather than replace, the experiment's filter.
+func (n *Network) SetObserver(fn func(now time.Duration, from, to types.ReplicaID, msg transport.Message)) {
+	n.observer = fn
+}
+
+type linkKey struct{ from, to types.ReplicaID }
+
+type linkSpike struct{ extra, jitter time.Duration }
+
+// SetLinkDelay adds extra one-way propagation delay — plus up to jitter of
+// seeded random spread per message — on the from→to link, on top of the
+// network-wide Latency/Jitter. Zero extra and jitter clears the spike.
+// Deterministic: the spike draws from the network's seeded RNG in event
+// order like global jitter does.
+func (n *Network) SetLinkDelay(from, to types.ReplicaID, extra, jitter time.Duration) {
+	if n.linkExtra == nil {
+		n.linkExtra = make(map[linkKey]linkSpike)
+	}
+	if extra <= 0 && jitter <= 0 {
+		delete(n.linkExtra, linkKey{from, to})
+		return
+	}
+	n.linkExtra[linkKey{from, to}] = linkSpike{extra: extra, jitter: jitter}
+}
+
+// SetClockSkew offsets the virtual time replica id observes: every
+// subsequent Start/Tick/Deliver handler invocation on the node sees
+// now+off (clamped at zero). Network-level bookkeeping — bandwidth
+// charging, event ordering, ScheduleCall — stays on true virtual time;
+// only the node's view of the clock shifts, modeling a drifting local
+// clock against which the node runs its timers.
+func (n *Network) SetClockSkew(id types.ReplicaID, off time.Duration) {
+	if n.skew == nil {
+		n.skew = make([]time.Duration, len(n.nodes))
+	}
+	n.skew[id] = off
+}
+
+// nodeNow is the virtual time node id's handlers observe.
+func (n *Network) nodeNow(id types.ReplicaID) time.Duration {
+	if n.skew == nil {
+		return n.now
+	}
+	t := n.now + n.skew[id]
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
 // Crash stops delivering events to a replica; its in-flight output is lost.
 func (n *Network) Crash(id types.ReplicaID) { n.crashed[id] = true }
 
@@ -291,7 +354,7 @@ func (n *Network) Replace(id types.ReplicaID, node transport.Node) error {
 		n.flows[id] = nil // fresh outbound: old parked streams are lost
 	}
 	n.Restart(id)
-	node.Start(n.now, n.sinkFor(id))
+	node.Start(n.nodeNow(id), n.sinkFor(id))
 	return nil
 }
 
@@ -387,11 +450,20 @@ func (n *Network) procDone(to types.ReplicaID, msg transport.Message, rxDone tim
 	return deliverAt
 }
 
-// arrival applies propagation latency and jitter to an egress completion.
-func (n *Network) arrival(txDone time.Duration) time.Duration {
+// arrival applies propagation latency and jitter — plus any installed
+// per-link delay spike — to an egress completion.
+func (n *Network) arrival(from, to types.ReplicaID, txDone time.Duration) time.Duration {
 	arrive := txDone + n.cfg.Latency
 	if n.cfg.Jitter > 0 {
 		arrive += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+	if n.linkExtra != nil {
+		if sp, ok := n.linkExtra[linkKey{from, to}]; ok {
+			arrive += sp.extra
+			if sp.jitter > 0 {
+				arrive += time.Duration(n.rng.Int63n(int64(sp.jitter)))
+			}
+		}
 	}
 	return arrive
 }
@@ -433,7 +505,7 @@ func (n *Network) send(from, to types.ReplicaID, msg transport.Message, lane tra
 	// Egress: serialize through the sender's pipe.
 	txDone := occupy(n.egress, int(from), n.now, transmissionDelay(size, txRate), preempt)
 	// Propagation, then ingress: serialize through the receiver's pipe.
-	arrive := n.arrival(txDone)
+	arrive := n.arrival(from, to, txDone)
 	rxDone := occupy(n.ingress, int(to), arrive, transmissionDelay(size, rxRate), preempt)
 	n.push(&event{at: n.procDone(to, msg, rxDone), kind: evDeliver, from: from, to: to, msg: msg})
 }
@@ -572,7 +644,7 @@ func (n *Network) flowBookOne(f *flow) bool {
 
 	txRate, rxRate := n.rates(f.to)
 	txDone := occupy(n.egress, int(f.from), n.now, transmissionDelay(chunk, txRate), false)
-	arrive := n.arrival(txDone)
+	arrive := n.arrival(f.from, f.to, txDone)
 	rxDone := occupy(n.ingress, int(f.to), arrive, transmissionDelay(chunk, rxRate), false)
 	n.push(&event{at: rxDone, kind: evChunk, from: f.from, to: f.to, msg: final, flow: f, n: int64(chunk)})
 	return true
@@ -623,7 +695,7 @@ func (n *Network) sendGrant(f *flow, bytes int64) {
 	n.stats[f.to].AddSent(grant.Class(), size)
 	txRate, rxRate := n.rates(f.from)
 	txDone := occupy(n.egress, int(f.to), n.now, transmissionDelay(size, txRate), preempt)
-	arrive := n.arrival(txDone)
+	arrive := n.arrival(f.to, f.from, txDone)
 	rxDone := occupy(n.ingress, int(f.from), arrive, transmissionDelay(size, rxRate), preempt)
 	n.stats[f.from].AddReceived(grant.Class(), size)
 	n.push(&event{at: rxDone, kind: evCredit, flow: f, n: bytes})
@@ -700,6 +772,9 @@ func (n *Network) dispatch(from types.ReplicaID, env transport.Envelope) {
 		if n.filter != nil && !n.filter(n.now, from, to, env.Msg) {
 			return
 		}
+		if n.observer != nil {
+			n.observer(n.now, from, to, env.Msg)
+		}
 		n.send(from, to, env.Msg, lane)
 	}
 	if env.Broadcast {
@@ -716,7 +791,7 @@ func (n *Network) dispatch(from types.ReplicaID, env transport.Envelope) {
 // Start initializes all nodes and schedules ticking. Call once before Run.
 func (n *Network) Start() {
 	for _, node := range n.nodes {
-		node.Start(n.now, n.sinkFor(node.ID()))
+		node.Start(n.nodeNow(node.ID()), n.sinkFor(node.ID()))
 	}
 	if n.cfg.TickInterval > 0 {
 		n.scheduleTick(n.cfg.TickInterval)
@@ -742,13 +817,13 @@ func (n *Network) Run(until time.Duration) {
 				continue
 			}
 			n.stats[e.to].AddReceived(e.msg.Class(), e.msg.WireSize())
-			n.nodes[e.to].Deliver(n.now, e.from, e.msg, n.sinkFor(e.to))
+			n.nodes[e.to].Deliver(n.nodeNow(e.to), e.from, e.msg, n.sinkFor(e.to))
 		case evTick:
 			for _, node := range n.nodes {
 				if n.crashed[node.ID()] {
 					continue
 				}
-				node.Tick(n.now, n.sinkFor(node.ID()))
+				node.Tick(n.nodeNow(node.ID()), n.sinkFor(node.ID()))
 			}
 			// Always reschedule; if the next tick lies beyond the
 			// deadline it stays queued for a later Run call.

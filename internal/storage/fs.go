@@ -1,0 +1,222 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FS is the narrow filesystem surface the WAL runs on. The default OsFS
+// passes straight through to the os package; FaultFS wraps any FS and
+// injects scheduled disk faults (failed fsyncs, torn writes, bit flips on
+// read) so the torn-tail recovery and sticky-werr fail-stop semantics can be
+// exercised against a live log rather than crafted on-disk corpses.
+type FS interface {
+	MkdirAll(path string) error
+	// ReadDir returns the names (not paths) of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte) error
+	// OpenFile opens path with os.O_* flags for writing (the WAL never
+	// reads through an open handle).
+	OpenFile(path string, flag int) (File, error)
+	Truncate(path string, size int64) error
+	Remove(path string) error
+	Rename(oldPath, newPath string) error
+}
+
+// File is an open, writable WAL segment or atomic-replace temporary.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OsFS is the production FS: direct os package calls.
+type OsFS struct{}
+
+var _ FS = OsFS{}
+
+func (OsFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OsFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (OsFS) ReadFile(path string) ([]byte, error)        { return os.ReadFile(path) }
+func (OsFS) WriteFile(path string, data []byte) error    { return os.WriteFile(path, data, 0o644) }
+func (OsFS) Truncate(path string, size int64) error      { return os.Truncate(path, size) }
+func (OsFS) Remove(path string) error                    { return os.Remove(path) }
+func (OsFS) Rename(oldPath, newPath string) error        { return os.Rename(oldPath, newPath) }
+func (OsFS) OpenFile(path string, flag int) (File, error) {
+	return os.OpenFile(path, flag, 0o644)
+}
+
+// FaultStats counts the faults a FaultFS actually delivered.
+type FaultStats struct {
+	Writes    int64 // Write calls observed (across all files)
+	Bytes     int64 // bytes accepted by Write (after tearing)
+	Syncs     int64 // Sync calls observed
+	Tears     int64 // torn writes delivered
+	SyncFails int64 // injected fsync failures delivered
+	BitFlips  int64 // read-side bit flips delivered
+}
+
+// FaultFS wraps an FS and injects scheduled disk faults. Faults are armed
+// from the test and fire deterministically against the cumulative write
+// stream (tears), the Sync call sequence (fsync failures), or the next
+// qualifying read (bit flips). All methods are safe for concurrent use —
+// the WAL's syncer goroutine writes while tests arm faults.
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	written   int64 // cumulative bytes offered to Write across all files
+	tearAt    int64 // -1 = disarmed; tear when written crosses this offset
+	failSyncs int   // number of upcoming Sync calls to fail
+	flipAt    int64 // -1 = disarmed; flip a bit at this offset of the next long-enough read
+	stats     FaultStats
+}
+
+// NewFaultFS wraps inner with all faults disarmed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OsFS{}
+	}
+	return &FaultFS{inner: inner, tearAt: -1, flipAt: -1}
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// BytesWritten returns the cumulative bytes offered to Write so far, the
+// coordinate system TearWriteAt schedules against.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// TearWriteAt arms a torn write: the Write call during which the cumulative
+// write stream crosses offset persists only the bytes up to it, then fails.
+// This models a crash mid-write: a partial frame reaches the disk.
+func (f *FaultFS) TearWriteAt(offset int64) {
+	f.mu.Lock()
+	f.tearAt = offset
+	f.mu.Unlock()
+}
+
+// FailNextSyncs arms the next k Sync calls (on any file) to fail.
+func (f *FaultFS) FailNextSyncs(k int) {
+	f.mu.Lock()
+	f.failSyncs = k
+	f.mu.Unlock()
+}
+
+// FlipBitOnRead arms a single-bit corruption at byte offset of the next
+// ReadFile whose result is long enough to contain it.
+func (f *FaultFS) FlipBitOnRead(offset int64) {
+	f.mu.Lock()
+	f.flipAt = offset
+	f.mu.Unlock()
+}
+
+// FaultStats returns the delivered-fault counters.
+func (f *FaultFS) FaultStats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *FaultFS) MkdirAll(path string) error          { return f.inner.MkdirAll(path) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *FaultFS) WriteFile(path string, data []byte) error {
+	return f.inner.WriteFile(path, data)
+}
+func (f *FaultFS) Truncate(path string, size int64) error { return f.inner.Truncate(path, size) }
+func (f *FaultFS) Remove(path string) error               { return f.inner.Remove(path) }
+func (f *FaultFS) Rename(oldPath, newPath string) error   { return f.inner.Rename(oldPath, newPath) }
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	buf, err := f.inner.ReadFile(path)
+	if err != nil {
+		return buf, err
+	}
+	f.mu.Lock()
+	if f.flipAt >= 0 && int64(len(buf)) > f.flipAt {
+		buf[f.flipAt] ^= 0x40
+		f.flipAt = -1
+		f.stats.BitFlips++
+	}
+	f.mu.Unlock()
+	return buf, nil
+}
+
+func (f *FaultFS) OpenFile(path string, flag int) (File, error) {
+	inner, err := f.inner.OpenFile(path, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	ff.fs.stats.Writes++
+	tear := -1
+	if ff.fs.tearAt >= 0 && ff.fs.written+int64(len(p)) > ff.fs.tearAt {
+		tear = int(ff.fs.tearAt - ff.fs.written)
+		if tear < 0 {
+			tear = 0
+		}
+		ff.fs.tearAt = -1
+		ff.fs.stats.Tears++
+	}
+	ff.fs.mu.Unlock()
+	if tear >= 0 {
+		n, err := ff.inner.Write(p[:tear])
+		ff.fs.mu.Lock()
+		ff.fs.written += int64(n)
+		ff.fs.stats.Bytes += int64(n)
+		ff.fs.mu.Unlock()
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("storage: injected torn write after %d of %d bytes", n, len(p))
+	}
+	n, err := ff.inner.Write(p)
+	ff.fs.mu.Lock()
+	ff.fs.written += int64(n)
+	ff.fs.stats.Bytes += int64(n)
+	ff.fs.mu.Unlock()
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ff.fs.stats.Syncs++
+	fail := ff.fs.failSyncs > 0
+	if fail {
+		ff.fs.failSyncs--
+		ff.fs.stats.SyncFails++
+	}
+	ff.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("storage: injected fsync failure")
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -109,6 +109,35 @@ func ReadBlockRecord(r *codec.Reader) (*BlockRecord, error) {
 	return rec, r.Err()
 }
 
+// VoteRecord persists one agreement vote cast above the executed frontier
+// (vote-ahead logging). A replica that crashes between voting and executing
+// would otherwise forget the vote and could sign different content for the
+// same (view, seq) slot after restart; reloading these records at Start
+// re-locks those slots and closes that amnesia window.
+type VoteRecord struct {
+	View   types.View
+	Seq    types.SeqNum
+	Round  uint8 // 1 = σ1 (over H(block)), 2 = σ2 (over H(σ1))
+	Digest types.Hash
+}
+
+func appendVoteRecord(w *codec.Writer, v VoteRecord) {
+	w.U64(uint64(v.View))
+	w.U64(uint64(v.Seq))
+	w.U8(v.Round)
+	w.Hash(v.Digest)
+}
+
+func readVoteRecord(r *codec.Reader) (VoteRecord, error) {
+	v := VoteRecord{
+		View:  types.View(r.U64()),
+		Seq:   types.SeqNum(r.U64()),
+		Round: r.U8(),
+	}
+	v.Digest = r.Hash()
+	return v, r.Finish()
+}
+
 // Checkpoint is the durable stable-checkpoint record: the Alg. 4 quorum
 // certificate anchoring recovery and log truncation.
 type Checkpoint struct {
@@ -166,6 +195,8 @@ type Stats struct {
 	Records int64
 	// Appended counts records appended this session.
 	Appended int64
+	// Votes is the number of vote-ahead records currently retained.
+	Votes int64
 	// Loaded counts records recovered from disk at Open.
 	Loaded int64
 	// LoadedBytes is the byte volume of records recovered at Open.
@@ -185,6 +216,17 @@ type Store interface {
 	// Append durably logs one executed block. Records must be appended in
 	// strictly increasing, contiguous Seq order above the checkpoint.
 	Append(rec *BlockRecord) error
+	// AppendVote durably logs one agreement vote above the executed
+	// frontier (vote-ahead logging). Vote frames ride the same staged
+	// group-commit path as block records and interleave freely with them.
+	AppendVote(v VoteRecord) error
+	// Votes returns the retained vote-ahead records in append order. Votes
+	// at or below the checkpoint anchor may be pruned.
+	Votes() []VoteRecord
+	// Err returns the store's sticky failure, if any: once the backing
+	// medium has failed an async write or fsync, the store refuses further
+	// appends and the replica must fail-stop its agreement participation.
+	Err() error
 	// Get returns the retained record at seq, if present.
 	Get(seq types.SeqNum) (*BlockRecord, bool)
 	// Bounds returns the lowest and highest retained record seq (0, 0 when
@@ -222,6 +264,7 @@ type Store interface {
 // WAL torture tests cover the lost-tail cases a real crash adds on top.
 type MemLog struct {
 	records map[types.SeqNum]*BlockRecord
+	votes   []VoteRecord
 	first   types.SeqNum
 	last    types.SeqNum
 	cp      *Checkpoint
@@ -249,6 +292,18 @@ func (m *MemLog) Append(rec *BlockRecord) error {
 	m.stats.Appended++
 	return nil
 }
+
+// AppendVote implements Store.
+func (m *MemLog) AppendVote(v VoteRecord) error {
+	m.votes = append(m.votes, v)
+	return nil
+}
+
+// Votes implements Store.
+func (m *MemLog) Votes() []VoteRecord { return m.votes }
+
+// Err implements Store: an in-memory log cannot fail.
+func (m *MemLog) Err() error { return nil }
 
 // Get implements Store.
 func (m *MemLog) Get(seq types.SeqNum) (*BlockRecord, bool) {
@@ -291,15 +346,30 @@ func (m *MemLog) TruncateBelow(seq types.SeqNum) error {
 	if len(m.records) == 0 {
 		m.first, m.last = 0, 0
 	}
+	m.votes = pruneVotes(m.votes, seq)
 	return nil
 }
 
-// Reset implements Store.
+// Reset implements Store. Vote-ahead records above the new anchor are
+// retained: the replica may have voted above the checkpoint it is jumping
+// to, and dropping those locks would reopen the amnesia window.
 func (m *MemLog) Reset(seq types.SeqNum) error {
 	m.records = make(map[types.SeqNum]*BlockRecord)
 	m.first = 0
 	m.last = seq
+	m.votes = pruneVotes(m.votes, seq)
 	return nil
+}
+
+// pruneVotes drops vote records at or below seq, in place.
+func pruneVotes(votes []VoteRecord, seq types.SeqNum) []VoteRecord {
+	kept := votes[:0]
+	for _, v := range votes {
+		if v.Seq > seq {
+			kept = append(kept, v)
+		}
+	}
+	return kept
 }
 
 // Sync implements Store.
@@ -310,6 +380,7 @@ func (m *MemLog) Stats() Stats {
 	s := m.stats
 	s.Segments = 1
 	s.Records = int64(len(m.records))
+	s.Votes = int64(len(m.votes))
 	return s
 }
 

@@ -32,6 +32,7 @@ const (
 	metaMagic = "LPMETA01"
 
 	recBlock byte = 1
+	recVote  byte = 2
 
 	// maxFrameLen bounds a single record frame. A record carries up to τ
 	// full datablocks, so the bound is generous; anything larger is
@@ -56,6 +57,9 @@ type Options struct {
 	// returning (no batching). Benchmarks use it as the serialized
 	// baseline; real deployments should not.
 	SyncEachAppend bool
+	// FS is the filesystem the log runs on. Nil selects OsFS; tests inject
+	// a FaultFS to exercise torn writes, failed fsyncs and read corruption.
+	FS FS
 }
 
 func (o *Options) normalize() {
@@ -67,6 +71,9 @@ func (o *Options) normalize() {
 	}
 	if o.StageBudget <= 0 {
 		o.StageBudget = 32 << 20
+	}
+	if o.FS == nil {
+		o.FS = OsFS{}
 	}
 }
 
@@ -89,6 +96,7 @@ type segInfo struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	// flushMu serializes flushes (syncer, explicit Sync, segment rolls,
 	// Close) so staged bytes reach the file in append order. It is always
@@ -96,11 +104,12 @@ type Log struct {
 	flushMu sync.Mutex
 
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	pending []byte    // staged frames not yet written to the current segment
 	spare   []byte    // recycled staging buffer
 	segs    []segInfo // closed and current segments, ascending index
 	records map[types.SeqNum]*BlockRecord
+	votes   []VoteRecord // retained vote-ahead records, append order
 	first   types.SeqNum
 	last    types.SeqNum
 	cp      *Checkpoint
@@ -121,12 +130,13 @@ var _ Store = (*Log)(nil)
 // torn write — truncates its segment there and discards later segments.
 func Open(dir string, opts Options) (*Log, error) {
 	opts.normalize()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir); err != nil {
 		return nil, err
 	}
 	l := &Log{
 		dir:     dir,
 		opts:    opts,
+		fs:      opts.FS,
 		records: make(map[types.SeqNum]*BlockRecord),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -153,13 +163,12 @@ func Open(dir string, opts Options) (*Log, error) {
 // scanSegments reads every segment in index order, stopping at the first
 // damaged frame.
 func (l *Log) scanSegments() error {
-	entries, err := os.ReadDir(l.dir)
+	names, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
 	var segs []segInfo
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
 			continue
 		}
@@ -181,7 +190,7 @@ func (l *Log) scanSegments() error {
 			// Damage: later segments cannot be contiguous with the
 			// truncated run, so they are dead.
 			for _, dead := range segs[i+1:] {
-				os.Remove(dead.path)
+				l.fs.Remove(dead.path)
 			}
 			l.stats.TailTruncated = true
 			break
@@ -193,13 +202,13 @@ func (l *Log) scanSegments() error {
 // scanSegment loads one segment's records, truncating at the first damaged
 // or non-contiguous frame. It returns false when the segment was truncated.
 func (l *Log) scanSegment(seg *segInfo) (bool, error) {
-	buf, err := os.ReadFile(seg.path)
+	buf, err := l.fs.ReadFile(seg.path)
 	if err != nil {
 		return false, err
 	}
 	if len(buf) < len(segMagic) || string(buf[:len(segMagic)]) != segMagic {
 		// A segment without a valid magic is recreated empty.
-		if err := os.WriteFile(seg.path, []byte(segMagic), 0o644); err != nil {
+		if err := l.fs.WriteFile(seg.path, []byte(segMagic)); err != nil {
 			return false, err
 		}
 		seg.bytes = int64(len(segMagic))
@@ -209,26 +218,44 @@ func (l *Log) scanSegment(seg *segInfo) (bool, error) {
 	intact := true
 	off := len(segMagic)
 	for off < len(buf) {
-		rec, n := decodeFrame(buf[off:])
-		if rec == nil {
+		kind, payload, n := decodeFrame(buf[off:])
+		switch kind {
+		case recBlock:
+			rec, err := parseBlockPayload(payload)
+			if err != nil {
+				kind = 0
+				break
+			}
+			if l.last != 0 && rec.Seq != l.last+1 {
+				kind = 0
+				break
+			}
+			l.admit(rec)
+			l.stats.Loaded++
+			l.stats.LoadedBytes += int64(n)
+			if seg.first == 0 {
+				seg.first = rec.Seq
+			}
+			seg.last = rec.Seq
+		case recVote:
+			v, err := readVoteRecord(&codec.Reader{Buf: payload})
+			if err != nil {
+				kind = 0
+				break
+			}
+			// Votes at or below the checkpoint anchor are obsolete history.
+			if l.cp == nil || v.Seq > l.cp.Seq {
+				l.votes = append(l.votes, v)
+			}
+		}
+		if kind == 0 {
 			good, intact = off, false
 			break
 		}
-		if l.last != 0 && rec.Seq != l.last+1 {
-			good, intact = off, false
-			break
-		}
-		l.admit(rec)
-		l.stats.Loaded++
-		l.stats.LoadedBytes += int64(n)
-		if seg.first == 0 {
-			seg.first = rec.Seq
-		}
-		seg.last = rec.Seq
 		off += n
 	}
 	if !intact {
-		if err := os.Truncate(seg.path, int64(good)); err != nil {
+		if err := l.fs.Truncate(seg.path, int64(good)); err != nil {
 			return false, err
 		}
 		seg.bytes = int64(good)
@@ -238,32 +265,43 @@ func (l *Log) scanSegment(seg *segInfo) (bool, error) {
 	return true, nil
 }
 
-// decodeFrame parses one record frame from buf, returning (nil, 0) on any
-// damage: short header, oversize length, short payload, CRC mismatch, or a
-// payload that does not decode cleanly. Copying decode: the scan buffer is
-// transient, so records must own their bytes.
-func decodeFrame(buf []byte) (*BlockRecord, int) {
+// decodeFrame parses one frame header from buf, returning (0, nil, 0) on
+// any damage: short header, oversize or zero length, short payload, CRC
+// mismatch, or an unknown record kind. The returned payload excludes the
+// kind byte; it aliases buf, so record parsers must copy.
+func decodeFrame(buf []byte) (byte, []byte, int) {
 	if len(buf) < 8 {
-		return nil, 0
+		return 0, nil, 0
 	}
 	length := binary.BigEndian.Uint32(buf[0:4])
 	crc := binary.BigEndian.Uint32(buf[4:8])
 	if length == 0 || length > maxFrameLen || int(length) > len(buf)-8 {
-		return nil, 0
+		return 0, nil, 0
 	}
 	payload := buf[8 : 8+length]
 	if crc32.ChecksumIEEE(payload) != crc {
-		return nil, 0
+		return 0, nil, 0
 	}
-	if payload[0] != recBlock {
-		return nil, 0
+	switch payload[0] {
+	case recBlock, recVote:
+		return payload[0], payload[1:], 8 + int(length)
 	}
-	r := &codec.Reader{Buf: payload[1:]}
+	return 0, nil, 0
+}
+
+// parseBlockPayload decodes a block-record payload (after the kind byte).
+// Copying decode: the scan buffer is transient, so records must own their
+// bytes.
+func parseBlockPayload(payload []byte) (*BlockRecord, error) {
+	r := &codec.Reader{Buf: payload}
 	rec, err := ReadBlockRecord(r)
-	if err != nil || r.Finish() != nil {
-		return nil, 0
+	if err != nil {
+		return nil, err
 	}
-	return rec, 8 + int(length)
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // admit installs a scanned or appended record into the in-memory index.
@@ -282,7 +320,7 @@ func (l *Log) openCurrent() error {
 		return l.roll()
 	}
 	seg := &l.segs[len(l.segs)-1]
-	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND)
 	if err != nil {
 		return err
 	}
@@ -310,7 +348,7 @@ func (l *Log) roll() error {
 		next = l.segs[len(l.segs)-1].index + 1
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("seg-%08d.wal", next))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
 		return err
 	}
@@ -402,6 +440,86 @@ func (l *Log) Append(rec *BlockRecord) error {
 		}
 	}
 	return nil
+}
+
+// encodeVoteFrame frames one vote record (header | kind | encoding).
+func encodeVoteFrame(v VoteRecord) []byte {
+	w := codec.GetWriter()
+	w.U64(0) // frame header placeholder, patched below
+	w.U8(recVote)
+	appendVoteRecord(w, v)
+	frame := append([]byte(nil), w.Buf...)
+	codec.PutWriter(w)
+	payload := frame[8:]
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return frame
+}
+
+// AppendVote implements Store: stage one vote-ahead frame on the group
+// commit path. Vote frames interleave with block frames in the segment
+// stream and do not participate in the block contiguity invariant.
+func (l *Log) AppendVote(v VoteRecord) error {
+	frame := encodeVoteFrame(v)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("storage: log closed")
+	}
+	if err := l.werr; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if len(l.segs) == 0 || l.f == nil {
+		l.mu.Unlock()
+		return fmt.Errorf("storage: log has no live segment")
+	}
+	seg := &l.segs[len(l.segs)-1]
+	wasEmpty := len(l.pending) == 0
+	l.pending = append(l.pending, frame...)
+	seg.bytes += int64(len(frame))
+	l.votes = append(l.votes, v)
+	rollDue := seg.bytes > l.opts.SegmentBytes
+	overBudget := int64(len(l.pending)) > l.opts.StageBudget
+	l.mu.Unlock()
+
+	if overBudget && !rollDue {
+		return l.Sync()
+	}
+	if rollDue {
+		l.flushMu.Lock()
+		err := l.roll()
+		l.flushMu.Unlock()
+		if err != nil {
+			l.fail(err)
+			return err
+		}
+		return nil
+	}
+	if l.opts.SyncEachAppend {
+		return l.Sync()
+	}
+	if wasEmpty {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Votes implements Store.
+func (l *Log) Votes() []VoteRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]VoteRecord(nil), l.votes...)
+}
+
+// Err implements Store: the sticky async write/fsync error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.werr
 }
 
 // fail records a sticky async error.
@@ -518,7 +636,7 @@ func (l *Log) Bounds() (types.SeqNum, types.SeqNum) {
 func (l *Log) SaveCheckpoint(cp Checkpoint) error {
 	w := codec.GetWriter()
 	appendCheckpoint(w, cp)
-	err := writeAtomic(filepath.Join(l.dir, "checkpoint"), ckptMagic, w.Buf)
+	err := writeAtomic(l.fs, filepath.Join(l.dir, "checkpoint"), ckptMagic, w.Buf)
 	codec.PutWriter(w)
 	if err != nil {
 		return err
@@ -543,7 +661,7 @@ func (l *Log) Checkpoint() (Checkpoint, bool) {
 func (l *Log) SaveMeta(m Meta) error {
 	w := codec.GetWriter()
 	appendMeta(w, m)
-	err := writeAtomic(filepath.Join(l.dir, "meta"), metaMagic, w.Buf)
+	err := writeAtomic(l.fs, filepath.Join(l.dir, "meta"), metaMagic, w.Buf)
 	codec.PutWriter(w)
 	if err != nil {
 		return err
@@ -575,12 +693,13 @@ func (l *Log) TruncateBelow(seq types.SeqNum) error {
 			for sn := s.first; sn <= s.last; sn++ {
 				delete(l.records, sn)
 			}
-			os.Remove(s.path)
+			l.fs.Remove(s.path)
 			continue
 		}
 		kept = append(kept, s)
 	}
 	l.segs = kept
+	l.votes = pruneVotes(l.votes, seq)
 	// Recompute the lower bound from what survived (records in kept
 	// segments below seq stay retained — they are still servable to
 	// recovering peers).
@@ -614,18 +733,39 @@ func (l *Log) Reset(seq types.SeqNum) error {
 	l.records = make(map[types.SeqNum]*BlockRecord)
 	l.first = 0
 	l.last = seq
+	// Vote-ahead records above the new anchor survive the reset — the
+	// replica may have voted above the checkpoint it is jumping to, and
+	// dropping those locks would reopen the amnesia window. Their frames
+	// die with the old segments, so they are re-staged into the fresh one.
+	retained := append([]VoteRecord(nil), pruneVotes(l.votes, seq)...)
+	l.votes = l.votes[:0]
 	l.mu.Unlock()
 	if f != nil {
 		f.Close()
 	}
 	for _, s := range old {
-		os.Remove(s.path)
+		l.fs.Remove(s.path)
 	}
 	if err := l.roll(); err != nil {
 		// Leave the log in a failed-but-safe state: Append and Sync return
 		// the sticky error instead of panicking on a missing segment.
 		l.fail(err)
 		return err
+	}
+	if len(retained) > 0 {
+		l.mu.Lock()
+		seg := &l.segs[len(l.segs)-1]
+		for _, v := range retained {
+			frame := encodeVoteFrame(v)
+			l.pending = append(l.pending, frame...)
+			seg.bytes += int64(len(frame))
+		}
+		l.votes = append(l.votes, retained...)
+		l.mu.Unlock()
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
 	}
 	return nil
 }
@@ -640,6 +780,7 @@ func (l *Log) Stats() Stats {
 		s.LiveBytes += seg.bytes
 	}
 	s.Records = int64(len(l.records))
+	s.Votes = int64(len(l.votes))
 	return s
 }
 
@@ -671,9 +812,9 @@ func (l *Log) Close() error {
 // writeAtomic replaces path with magic || frame(payload) via a fsynced
 // temporary file and rename, so the file is always either the old or the
 // new complete record.
-func writeAtomic(path, magic string, payload []byte) error {
+func writeAtomic(fs FS, path, magic string, payload []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
 		return err
 	}
@@ -689,25 +830,25 @@ func writeAtomic(path, magic string, payload []byte) error {
 	}
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fs.Rename(tmp, path)
 }
 
 // readAtomic loads a file written by writeAtomic. A missing file returns
 // (nil, nil); a damaged one returns an error.
-func readAtomic(path, magic string) ([]byte, error) {
-	buf, err := os.ReadFile(path)
+func readAtomic(fs FS, path, magic string) ([]byte, error) {
+	buf, err := fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -727,7 +868,7 @@ func readAtomic(path, magic string) ([]byte, error) {
 }
 
 func (l *Log) loadCheckpoint() error {
-	payload, err := readAtomic(filepath.Join(l.dir, "checkpoint"), ckptMagic)
+	payload, err := readAtomic(l.fs, filepath.Join(l.dir, "checkpoint"), ckptMagic)
 	if err != nil || payload == nil {
 		return err
 	}
@@ -740,7 +881,7 @@ func (l *Log) loadCheckpoint() error {
 }
 
 func (l *Log) loadMeta() error {
-	payload, err := readAtomic(filepath.Join(l.dir, "meta"), metaMagic)
+	payload, err := readAtomic(l.fs, filepath.Join(l.dir, "meta"), metaMagic)
 	if err != nil || payload == nil {
 		return err
 	}

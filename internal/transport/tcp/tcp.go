@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -81,8 +82,17 @@ type Config struct {
 	Codec Codec
 	// TickInterval drives the node's timer handler (default 10ms).
 	TickInterval time.Duration
-	// DialRetry is the reconnect backoff (default 500ms).
+	// DialRetry is the initial reconnect backoff (default 500ms). Each
+	// consecutive failure doubles the interval up to DialRetryMax, with
+	// jitter added so replicas that lost the same peer at the same moment
+	// do not retry in lockstep. A successful connection resets the ladder.
 	DialRetry time.Duration
+	// DialRetryMax caps the exponential reconnect backoff (default 8s,
+	// floored at DialRetry).
+	DialRetryMax time.Duration
+	// DialSeed seeds the backoff jitter. Zero derives a seed from Self;
+	// a fixed nonzero seed makes reconnect schedules reproducible.
+	DialSeed int64
 	// MaxFrame bounds accepted frame sizes, including reassembled stream
 	// totals (default 64 MiB).
 	MaxFrame int
@@ -117,6 +127,15 @@ func (c *Config) validate() error {
 	}
 	if c.DialRetry <= 0 {
 		c.DialRetry = 500 * time.Millisecond
+	}
+	if c.DialRetryMax <= 0 {
+		c.DialRetryMax = 8 * time.Second
+	}
+	if c.DialRetryMax < c.DialRetry {
+		c.DialRetryMax = c.DialRetry
+	}
+	if c.DialSeed == 0 {
+		c.DialSeed = int64(c.Self) + 1
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = 64 << 20
@@ -509,6 +528,22 @@ func (r *Runtime) next(p *peer, hdrBuf []byte) (msg, chunkBody, chunkPayload []b
 	}
 }
 
+// nextDialDelay computes one step of the jittered exponential dial
+// backoff: the returned delay is cur stretched by up to half of itself
+// (the jitter that staggers replicas retrying a dead peer in unison),
+// and next is the doubled interval capped at max.
+func nextDialDelay(cur, max time.Duration, rng *rand.Rand) (delay, next time.Duration) {
+	delay = cur
+	if half := cur / 2; half > 0 {
+		delay += time.Duration(rng.Int63n(int64(half)))
+	}
+	next = 2 * cur
+	if next > max {
+		next = max
+	}
+	return delay, next
+}
+
 // sendLoop dials the peer (with retry) and writes wire frames in lane
 // order. On reconnect the stream scheduler is rewound (resetConn, which
 // also advances the connection epoch announced in the hello): the new
@@ -525,7 +560,13 @@ func (r *Runtime) sendLoop(p *peer) {
 			conn.Close()
 		}
 	}()
+	// Per-peer jitter stream: mixing the peer id into the seed keeps the
+	// n-1 send loops of one replica off each other's schedule too.
+	rng := rand.New(rand.NewSource(r.cfg.DialSeed*31 + int64(p.id)))
 	connect := func() net.Conn {
+		// Each connect starts the ladder at DialRetry: a successful hello
+		// returns from here, so the next outage begins fresh.
+		cur := r.cfg.DialRetry
 		for {
 			select {
 			case <-r.stop:
@@ -546,10 +587,12 @@ func (r *Runtime) sendLoop(p *peer) {
 				}
 				c.Close()
 			}
+			var delay time.Duration
+			delay, cur = nextDialDelay(cur, r.cfg.DialRetryMax, rng)
 			select {
 			case <-r.stop:
 				return nil
-			case <-time.After(r.cfg.DialRetry):
+			case <-time.After(delay):
 			}
 		}
 	}
