@@ -249,6 +249,8 @@ type statusSnapshot struct {
 	WALFailed     bool  `json:"walFailed"`
 	VotesLogged   int64 `json:"votesLogged"`
 	VotesReloaded int64 `json:"votesReloaded"`
+	NotesLogged   int64 `json:"notesLogged"`
+	NotesReloaded int64 `json:"notesReloaded"`
 }
 
 // snapshot reads the node's counters under the runtime's serialization:
@@ -285,6 +287,8 @@ func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapsho
 			WALFailed:          st.WALFailed,
 			VotesLogged:        st.VotesLogged,
 			VotesReloaded:      st.VotesReloaded,
+			NotesLogged:        st.NotesLogged,
+			NotesReloaded:      st.NotesReloaded,
 		}
 	})
 	if err != nil {

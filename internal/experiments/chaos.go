@@ -171,10 +171,10 @@ func chaosCluster(n int, p chaosParams, suite crypto.Suite, ic *harness.Invarian
 				// with the default 16x cap, one escalation wait after the
 				// plan heals could eat the whole grace window by itself.
 				ViewChangeMaxTimeout: 8 * p.vct,
-				TrustDigests:             true,
-				SkipRequestDedup:         true,
-				Store:                    stores[id],
-				OnExecute:                ic.ExecutionObserver(id),
+				TrustDigests:         true,
+				SkipRequestDedup:     true,
+				Store:                stores[id],
+				OnExecute:            ic.ExecutionObserver(id),
 			}
 			if mutate != nil {
 				mutate(&cfg)

@@ -13,6 +13,9 @@ import (
 // (lw, lw+k].
 func (n *Node) maybePropose(out transport.Sink) {
 	for {
+		if n.walFailed {
+			return // fail-stop latched (possibly by a failed vote persist)
+		}
 		if n.nextSeq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
 			return // watermark window full; wait for checkpoints
 		}
@@ -54,6 +57,13 @@ func (n *Node) propose(block *types.BFTblock, out transport.Sink) error {
 	if err != nil {
 		return err
 	}
+	// The proposal embeds the leader's first-round vote: log it durably
+	// ahead of the broadcast so a crash right after sending cannot forget
+	// it. On a persist failure nothing leaves the node — the fail-stop has
+	// latched and the slot stays unvoted in this life.
+	if !n.persistVote(1, block.Seq, digest) {
+		return nil
+	}
 	inst := n.getInstance(block.Seq)
 	inst.block = block
 	inst.digest = digest
@@ -61,29 +71,54 @@ func (n *Node) propose(block *types.BFTblock, out transport.Sink) error {
 	inst.proposedAt = n.now
 	inst.voted1 = true
 	n.votedSeq[block.Seq] = digest
-	// The proposal embeds the leader's first-round vote: log it ahead of
-	// the broadcast so a crash right after sending cannot forget it.
-	n.persistVote(1, block.Seq, digest)
 	n.addVote1(inst, share)
 	out.Broadcast(&BFTblockMsg{Block: block, LeaderShare: share})
 	return nil
 }
 
-// persistVote appends one vote-ahead record for the current view. Called
-// before the vote (or the proposal embedding it) leaves the node, so the
-// durable lock always covers anything a peer may have seen. Append errors
-// surface through the store's sticky error and latch the fail-stop.
-func (n *Node) persistVote(round uint8, seq types.SeqNum, digest types.Hash) {
+// persistVote durably appends one vote-ahead record for the current view
+// and reports whether the vote may proceed. Called before the vote (or the
+// proposal embedding it) is recorded or leaves the node — AppendVote
+// flushes and fsyncs before returning, so the durable lock always covers
+// anything a peer may have seen. On failure the fail-stop latches
+// immediately and the caller must abort the vote: broadcasting without the
+// durable lock would reopen the amnesia window the log exists to close.
+func (n *Node) persistVote(round uint8, seq types.SeqNum, digest types.Hash) bool {
 	if n.store == nil || n.cfg.DisableVoteAheadLog {
-		return
+		return true
 	}
 	if err := n.store.AppendVote(storage.VoteRecord{
 		View: n.view, Seq: seq, Round: round, Digest: digest,
 	}); err != nil {
 		n.stats.WALErrors++
-		return
+		n.walFailed = true
+		return false
 	}
 	n.stats.VotesLogged++
+	return true
+}
+
+// persistNote stages the notarization certificate a round-2 vote endorses
+// (block + σ1 proof) and reports whether the vote may proceed. Without it a
+// σ2 voter that crash-restarts stops advertising the notarized block in its
+// view-change messages, and the redo plan's quorum-intersection argument —
+// every view-change quorum contains an honest σ2 voter that remembers the
+// block — breaks down, letting a confirmed block be redone as a dummy. The
+// frame is staged only; the round-2 persistVote that always follows flushes
+// and fsyncs both records before the vote leaves the node.
+func (n *Node) persistNote(inst *instance) bool {
+	if n.store == nil || n.cfg.DisableVoteAheadLog {
+		return true
+	}
+	if err := n.store.AppendNote(storage.NoteRecord{
+		Block: inst.block, Notarized: *inst.notarized,
+	}); err != nil {
+		n.stats.WALErrors++
+		n.walFailed = true
+		return false
+	}
+	n.stats.NotesLogged++
+	return true
 }
 
 // getInstance returns the instance for sn, creating it if needed.
@@ -184,9 +219,13 @@ func (n *Node) castVote1(inst *instance, out transport.Sink) {
 	if err != nil {
 		return
 	}
+	// Durable lock first: a vote the store could not persist is never
+	// recorded or sent (the failure latched the fail-stop above).
+	if !n.persistVote(1, inst.block.Seq, inst.digest) {
+		return
+	}
 	inst.voted1 = true
 	n.votedSeq[inst.block.Seq] = inst.digest
-	n.persistVote(1, inst.block.Seq, inst.digest)
 	vote := &VoteMsg{Block: inst.block.ID(), Round: 1, Digest: inst.digest, Share: share}
 	if n.isLeader() {
 		n.addVote1(inst, share)
@@ -263,16 +302,24 @@ func (n *Node) leaderNotarize(inst *instance, out transport.Sink) {
 	out.Broadcast(&ProofMsg{
 		Block: inst.block.ID(), Round: 1, Digest: inst.digest, Proof: proof,
 	})
-	// Leader's own second-round vote.
+	// Leader's own second-round vote. The σ1 broadcast above is only a
+	// relay of others' shares; the vote itself must not be counted unless
+	// the certificate and the vote record are durably logged first.
+	n.checkStoreHealth()
+	if n.walFailed {
+		return
+	}
 	share, err := n.suite.Sign(n.cfg.ID, inst.sigma1Digest)
 	if err != nil {
+		return
+	}
+	if !n.persistNote(inst) || !n.persistVote(2, inst.block.Seq, inst.sigma1Digest) {
 		return
 	}
 	inst.vote2Seen[n.cfg.ID] = struct{}{}
 	inst.vote2Shares = append(inst.vote2Shares, share)
 	inst.voted2 = true
 	n.vote2Lock[inst.block.Seq] = inst.sigma1Digest
-	n.persistVote(2, inst.block.Seq, inst.sigma1Digest)
 }
 
 // leaderConfirm combines 2f+1 second-round shares into the confirmation
@@ -363,9 +410,13 @@ func (n *Node) castVote2(inst *instance, out transport.Sink) {
 	if err != nil {
 		return
 	}
+	// Stage the notarization certificate, then durably log the vote (one
+	// fsync covers both); only then is the vote recorded and sent.
+	if !n.persistNote(inst) || !n.persistVote(2, inst.block.Seq, inst.sigma1Digest) {
+		return
+	}
 	inst.voted2 = true
 	n.vote2Lock[inst.block.Seq] = inst.sigma1Digest
-	n.persistVote(2, inst.block.Seq, inst.sigma1Digest)
 	if n.isLeader() {
 		inst.vote2Seen[n.cfg.ID] = struct{}{}
 		inst.vote2Shares = append(inst.vote2Shares, share)

@@ -91,6 +91,11 @@ type Stats struct {
 	// VotesReloaded counts vote locks restored from the store at Start.
 	VotesLogged   int64
 	VotesReloaded int64
+	// NotesLogged counts notarization certificates persisted alongside
+	// round-2 votes; NotesReloaded counts certificates restored into the
+	// carried set at Start.
+	NotesLogged   int64
+	NotesReloaded int64
 	// CheckpointSeqsTracked is the live size of the leader's checkpoint
 	// share/digest maps — bounded by the watermark window (regression:
 	// TestCheckpointMapsPruned).
@@ -128,10 +133,10 @@ type Node struct {
 	lastPropose time.Duration
 
 	// Agreement state.
-	view         types.View
-	lw           types.SeqNum
-	instances    map[types.SeqNum]*instance
-	votedSeq     map[types.SeqNum]types.Hash // per-view first-vote lock
+	view      types.View
+	lw        types.SeqNum
+	instances map[types.SeqNum]*instance
+	votedSeq  map[types.SeqNum]types.Hash // per-view first-vote lock
 	// vote2Lock pins the σ1 digest this replica signed a round-2 vote
 	// over, per seq in the current view. Populated from reloaded
 	// vote-ahead records so a restarted replica never signs a second,
@@ -146,7 +151,10 @@ type Node struct {
 	// confirmed and executed at one replica and then vanish from every
 	// live instance after a cascade of failed view changes, letting a
 	// later redo replace it with a dummy (the analog of PBFT carrying
-	// prepared certificates across views).
+	// prepared certificates across views). The same argument must survive
+	// crash-restarts of the σ2 voters, so each certificate is also
+	// persisted with the round-2 vote (storage.NoteRecord) and reloaded
+	// into this set at Start.
 	carried map[types.SeqNum]NotarizedBlock
 
 	// Confirmed log and execution.
@@ -214,7 +222,7 @@ type Node struct {
 	// view change may stall before this replica votes for the next view.
 	// Starts at 4×ViewChangeTimeout on entering a view change, doubles per
 	// escalation up to ViewChangeMaxTimeout, resets when a view completes.
-	vcPatience time.Duration
+	vcPatience   time.Duration
 	sentTimeout  map[types.View]bool
 	timeoutVotes map[types.View]map[types.ReplicaID]struct{}
 	vcMsgs       map[types.View]map[types.ReplicaID]*ViewChangeMsg

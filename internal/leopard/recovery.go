@@ -19,9 +19,12 @@ import (
 // or storming the per-datablock retrieval path.
 //
 // Votes above the last executed block are persisted too (vote-ahead
-// logging, persistVote): a replica that crashes between voting and
-// executing reloads its vote locks here and therefore cannot sign
-// different content for the same (view, seq) slot in its next life. The
+// logging, persistVote — durable before the vote is broadcast): a replica
+// that crashes between voting and executing reloads its vote locks here and
+// therefore cannot sign different content for the same (view, seq) slot in
+// its next life. Round-2 votes additionally persist the notarization
+// certificate they endorse (persistNote), reloaded into the carried set so
+// the replica keeps advertising the block in view-change messages. The
 // chaos experiment's crash-between-vote-and-execute schedule exercises
 // exactly this window, and fails when Config.DisableVoteAheadLog reopens
 // it.
@@ -108,6 +111,7 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 		n.nextSeq = n.lw + 1
 	}
 	n.reloadVoteLocks(st)
+	n.reloadNotes(st)
 	if n.maxConfirmed < n.executedTo {
 		n.maxConfirmed = n.executedTo
 	}
@@ -156,6 +160,37 @@ func (n *Node) reloadVoteLocks(st storage.Store) {
 			n.vote2Lock[v.Seq] = v.Digest
 		}
 		n.stats.VotesReloaded++
+	}
+}
+
+// reloadNotes restores the carried-notarization set from the persisted
+// certificates: every note above the recovered watermark re-enters carried,
+// so this replica's view-change messages keep advertising blocks it cast σ2
+// votes for in a previous life. Without this, a cascade of crash-restarts
+// among the 2f+1 σ2 voters erases a confirmed block's last advertised
+// notarization and a later redo can replace it with a dummy — the same
+// quorum-intersection argument the in-memory carried set serves across view
+// changes, extended across crashes. Notes are view-agnostic (the highest
+// block view per seq wins, as in enterNewView's fold); digests are
+// recomputed rather than trusted, certificates are trusted like block
+// replay is (CRC-guarded local WAL, verified before append).
+func (n *Node) reloadNotes(st storage.Store) {
+	if n.cfg.DisableVoteAheadLog {
+		return
+	}
+	for _, nt := range st.Notes() {
+		if nt.Block == nil || nt.Block.Seq <= n.lw {
+			continue
+		}
+		if prev, ok := n.carried[nt.Block.Seq]; ok && prev.Block.View >= nt.Block.View {
+			continue
+		}
+		n.carried[nt.Block.Seq] = NotarizedBlock{
+			Block:     nt.Block,
+			Digest:    crypto.HashBFTblock(nt.Block),
+			Notarized: nt.Notarized,
+		}
+		n.stats.NotesReloaded++
 	}
 }
 

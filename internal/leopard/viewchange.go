@@ -437,6 +437,9 @@ func (n *Node) enterNewView(m *NewViewMsg, out transport.Sink) {
 			if err := n.propose(blk, out); err != nil {
 				return
 			}
+			if n.walFailed {
+				return // a failed vote persist latched the fail-stop mid-redo
+			}
 		}
 	}
 

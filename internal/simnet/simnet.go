@@ -179,10 +179,14 @@ type Network struct {
 	// linkExtra holds per-link delay spikes installed by SetLinkDelay;
 	// nil when no spike was ever installed. skew holds per-replica clock
 	// offsets (SetClockSkew), applied to the virtual time a node's
-	// handlers observe. observer is the post-filter message tap
-	// (SetObserver) used by invariant checkers and fault triggers.
+	// handlers observe; nodeClock is the highest time each replica slot
+	// has observed, clamping the skewed clock nondecreasing (it survives
+	// Replace — the machine's clock, not the process's). observer is the
+	// post-filter message tap (SetObserver) used by invariant checkers and
+	// fault triggers.
 	linkExtra map[linkKey]linkSpike
 	skew      []time.Duration
+	nodeClock []time.Duration
 	observer  func(now time.Duration, from, to types.ReplicaID, msg transport.Message)
 
 	// flows holds per-(sender, receiver) bulk flow state under the
@@ -238,14 +242,15 @@ func New(cfg Config, nodes []transport.Node) (*Network, error) {
 	}
 	cfg.Stream.Normalize()
 	n := &Network{
-		cfg:     cfg,
-		nodes:   nodes,
-		egress:  make([]time.Duration, len(nodes)),
-		ingress: make([]time.Duration, len(nodes)),
-		proc:    make([]time.Duration, len(nodes)),
-		stats:   make([]metrics.Bandwidth, len(nodes)),
-		crashed: make([]bool, len(nodes)),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		nodes:     nodes,
+		egress:    make([]time.Duration, len(nodes)),
+		ingress:   make([]time.Duration, len(nodes)),
+		proc:      make([]time.Duration, len(nodes)),
+		nodeClock: make([]time.Duration, len(nodes)),
+		stats:     make([]metrics.Bandwidth, len(nodes)),
+		crashed:   make([]bool, len(nodes)),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if cfg.Bulk != BulkPipes {
 		n.flows = make([][]*flow, len(nodes))
@@ -291,10 +296,13 @@ func (n *Network) SetLinkDelay(from, to types.ReplicaID, extra, jitter time.Dura
 
 // SetClockSkew offsets the virtual time replica id observes: every
 // subsequent Start/Tick/Deliver handler invocation on the node sees
-// now+off (clamped at zero). Network-level bookkeeping — bandwidth
-// charging, event ordering, ScheduleCall — stays on true virtual time;
-// only the node's view of the clock shifts, modeling a drifting local
-// clock against which the node runs its timers.
+// now+off (clamped at zero, and never behind any time the replica has
+// already observed). Network-level bookkeeping — bandwidth charging, event
+// ordering, ScheduleCall — stays on true virtual time; only the node's view
+// of the clock shifts, modeling a drifting local clock against which the
+// node runs its timers. Healing a positive skew therefore does not step the
+// observed clock backwards: it holds still until true time catches up, as a
+// disciplined clock slews rather than jumps.
 func (n *Network) SetClockSkew(id types.ReplicaID, off time.Duration) {
 	if n.skew == nil {
 		n.skew = make([]time.Duration, len(n.nodes))
@@ -302,15 +310,22 @@ func (n *Network) SetClockSkew(id types.ReplicaID, off time.Duration) {
 	n.skew[id] = off
 }
 
-// nodeNow is the virtual time node id's handlers observe.
+// nodeNow is the virtual time node id's handlers observe: true time plus
+// the replica's skew, clamped nondecreasing per slot — leopard's timer
+// arithmetic (now - lastPropose, now - vcStartedAt, served timestamps)
+// assumes time never runs backwards.
 func (n *Network) nodeNow(id types.ReplicaID) time.Duration {
-	if n.skew == nil {
-		return n.now
+	t := n.now
+	if n.skew != nil {
+		t += n.skew[id]
+		if t < 0 {
+			t = 0
+		}
 	}
-	t := n.now + n.skew[id]
-	if t < 0 {
-		t = 0
+	if t < n.nodeClock[id] {
+		t = n.nodeClock[id]
 	}
+	n.nodeClock[id] = t
 	return t
 }
 

@@ -344,3 +344,45 @@ func TestInvalidCapacityRejected(t *testing.T) {
 		t.Fatal("zero egress accepted")
 	}
 }
+
+// clockNode records the virtual time every tick observes.
+type clockNode struct {
+	echoNode
+	seen []time.Duration
+}
+
+func (n *clockNode) Tick(now time.Duration, out transport.Sink) {
+	n.seen = append(n.seen, now)
+}
+
+// TestClockSkewHealNeverStepsBackwards: healing a positive skew must not
+// rewind the node-observed clock — leopard's timer arithmetic assumes time
+// is nondecreasing — so the clock holds still until true time catches up.
+func TestClockSkewHealNeverStepsBackwards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TickInterval = 10 * time.Millisecond
+	node := &clockNode{echoNode: echoNode{id: 0}}
+	net, err := New(cfg, []transport.Node{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetClockSkew(0, 40*time.Millisecond)
+	net.ScheduleCall(100*time.Millisecond, func(now time.Duration) {
+		net.SetClockSkew(0, 0) // heal mid-run
+	})
+	net.Start()
+	net.Run(200 * time.Millisecond)
+	if len(node.seen) == 0 {
+		t.Fatal("no ticks observed")
+	}
+	for i := 1; i < len(node.seen); i++ {
+		if node.seen[i] < node.seen[i-1] {
+			t.Fatalf("observed clock stepped backwards: %v after %v", node.seen[i], node.seen[i-1])
+		}
+	}
+	// Once true time passes the skewed high-water mark, the clock advances
+	// again instead of freezing forever.
+	if last := node.seen[len(node.seen)-1]; last <= 150*time.Millisecond {
+		t.Fatalf("observed clock never resumed after the heal: last tick at %v", last)
+	}
+}

@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"leopard/internal/codec"
+	"leopard/internal/crypto"
+	"leopard/internal/types"
+)
+
+// TestAppendVoteDurableBeforeReturn: a vote must be on disk when AppendVote
+// returns, even under the default group-commit options — the caller
+// broadcasts it immediately, so the durability boundary is the call, not
+// the next batch flush. Staged block frames ride the same fsync. The batch
+// window is set absurdly long so nothing reaches the file except through
+// AppendVote itself.
+func TestAppendVoteDurableBeforeReturn(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{FsyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	rec := testRecord(1, 1, 1, 16)
+	if err := l.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-00000001.wal")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != int64(len(segMagic)) {
+		t.Fatalf("block append flushed eagerly: segment is %d bytes", fi.Size())
+	}
+
+	vote := VoteRecord{View: 1, Seq: 2, Round: 1, Digest: types.Hash{2}}
+	if err := l.AppendVote(vote); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both frames — the staged block and the vote that committed the batch
+	// — must be complete on disk the moment AppendVote returns.
+	off := len(segMagic)
+	kind, _, n := decodeFrame(buf[off:])
+	if kind != recBlock {
+		t.Fatalf("first frame on disk is kind %d, want block", kind)
+	}
+	off += n
+	kind, payload, _ := decodeFrame(buf[off:])
+	if kind != recVote {
+		t.Fatalf("second frame on disk is kind %d, want vote", kind)
+	}
+	got, err := readVoteRecord(&codec.Reader{Buf: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != vote {
+		t.Fatalf("vote on disk %+v, want %+v", got, vote)
+	}
+	if l.Stats().Syncs == 0 {
+		t.Fatal("AppendVote returned without an fsync batch")
+	}
+}
+
+// testNote builds a deterministic notarization record at seq.
+func testNote(seq types.SeqNum, view types.View) NoteRecord {
+	return NoteRecord{
+		Block:     &types.BFTblock{View: view, Seq: seq, Content: []types.Hash{{byte(seq)}}},
+		Notarized: crypto.Proof{Sig: []byte(fmt.Sprintf("sigma1-%d", seq))},
+	}
+}
+
+func encodeNote(nt NoteRecord) []byte {
+	w := &codec.Writer{}
+	appendNoteRecord(w, nt)
+	return w.Buf
+}
+
+func notesEqual(a, b NoteRecord) bool {
+	return string(encodeNote(a)) == string(encodeNote(b))
+}
+
+// TestWALNoteRecordLifecycle covers the notarization records' durability
+// arc, mirroring the vote-record lifecycle: interleaved with block and vote
+// frames, recovered in order on reopen, pruned by checkpoint truncation,
+// filtered against the anchor at scan, and re-staged across a Reset.
+func TestWALNoteRecordLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	l := tortureLog(t, dir, OsFS{})
+	notes := []NoteRecord{
+		testNote(3, 2),
+		testNote(7, 2),
+		testNote(9, 3),
+	}
+	for i, nt := range notes {
+		if err := l.AppendNote(nt); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave the round-2 vote that rides with each note, and a
+		// block frame.
+		v := VoteRecord{View: nt.Block.View, Seq: nt.Block.Seq, Round: 2, Digest: types.Hash{byte(nt.Block.Seq)}}
+		if err := l.AppendVote(v); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(testRecord(types.SeqNum(i+1), 1, 1, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := tortureLog(t, dir, OsFS{})
+	got := re.Notes()
+	if len(got) != len(notes) {
+		t.Fatalf("recovered %d notes, want %d", len(got), len(notes))
+	}
+	for i := range notes {
+		if !notesEqual(got[i], notes[i]) {
+			t.Fatalf("note %d: got %+v want %+v", i, got[i], notes[i])
+		}
+	}
+
+	// Truncation below an advanced watermark prunes covered notes.
+	if err := re.SaveCheckpoint(Checkpoint{Seq: 3, Proof: crypto.Proof{Sig: []byte("p")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.TruncateBelow(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, nt := range re.Notes() {
+		if nt.Block.Seq <= 3 {
+			t.Fatalf("note at %d survived truncation", nt.Block.Seq)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh scan filters notes at or below the saved anchor even though
+	// their frames are still in the retained segments.
+	re2 := tortureLog(t, dir, OsFS{})
+	for _, nt := range re2.Notes() {
+		if nt.Block.Seq <= 3 {
+			t.Fatalf("scan admitted note at %d below the anchor", nt.Block.Seq)
+		}
+	}
+
+	// Reset re-anchors the log; notes above the anchor are re-staged into
+	// the fresh segment and survive the next restart.
+	if err := re2.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if g := re2.Notes(); len(g) != 1 || !notesEqual(g[0], notes[2]) {
+		t.Fatalf("notes after reset: %+v", g)
+	}
+	if err := re2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re3 := tortureLog(t, dir, OsFS{})
+	defer re3.Close()
+	if g := re3.Notes(); len(g) != 1 || !notesEqual(g[0], notes[2]) {
+		t.Fatalf("re-staged note lost across restart: %+v", g)
+	}
+}
+
+// TestStoreAccessorsCopy: Votes and Notes hand out copies on both Store
+// implementations — pruning reuses the internal backing arrays in place, so
+// a caller appending to (or mutating) the result must not corrupt the log.
+func TestStoreAccessorsCopy(t *testing.T) {
+	stores := map[string]Store{"memlog": NewMemLog()}
+	l := tortureLog(t, t.TempDir(), OsFS{})
+	defer l.Close()
+	stores["wal"] = l
+	for name, st := range stores {
+		t.Run(name, func(t *testing.T) {
+			want := VoteRecord{View: 1, Seq: 5, Round: 1, Digest: types.Hash{5}}
+			if err := st.AppendVote(want); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.AppendNote(testNote(5, 1)); err != nil {
+				t.Fatal(err)
+			}
+			votes := st.Votes()
+			votes[0] = VoteRecord{View: 99, Seq: 99}
+			if got := st.Votes()[0]; got != want {
+				t.Fatalf("mutating the Votes result corrupted the store: %+v", got)
+			}
+			notes := st.Notes()
+			notes[0] = NoteRecord{}
+			if got := st.Notes()[0]; !notesEqual(got, testNote(5, 1)) {
+				t.Fatalf("mutating the Notes result corrupted the store: %+v", got)
+			}
+		})
+	}
+}

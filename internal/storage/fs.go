@@ -51,11 +51,11 @@ func (OsFS) ReadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-func (OsFS) ReadFile(path string) ([]byte, error)        { return os.ReadFile(path) }
-func (OsFS) WriteFile(path string, data []byte) error    { return os.WriteFile(path, data, 0o644) }
-func (OsFS) Truncate(path string, size int64) error      { return os.Truncate(path, size) }
-func (OsFS) Remove(path string) error                    { return os.Remove(path) }
-func (OsFS) Rename(oldPath, newPath string) error        { return os.Rename(oldPath, newPath) }
+func (OsFS) ReadFile(path string) ([]byte, error)     { return os.ReadFile(path) }
+func (OsFS) WriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+func (OsFS) Truncate(path string, size int64) error   { return os.Truncate(path, size) }
+func (OsFS) Remove(path string) error                 { return os.Remove(path) }
+func (OsFS) Rename(oldPath, newPath string) error     { return os.Rename(oldPath, newPath) }
 func (OsFS) OpenFile(path string, flag int) (File, error) {
 	return os.OpenFile(path, flag, 0o644)
 }
@@ -135,7 +135,7 @@ func (f *FaultFS) FaultStats() FaultStats {
 	return f.stats
 }
 
-func (f *FaultFS) MkdirAll(path string) error          { return f.inner.MkdirAll(path) }
+func (f *FaultFS) MkdirAll(path string) error           { return f.inner.MkdirAll(path) }
 func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
 func (f *FaultFS) WriteFile(path string, data []byte) error {
 	return f.inner.WriteFile(path, data)

@@ -25,8 +25,12 @@
 // interval of executed blocks — that a crash may lose. That window is safe
 // by construction: everything in it was confirmed by a quorum, so the
 // recovering replica fetches it back via state transfer exactly as it
-// fetches blocks executed while it was down. Checkpoints and metadata are
-// small and rare, and are always written through (write, fsync, rename).
+// fetches blocks executed while it was down. Vote-ahead records are the
+// exception: a vote is the replica's own unilateral commitment and is
+// broadcast the moment AppendVote returns, so AppendVote flushes and fsyncs
+// before returning (taking any staged block and note frames along in the
+// same batch). Checkpoints and metadata are small and rare, and are always
+// written through (write, fsync, rename).
 //
 // # Recovery semantics
 //
@@ -138,6 +142,33 @@ func readVoteRecord(r *codec.Reader) (VoteRecord, error) {
 	return v, r.Finish()
 }
 
+// NoteRecord persists the notarization certificate a round-2 vote endorses:
+// the notarized block and its σ1 proof. The redo plan's quorum-intersection
+// argument assumes every view-change quorum contains an honest σ2 voter
+// that still advertises the notarized block; a voter that crash-restarted
+// would otherwise have lost it (the carried set is in-memory), letting a
+// confirmed block be redone as a dummy. The certificate is therefore logged
+// alongside the round-2 VoteRecord and reloaded into the carried set at
+// Start.
+type NoteRecord struct {
+	Block     *types.BFTblock
+	Notarized crypto.Proof // σ1 over H(block)
+}
+
+func appendNoteRecord(w *codec.Writer, nt NoteRecord) {
+	codec.MarshalBFTblock(w, nt.Block)
+	w.Bytes(nt.Notarized.Sig)
+}
+
+func readNoteRecord(r *codec.Reader) (NoteRecord, error) {
+	block, err := codec.UnmarshalBFTblock(r)
+	if err != nil {
+		return NoteRecord{}, err
+	}
+	nt := NoteRecord{Block: block, Notarized: crypto.Proof{Sig: r.Bytes()}}
+	return nt, r.Finish()
+}
+
 // Checkpoint is the durable stable-checkpoint record: the Alg. 4 quorum
 // certificate anchoring recovery and log truncation.
 type Checkpoint struct {
@@ -197,6 +228,8 @@ type Stats struct {
 	Appended int64
 	// Votes is the number of vote-ahead records currently retained.
 	Votes int64
+	// Notes is the number of notarization records currently retained.
+	Notes int64
 	// Loaded counts records recovered from disk at Open.
 	Loaded int64
 	// LoadedBytes is the byte volume of records recovered at Open.
@@ -217,12 +250,23 @@ type Store interface {
 	// strictly increasing, contiguous Seq order above the checkpoint.
 	Append(rec *BlockRecord) error
 	// AppendVote durably logs one agreement vote above the executed
-	// frontier (vote-ahead logging). Vote frames ride the same staged
-	// group-commit path as block records and interleave freely with them.
+	// frontier (vote-ahead logging). Unlike Append, the record is flushed
+	// and fsynced before AppendVote returns — the caller broadcasts the
+	// vote immediately after, so the durable lock must already cover
+	// anything a peer may count. Any staged block or note frames ride the
+	// same fsync.
 	AppendVote(v VoteRecord) error
-	// Votes returns the retained vote-ahead records in append order. Votes
-	// at or below the checkpoint anchor may be pruned.
+	// Votes returns a copy of the retained vote-ahead records in append
+	// order. Votes at or below the checkpoint anchor may be pruned.
 	Votes() []VoteRecord
+	// AppendNote logs the notarization certificate a round-2 vote
+	// endorses. The frame is staged only: callers follow it with the
+	// round-2 AppendVote, whose fsync covers both records (and whose
+	// failure, via the sticky error, aborts the vote).
+	AppendNote(nt NoteRecord) error
+	// Notes returns a copy of the retained notarization records in append
+	// order. Notes at or below the checkpoint anchor may be pruned.
+	Notes() []NoteRecord
 	// Err returns the store's sticky failure, if any: once the backing
 	// medium has failed an async write or fsync, the store refuses further
 	// appends and the replica must fail-stop its agreement participation.
@@ -265,6 +309,7 @@ type Store interface {
 type MemLog struct {
 	records map[types.SeqNum]*BlockRecord
 	votes   []VoteRecord
+	notes   []NoteRecord
 	first   types.SeqNum
 	last    types.SeqNum
 	cp      *Checkpoint
@@ -299,8 +344,22 @@ func (m *MemLog) AppendVote(v VoteRecord) error {
 	return nil
 }
 
-// Votes implements Store.
-func (m *MemLog) Votes() []VoteRecord { return m.votes }
+// Votes implements Store. The slice is a copy: pruning reuses the internal
+// backing array in place, so handing it out would alias the store.
+func (m *MemLog) Votes() []VoteRecord {
+	return append([]VoteRecord(nil), m.votes...)
+}
+
+// AppendNote implements Store.
+func (m *MemLog) AppendNote(nt NoteRecord) error {
+	m.notes = append(m.notes, nt)
+	return nil
+}
+
+// Notes implements Store.
+func (m *MemLog) Notes() []NoteRecord {
+	return append([]NoteRecord(nil), m.notes...)
+}
 
 // Err implements Store: an in-memory log cannot fail.
 func (m *MemLog) Err() error { return nil }
@@ -347,17 +406,20 @@ func (m *MemLog) TruncateBelow(seq types.SeqNum) error {
 		m.first, m.last = 0, 0
 	}
 	m.votes = pruneVotes(m.votes, seq)
+	m.notes = pruneNotes(m.notes, seq)
 	return nil
 }
 
-// Reset implements Store. Vote-ahead records above the new anchor are
-// retained: the replica may have voted above the checkpoint it is jumping
-// to, and dropping those locks would reopen the amnesia window.
+// Reset implements Store. Vote-ahead and notarization records above the new
+// anchor are retained: the replica may have voted above the checkpoint it is
+// jumping to, and dropping those locks (or the certificates its view-change
+// messages must keep advertising) would reopen the amnesia window.
 func (m *MemLog) Reset(seq types.SeqNum) error {
 	m.records = make(map[types.SeqNum]*BlockRecord)
 	m.first = 0
 	m.last = seq
 	m.votes = pruneVotes(m.votes, seq)
+	m.notes = pruneNotes(m.notes, seq)
 	return nil
 }
 
@@ -372,6 +434,17 @@ func pruneVotes(votes []VoteRecord, seq types.SeqNum) []VoteRecord {
 	return kept
 }
 
+// pruneNotes drops notarization records at or below seq, in place.
+func pruneNotes(notes []NoteRecord, seq types.SeqNum) []NoteRecord {
+	kept := notes[:0]
+	for _, nt := range notes {
+		if nt.Block != nil && nt.Block.Seq > seq {
+			kept = append(kept, nt)
+		}
+	}
+	return kept
+}
+
 // Sync implements Store.
 func (m *MemLog) Sync() error { return nil }
 
@@ -381,6 +454,7 @@ func (m *MemLog) Stats() Stats {
 	s.Segments = 1
 	s.Records = int64(len(m.records))
 	s.Votes = int64(len(m.votes))
+	s.Notes = int64(len(m.notes))
 	return s
 }
 

@@ -33,6 +33,7 @@ const (
 
 	recBlock byte = 1
 	recVote  byte = 2
+	recNote  byte = 3
 
 	// maxFrameLen bounds a single record frame. A record carries up to τ
 	// full datablocks, so the bound is generous; anything larger is
@@ -110,6 +111,7 @@ type Log struct {
 	segs    []segInfo // closed and current segments, ascending index
 	records map[types.SeqNum]*BlockRecord
 	votes   []VoteRecord // retained vote-ahead records, append order
+	notes   []NoteRecord // retained notarization records, append order
 	first   types.SeqNum
 	last    types.SeqNum
 	cp      *Checkpoint
@@ -247,6 +249,15 @@ func (l *Log) scanSegment(seg *segInfo) (bool, error) {
 			if l.cp == nil || v.Seq > l.cp.Seq {
 				l.votes = append(l.votes, v)
 			}
+		case recNote:
+			nt, err := readNoteRecord(&codec.Reader{Buf: payload})
+			if err != nil {
+				kind = 0
+				break
+			}
+			if l.cp == nil || nt.Block.Seq > l.cp.Seq {
+				l.notes = append(l.notes, nt)
+			}
 		}
 		if kind == 0 {
 			good, intact = off, false
@@ -283,7 +294,7 @@ func decodeFrame(buf []byte) (byte, []byte, int) {
 		return 0, nil, 0
 	}
 	switch payload[0] {
-	case recBlock, recVote:
+	case recBlock, recVote, recNote:
 		return payload[0], payload[1:], 8 + int(length)
 	}
 	return 0, nil, 0
@@ -448,6 +459,21 @@ func encodeVoteFrame(v VoteRecord) []byte {
 	w.U64(0) // frame header placeholder, patched below
 	w.U8(recVote)
 	appendVoteRecord(w, v)
+	return sealFrame(w)
+}
+
+// encodeNoteFrame frames one notarization record (header | kind | encoding).
+func encodeNoteFrame(nt NoteRecord) []byte {
+	w := codec.GetWriter()
+	w.U64(0) // frame header placeholder, patched below
+	w.U8(recNote)
+	appendNoteRecord(w, nt)
+	return sealFrame(w)
+}
+
+// sealFrame copies the writer's buffer out, patches the length + CRC header
+// and recycles the writer.
+func sealFrame(w *codec.Writer) []byte {
 	frame := append([]byte(nil), w.Buf...)
 	codec.PutWriter(w)
 	payload := frame[8:]
@@ -456,36 +482,80 @@ func encodeVoteFrame(v VoteRecord) []byte {
 	return frame
 }
 
-// AppendVote implements Store: stage one vote-ahead frame on the group
-// commit path. Vote frames interleave with block frames in the segment
-// stream and do not participate in the block contiguity invariant.
-func (l *Log) AppendVote(v VoteRecord) error {
-	frame := encodeVoteFrame(v)
+// stageFrame appends an already-sealed frame to the staging buffer under mu,
+// charging the current segment. It returns whether the segment is due to
+// roll and whether the staging buffer went from empty to non-empty.
+func (l *Log) stageFrame(frame []byte) (rollDue, wasEmpty bool, err error) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
-		l.mu.Unlock()
-		return fmt.Errorf("storage: log closed")
+		return false, false, fmt.Errorf("storage: log closed")
 	}
-	if err := l.werr; err != nil {
-		l.mu.Unlock()
-		return err
+	if l.werr != nil {
+		return false, false, l.werr
 	}
 	if len(l.segs) == 0 || l.f == nil {
-		l.mu.Unlock()
-		return fmt.Errorf("storage: log has no live segment")
+		return false, false, fmt.Errorf("storage: log has no live segment")
 	}
 	seg := &l.segs[len(l.segs)-1]
-	wasEmpty := len(l.pending) == 0
+	wasEmpty = len(l.pending) == 0
 	l.pending = append(l.pending, frame...)
 	seg.bytes += int64(len(frame))
-	l.votes = append(l.votes, v)
-	rollDue := seg.bytes > l.opts.SegmentBytes
-	overBudget := int64(len(l.pending)) > l.opts.StageBudget
-	l.mu.Unlock()
+	return seg.bytes > l.opts.SegmentBytes, wasEmpty, nil
+}
 
-	if overBudget && !rollDue {
-		return l.Sync()
+// AppendVote implements Store: frame the vote record, stage it with any
+// pending block or note frames, and flush + fsync before returning. Unlike
+// block appends — whose group-commit window is safe because everything in
+// it was quorum-confirmed and can be fetched back — a vote is the replica's
+// own unilateral commitment: the caller broadcasts it the moment AppendVote
+// returns, so the record must be durable first or a crash inside the batch
+// window would forget a vote a peer already counted, re-opening the amnesia
+// window vote-ahead logging exists to close. Staged block and note frames
+// ride the same fsync, so a vote under load also commits the batch early.
+func (l *Log) AppendVote(v VoteRecord) error {
+	rollDue, _, err := l.stageFrame(encodeVoteFrame(v))
+	if err != nil {
+		return err
 	}
+	l.mu.Lock()
+	l.votes = append(l.votes, v)
+	l.mu.Unlock()
+	if rollDue {
+		// roll flushes and fsyncs the closing segment — including the frame
+		// just staged — before opening the next one.
+		l.flushMu.Lock()
+		err := l.roll()
+		l.flushMu.Unlock()
+		if err != nil {
+			l.fail(err)
+			return err
+		}
+		return nil
+	}
+	return l.Sync()
+}
+
+// Votes implements Store.
+func (l *Log) Votes() []VoteRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]VoteRecord(nil), l.votes...)
+}
+
+// AppendNote implements Store: stage one notarization-certificate frame on
+// the group-commit path. The frame is not fsynced here — callers follow it
+// with the round-2 AppendVote, whose fsync covers both records in one
+// batch; if staging fails, the same failure (sticky werr) surfaces on that
+// AppendVote and aborts the vote.
+func (l *Log) AppendNote(nt NoteRecord) error {
+	rollDue, wasEmpty, err := l.stageFrame(encodeNoteFrame(nt))
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.notes = append(l.notes, nt)
+	l.mu.Unlock()
 	if rollDue {
 		l.flushMu.Lock()
 		err := l.roll()
@@ -508,11 +578,11 @@ func (l *Log) AppendVote(v VoteRecord) error {
 	return nil
 }
 
-// Votes implements Store.
-func (l *Log) Votes() []VoteRecord {
+// Notes implements Store.
+func (l *Log) Notes() []NoteRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]VoteRecord(nil), l.votes...)
+	return append([]NoteRecord(nil), l.notes...)
 }
 
 // Err implements Store: the sticky async write/fsync error, if any.
@@ -700,6 +770,7 @@ func (l *Log) TruncateBelow(seq types.SeqNum) error {
 	}
 	l.segs = kept
 	l.votes = pruneVotes(l.votes, seq)
+	l.notes = pruneNotes(l.notes, seq)
 	// Recompute the lower bound from what survived (records in kept
 	// segments below seq stay retained — they are still servable to
 	// recovering peers).
@@ -733,12 +804,16 @@ func (l *Log) Reset(seq types.SeqNum) error {
 	l.records = make(map[types.SeqNum]*BlockRecord)
 	l.first = 0
 	l.last = seq
-	// Vote-ahead records above the new anchor survive the reset — the
-	// replica may have voted above the checkpoint it is jumping to, and
-	// dropping those locks would reopen the amnesia window. Their frames
-	// die with the old segments, so they are re-staged into the fresh one.
+	// Vote-ahead and notarization records above the new anchor survive the
+	// reset — the replica may have voted above the checkpoint it is jumping
+	// to, and dropping those locks (or the certificates its view-change
+	// messages must keep advertising) would reopen the amnesia window.
+	// Their frames die with the old segments, so they are re-staged into
+	// the fresh one.
 	retained := append([]VoteRecord(nil), pruneVotes(l.votes, seq)...)
+	retainedNotes := append([]NoteRecord(nil), pruneNotes(l.notes, seq)...)
 	l.votes = l.votes[:0]
+	l.notes = l.notes[:0]
 	l.mu.Unlock()
 	if f != nil {
 		f.Close()
@@ -752,7 +827,7 @@ func (l *Log) Reset(seq types.SeqNum) error {
 		l.fail(err)
 		return err
 	}
-	if len(retained) > 0 {
+	if len(retained) > 0 || len(retainedNotes) > 0 {
 		l.mu.Lock()
 		seg := &l.segs[len(l.segs)-1]
 		for _, v := range retained {
@@ -760,7 +835,13 @@ func (l *Log) Reset(seq types.SeqNum) error {
 			l.pending = append(l.pending, frame...)
 			seg.bytes += int64(len(frame))
 		}
+		for _, nt := range retainedNotes {
+			frame := encodeNoteFrame(nt)
+			l.pending = append(l.pending, frame...)
+			seg.bytes += int64(len(frame))
+		}
 		l.votes = append(l.votes, retained...)
+		l.notes = append(l.notes, retainedNotes...)
 		l.mu.Unlock()
 		select {
 		case l.kick <- struct{}{}:
@@ -781,6 +862,7 @@ func (l *Log) Stats() Stats {
 	}
 	s.Records = int64(len(l.records))
 	s.Votes = int64(len(l.votes))
+	s.Notes = int64(len(l.notes))
 	return s
 }
 
