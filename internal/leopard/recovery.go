@@ -139,6 +139,8 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 // view-change protocol releases them — and a vote from a later view than
 // the recovered meta proves that view was entered, so the view advances
 // to match.
+//
+//lint:voteahead-exempt replaying locks FROM the durable vote log: every record written here was persisted by a checked persistVote in a previous life
 func (n *Node) reloadVoteLocks(st storage.Store) {
 	if n.cfg.DisableVoteAheadLog {
 		return

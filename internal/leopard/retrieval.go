@@ -220,6 +220,7 @@ func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out transport.Sink) 
 	// sub-slices the response frame, which is almost entirely chunk bytes,
 	// so keeping the frame alive until the datablock decodes is the
 	// intended ownership transfer — no copy needed.
+	//lint:retains-frame the chunk IS the frame; holding it until the datablock decodes is the zero-copy retrieval path's whole point
 	byRoot[m.Index] = m.Chunk
 	if len(byRoot) < n.q.Small() {
 		return

@@ -1,0 +1,12 @@
+package aliasret_test
+
+import (
+	"testing"
+
+	"leopard/internal/lint/aliasret"
+	"leopard/internal/lint/linttest"
+)
+
+func TestAliasRet(t *testing.T) {
+	linttest.Run(t, "testdata", aliasret.Analyzer)
+}

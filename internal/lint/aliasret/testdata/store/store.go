@@ -1,0 +1,41 @@
+// Package store is the aliasret fixture: exported accessors returning
+// internal state by reference versus by copy.
+package store
+
+type DemoStore struct {
+	votes []uint64
+	index map[string]int
+	byKey map[string][]byte
+}
+
+func (s *DemoStore) Votes() []uint64 {
+	return s.votes // want `DemoStore\.Votes returns internal s\.votes by reference`
+}
+
+func (s *DemoStore) Index() map[string]int {
+	return s.index // want `DemoStore\.Index returns internal s\.index by reference`
+}
+
+func (s *DemoStore) Lookup(k string) []byte {
+	return s.byKey[k] // want `DemoStore\.Lookup returns internal s\.byKey\[\.\.\.\] by reference`
+}
+
+// VotesCopy is the sanctioned pattern.
+func (s *DemoStore) VotesCopy() []uint64 {
+	return append([]uint64(nil), s.votes...)
+}
+
+// helper is unexported: callers inside the package own the invariants.
+func (s *DemoStore) helper() []uint64 { return s.votes }
+
+// View hands out shared state deliberately.
+//
+//lint:aliases-internal fixture: documented read-only view, callers audited
+func (s *DemoStore) View() []uint64 {
+	return s.votes
+}
+
+// plain is outside the checked suffixes and packages.
+type plain struct{ data []byte }
+
+func (p *plain) Data() []byte { return p.data }

@@ -1,0 +1,370 @@
+// Package borrowcheck machine-checks the codec frame-ownership contract
+// (PR 2) and the borrowed-buffer aliasing rules the PR 5 WAL bug made
+// expensive to relearn.
+//
+// Borrow-mode decoding (codec.Reader.BorrowBytes, Reader.Bytes under
+// Borrow, codec.UnmarshalDatablockBorrowed, leopard.DecodeMessage)
+// sub-slices the input frame instead of copying: the decoded value aliases
+// the frame, retaining any field pins the whole frame, and writing through
+// any field scribbles over wire bytes. The contract in the codec package
+// doc permits retention only where the frame's ownership was genuinely
+// transferred — and those sites must be findable, because they decide how
+// long multi-megabyte frames live.
+//
+// This analyzer performs a per-function taint analysis:
+//
+//	sources: results of BorrowBytes / UnmarshalDatablockBorrowed /
+//	         DecodeMessage; and, inside internal/leopard, the message
+//	         pointer parameters of Deliver/handle* handlers (every handler
+//	         argument was produced by borrow-mode DecodeMessage, per the
+//	         transport.Codec contract);
+//	flows:   plain assignments, and selector/index projections whose type
+//	         still references memory (slices, maps, pointers, or structs
+//	         carrying them); projecting out a value ([32]byte hash, an
+//	         integer) launders the taint, as it should — copies are free
+//	         to retain;
+//	sinks:   stores through a field selector or into a map/slice element,
+//	         stores to package-level variables (retention), appends to a
+//	         borrowed slice and writes into its elements (mutation).
+//
+// A retention sink must carry the annotation
+//
+//	//lint:retains-frame <why this retention is the intended ownership>
+//
+// on its line, the line above, or the enclosing function's doc comment.
+// Mutation sinks cannot be annotated away: writing into borrowed frame
+// memory is the PR 5 silent-corruption bug class and is always an error.
+package borrowcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"leopard/internal/lint/analysis"
+)
+
+// Analyzer is the frame-ownership invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "borrowcheck",
+	Doc:  "borrowed frame slices must not be retained without annotation, and never mutated",
+	Run:  run,
+}
+
+const (
+	codecPath   = "leopard/internal/codec"
+	leopardPath = "leopard/internal/leopard"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isSourceCall reports whether call produces a value aliasing a borrowed
+// frame.
+func isSourceCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	info := pass.TypesInfo
+	return analysis.IsMethodCall(info, call, codecPath, "Reader", "BorrowBytes") ||
+		analysis.IsPkgCall(info, call, codecPath, "UnmarshalDatablockBorrowed") ||
+		analysis.IsPkgCall(info, call, leopardPath, "DecodeMessage")
+}
+
+// handlerParams returns the borrowed-by-contract parameters of fd: inside
+// internal/leopard, pointer-to-*Msg parameters of Deliver and handle*
+// methods alias the frame DecodeMessage borrowed them from.
+func handlerParams(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	tainted := make(map[*types.Var]bool)
+	if pass.ImportPath != leopardPath {
+		return tainted
+	}
+	name := fd.Name.Name
+	if name != "Deliver" && !hasPrefix(name, "handle") {
+		return tainted
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, pname := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[pname].(*types.Var)
+			if !ok {
+				continue
+			}
+			if named := analysis.NamedOf(obj.Type()); named != nil &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == leopardPath &&
+				hasSuffix(named.Obj().Name(), "Msg") {
+				if _, isPtr := obj.Type().(*types.Pointer); isPtr {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	tainted := handlerParams(pass, fd)
+
+	// Fixed-point taint propagation across plain assignments. The function
+	// bodies in this codebase are small; a handful of passes converges.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) == 0 {
+				return true
+			}
+			// Align LHS/RHS; the multi-value forms (v, err := f()) pair the
+			// call with every LHS.
+			for i, lhs := range assign.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var obj *types.Var
+				if d, ok := info.Defs[id].(*types.Var); ok {
+					obj = d
+				} else if u, ok := info.Uses[id].(*types.Var); ok {
+					obj = u
+				}
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				var rhs ast.Expr
+				if len(assign.Rhs) == len(assign.Lhs) {
+					rhs = assign.Rhs[i]
+				} else if len(assign.Rhs) == 1 {
+					rhs = assign.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if exprTainted(pass, tainted, rhs) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			checkStores(pass, fd, tainted, node)
+		case *ast.CallExpr:
+			checkAppendMutation(pass, fd, tainted, node)
+		}
+		return true
+	})
+}
+
+// exprTainted reports whether expr carries frame-aliasing bytes: a source
+// call, a tainted identifier, or a reference-typed projection rooted at
+// one.
+func exprTainted(pass *analysis.Pass, tainted map[*types.Var]bool, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isSourceCall(pass, e) {
+				found = true
+				return false
+			}
+			// append is the one builtin that carries its arguments'
+			// references into its result; everything else launders taint —
+			// a call's result is the callee's to define.
+			if isAppend(pass, e) && appendTainted(pass, tainted, e) {
+				found = true
+			}
+			return false
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && tainted[obj] {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			// Projections only carry taint while the projected type still
+			// references memory; stop descending once the type is a pure
+			// value (hash array, integer).
+			ex := e.(ast.Expr)
+			if tv, ok := pass.TypesInfo.Types[ex]; ok && !refLike(tv.Type, 3) {
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, builtin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return builtin && id.Name == "append"
+}
+
+// appendTainted reports whether an append call's result aliases borrowed
+// frame memory: the base slice is tainted, or an appended element is tainted
+// and its element type still references memory. The copy idiom
+// `append([]byte(nil), borrowed...)` passes — the spread copies plain bytes.
+func appendTainted(pass *analysis.Pass, tainted map[*types.Var]bool, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if exprTainted(pass, tainted, call.Args[0]) {
+		return true
+	}
+	for _, arg := range call.Args[1:] {
+		if !exprTainted(pass, tainted, arg) {
+			continue
+		}
+		elem := typeOf(pass, arg)
+		if call.Ellipsis.IsValid() && arg == call.Args[len(call.Args)-1] {
+			if sl, ok := elem.Underlying().(*types.Slice); ok {
+				elem = sl.Elem()
+			}
+		}
+		if refLike(elem, 3) {
+			return true
+		}
+	}
+	return false
+}
+
+// refLike reports whether values of type t can alias other memory: slices,
+// maps, pointers, channels, interfaces, or aggregates containing them.
+func refLike(t types.Type, depth int) bool {
+	if depth == 0 {
+		return true // be conservative past the recursion budget
+	}
+	switch tt := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if refLike(tt.Field(i).Type(), depth-1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return refLike(tt.Elem(), depth-1)
+	default:
+		return false
+	}
+}
+
+// checkStores flags retention sinks (stores of tainted values through
+// fields, map/slice elements, or package vars) and element-write mutation
+// sinks.
+func checkStores(pass *analysis.Pass, fd *ast.FuncDecl, tainted map[*types.Var]bool, assign *ast.AssignStmt) {
+	for i, lhs := range assign.Lhs {
+		var rhs ast.Expr
+		if len(assign.Rhs) == len(assign.Lhs) {
+			rhs = assign.Rhs[i]
+		} else if len(assign.Rhs) == 1 {
+			rhs = assign.Rhs[0]
+		}
+		if rhs == nil {
+			continue
+		}
+		switch target := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			// Writing INTO a borrowed slice is mutation of frame memory.
+			if id, ok := ast.Unparen(target.X).(*ast.Ident); ok {
+				if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && tainted[obj] {
+					if _, isSlice := typeOf(pass, target.X).Underlying().(*types.Slice); isSlice {
+						pass.Reportf(assign.Pos(),
+							"write into borrowed slice %q mutates frame memory owned by the decoder (PR 5 WAL-aliasing bug class); copy the slice first", id.Name)
+						continue
+					}
+				}
+			}
+			if exprTainted(pass, tainted, rhs) {
+				reportRetention(pass, fd, assign.Pos(), describeLHS(target))
+			}
+		case *ast.SelectorExpr:
+			if exprTainted(pass, tainted, rhs) {
+				reportRetention(pass, fd, assign.Pos(), describeLHS(target))
+			}
+		case *ast.Ident:
+			// Stores to package-level variables escape by definition.
+			if obj, ok := pass.TypesInfo.Uses[target].(*types.Var); ok && obj.Parent() == pass.Pkg.Scope() {
+				if exprTainted(pass, tainted, rhs) {
+					reportRetention(pass, fd, assign.Pos(), "package variable "+target.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkAppendMutation flags append(t, ...) where t is a borrowed slice:
+// even though borrowed slices are returned with clipped capacity (so the
+// append reallocates), appending to one is almost always a confusion about
+// who owns the bytes, and a capacity-preserving sub-slice elsewhere would
+// corrupt the frame.
+func checkAppendMutation(pass *analysis.Pass, fd *ast.FuncDecl, tainted map[*types.Var]bool, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj, ok := pass.TypesInfo.Uses[base].(*types.Var); ok && tainted[obj] {
+		pass.Reportf(call.Pos(),
+			"append to borrowed slice %q: the bytes belong to the decoded frame; build a fresh slice instead", base.Name)
+	}
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func describeLHS(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		return "field " + t.Sel.Name
+	case *ast.IndexExpr:
+		return "element of " + describeIndexBase(t.X)
+	}
+	return "store target"
+}
+
+func describeIndexBase(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	}
+	return "collection"
+}
+
+func reportRetention(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos, target string) {
+	if pass.ExemptedAt(pos, "retains-frame", fd) {
+		return
+	}
+	pass.Reportf(pos,
+		"borrowed frame bytes stored into %s outlive the handler: annotate `//lint:retains-frame <why>` if this retention is the intended ownership transfer, or copy the bytes", target)
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+func hasSuffix(s, p string) bool { return len(s) >= len(p) && s[len(s)-len(p):] == p }

@@ -1,0 +1,12 @@
+package borrowcheck_test
+
+import (
+	"testing"
+
+	"leopard/internal/lint/borrowcheck"
+	"leopard/internal/lint/linttest"
+)
+
+func TestBorrowCheck(t *testing.T) {
+	linttest.Run(t, "testdata", borrowcheck.Analyzer)
+}

@@ -1,0 +1,3 @@
+module leopard
+
+go 1.24

@@ -1,0 +1,15 @@
+// Package codec is a fixture stub mirroring the real leopard/internal/codec
+// borrow-mode surface the borrowcheck analyzer matches on.
+package codec
+
+type Reader struct{ Buf []byte }
+
+func (r *Reader) BorrowBytes() []byte { return r.Buf }
+
+func (r *Reader) Bytes() []byte { return append([]byte(nil), r.Buf...) }
+
+type Datablock struct{ Payload []byte }
+
+func UnmarshalDatablockBorrowed(buf []byte) (*Datablock, bool) {
+	return &Datablock{Payload: buf}, true
+}

@@ -1,0 +1,77 @@
+// Package leopard is the borrowcheck fixture: retention and mutation of
+// borrowed frame slices, with and without the retains-frame annotation.
+package leopard
+
+import "leopard/internal/codec"
+
+type RespMsg struct {
+	Index int
+	Chunk []byte
+}
+
+type cache struct {
+	held   []byte
+	chunks map[int][]byte
+	db     *codec.Datablock
+}
+
+var global []byte
+
+func (c *cache) retainField(r *codec.Reader) {
+	b := r.BorrowBytes()
+	c.held = b // want `borrowed frame bytes stored into field held`
+}
+
+func (c *cache) retainMap(r *codec.Reader) {
+	b := r.BorrowBytes()
+	c.chunks[0] = b // want `borrowed frame bytes stored into element of chunks`
+}
+
+func (c *cache) retainDatablock(r *codec.Reader) {
+	db, ok := codec.UnmarshalDatablockBorrowed(r.Buf)
+	if !ok {
+		return
+	}
+	c.db = db // want `borrowed frame bytes stored into field db`
+}
+
+func retainGlobal(r *codec.Reader) {
+	b := r.BorrowBytes()
+	global = b // want `borrowed frame bytes stored into package variable global`
+}
+
+func mutate(r *codec.Reader) {
+	b := r.BorrowBytes()
+	b[0] = 1 // want `write into borrowed slice "b" mutates frame memory`
+}
+
+func appendTo(r *codec.Reader) []byte {
+	b := r.BorrowBytes()
+	return append(b, 1) // want `append to borrowed slice "b"`
+}
+
+// handleResp's parameter is borrowed by the transport.Codec contract: every
+// handler argument was produced by borrow-mode DecodeMessage.
+func (c *cache) handleResp(m *RespMsg) {
+	c.chunks[m.Index] = m.Chunk // want `borrowed frame bytes stored into element of chunks`
+}
+
+// copies shows the sanctioned patterns: copying launders the taint.
+func (c *cache) copies(r *codec.Reader, m *RespMsg) {
+	b := r.BorrowBytes()
+	c.held = append([]byte(nil), b...)
+	c.chunks[m.Index] = append([]byte(nil), m.Chunk...)
+	c.held = r.Bytes()
+}
+
+// projections of pure value types launder the taint too.
+func (c *cache) values(m *RespMsg) int {
+	idx := m.Index
+	return idx
+}
+
+func (c *cache) annotated(r *codec.Reader) {
+	b := r.BorrowBytes()
+	//lint:retains-frame fixture: the cache owns the frame until the next checkpoint
+	c.held = b
+}

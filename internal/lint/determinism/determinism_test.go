@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"leopard/internal/lint/determinism"
+	"leopard/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", determinism.Analyzer)
+}

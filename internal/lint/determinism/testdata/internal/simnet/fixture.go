@@ -1,0 +1,47 @@
+// Package simnet is the determinism fixture: nondeterminism sources inside
+// a deterministically replayed package.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+var c1, c2 chan int
+
+func wallClock() {
+	_ = time.Now()               // want `call to time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `call to time.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})  // want `call to time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	rand.Shuffle(4, func(i, j int) {}) // want `global rand.Shuffle draws from the process-wide random source`
+	return rand.Intn(4)                // want `global rand.Intn draws from the process-wide random source`
+}
+
+func scheduler() {
+	go wallClock() // want `go statement in deterministic package`
+	select {       // want `select over multiple cases in deterministic package`
+	case <-c1:
+	case <-c2:
+	}
+}
+
+// good shows the sanctioned forms: the event clock as a parameter, an
+// explicitly seeded source, and a single-case select.
+func good(now time.Duration) time.Duration {
+	r := rand.New(rand.NewSource(7))
+	_ = r.Intn(4)
+	select {
+	case <-c1:
+	}
+	return now + time.Millisecond
+}
+
+// exempted demonstrates the annotation escape hatch.
+//
+//lint:determinism-exempt fixture: wall-clock read outside the replayed path
+func exempted() time.Time {
+	return time.Now()
+}

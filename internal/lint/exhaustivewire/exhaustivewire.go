@@ -1,0 +1,306 @@
+// Package exhaustivewire machine-checks exhaustiveness over the wire
+// message kind enum: every kind must be encodable, decodable, classified
+// for lane scheduling, and fuzz-seeded.
+//
+// When StateReq/StateResp were added (PR 5), four places had to change in
+// lockstep by convention: the EncodeMessage switch, the decodeMessage
+// switch, the message's Class method (which drives transport.LaneFor lane
+// classification and the bandwidth accounting tables), and the
+// FuzzDecodeMessage seed corpus (testMessages). Nothing checked they did.
+// A future message kind that misses one of them fails silently: an
+// undecodable kind, a lane-less class that always rides bulk, or a fuzz
+// corpus that never exercises the new decoder.
+//
+// In leopard/internal/leopard this analyzer checks, for every package-level
+// `kind*` wire constant:
+//
+//   - a message type named strings.TrimPrefix(kind, "kind")+"Msg" exists
+//     (the naming convention every existing kind follows);
+//   - the constant is used in EncodeMessage;
+//   - the constant appears in a case clause of decodeMessage/DecodeMessage;
+//   - the message type's Class method returns one of the named
+//     transport.Class constants — the hook transport.LaneFor and the
+//     bandwidth breakdown classify by;
+//   - the message type is referenced in the fuzz seed corpus (the
+//     testMessages function in the package's test files).
+//
+// In leopard/internal/transport it checks that every Class constant has a
+// case in (Class).String — so no class ever renders as "unknown" in a
+// Table III breakdown.
+//
+// There is no exemption annotation: a wire kind is either fully wired or a
+// bug.
+package exhaustivewire
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"leopard/internal/lint/analysis"
+)
+
+// Analyzer is the wire-kind exhaustiveness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustivewire",
+	Doc:  "every wire kind must appear in EncodeMessage, decodeMessage, a Class mapping, and the fuzz seed corpus",
+	Run:  run,
+}
+
+const (
+	leopardPath   = "leopard/internal/leopard"
+	transportPath = "leopard/internal/transport"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	switch pass.ImportPath {
+	case leopardPath:
+		checkKinds(pass)
+	case transportPath:
+		checkClasses(pass)
+	}
+	return nil, nil
+}
+
+// --- leopard/internal/leopard: the kind enum ---
+
+func checkKinds(pass *analysis.Pass) {
+	kinds := kindConsts(pass)
+	if len(kinds) == 0 {
+		return
+	}
+	encodeUses := constsUsedIn(pass, findFunc(pass, "EncodeMessage"))
+	decodeCases := constsInCaseClauses(pass, firstNonNil(findFunc(pass, "decodeMessage"), findFunc(pass, "DecodeMessage")))
+	seedIdents, seedFound := identsInTestFunc(pass, "testMessages")
+
+	for _, k := range kinds {
+		typeName := strings.TrimPrefix(k.Name(), "kind") + "Msg"
+		if pass.Pkg.Scope().Lookup(typeName) == nil {
+			pass.Reportf(k.Pos(),
+				"wire kind %s has no message type %s: every kind needs a message type following the kind<Name> / <Name>Msg convention", k.Name(), typeName)
+			continue
+		}
+		if !encodeUses[k] {
+			pass.Reportf(k.Pos(), "wire kind %s is not used in EncodeMessage: the kind cannot be emitted", k.Name())
+		}
+		if !decodeCases[k] {
+			pass.Reportf(k.Pos(), "wire kind %s has no case in decodeMessage: frames of this kind are rejected as unknown", k.Name())
+		}
+		checkClassMethod(pass, k, typeName)
+		if seedFound && !seedIdents[typeName] {
+			pass.Reportf(k.Pos(),
+				"message type %s is missing from the FuzzDecodeMessage seed corpus (testMessages): the fuzzer never starts from a valid %s frame", typeName, k.Name())
+		}
+	}
+	if !seedFound {
+		// Report once, at the first kind: the corpus function itself is gone.
+		pass.Reportf(kinds[0].Pos(),
+			"seed corpus function testMessages not found in package test files: FuzzDecodeMessage has no per-kind seeds to audit")
+	}
+}
+
+// kindConsts returns the package-level wire-kind constants (name prefix
+// "kind"), ordered by declaration position.
+func kindConsts(pass *analysis.Pass) []*types.Const {
+	var out []*types.Const
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range vs.Names {
+				if c, ok := pass.TypesInfo.Defs[name].(*types.Const); ok &&
+					strings.HasPrefix(c.Name(), "kind") && c.Parent() == pass.Pkg.Scope() {
+					out = append(out, c)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func firstNonNil(a, b *ast.FuncDecl) *ast.FuncDecl {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// constsUsedIn returns the set of constants referenced anywhere in fd.
+func constsUsedIn(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Const]bool {
+	used := make(map[*types.Const]bool)
+	if fd == nil {
+		return used
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+				used[c] = true
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// constsInCaseClauses returns the constants appearing in case-clause
+// expressions of switch statements inside fd.
+func constsInCaseClauses(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Const]bool {
+	used := make(map[*types.Const]bool)
+	if fd == nil {
+		return used
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, expr := range cc.List {
+			ast.Inspect(expr, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok {
+						used[c] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return used
+}
+
+// identsInTestFunc syntactically collects the identifier names used inside
+// the named function in the package's test files.
+func identsInTestFunc(pass *analysis.Pass, name string) (map[string]bool, bool) {
+	for _, file := range pass.TestFiles {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name {
+				continue
+			}
+			idents := make(map[string]bool)
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					idents[id.Name] = true
+				}
+				return true
+			})
+			return idents, true
+		}
+	}
+	return nil, false
+}
+
+// checkClassMethod verifies the message type's Class method returns a named
+// transport.Class constant.
+func checkClassMethod(pass *analysis.Pass, k *types.Const, typeName string) {
+	fd := findMethod(pass, typeName, "Class")
+	if fd == nil {
+		pass.Reportf(k.Pos(),
+			"message type %s has no Class method: transport.LaneFor cannot classify it for lane scheduling", typeName)
+		return
+	}
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		pass.Reportf(fd.Pos(), "%s.Class must be a single return of a named transport.Class constant", typeName)
+		return
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		pass.Reportf(fd.Pos(), "%s.Class must be a single return of a named transport.Class constant", typeName)
+		return
+	}
+	if !returnsClassConst(pass, ret.Results[0]) {
+		pass.Reportf(ret.Pos(),
+			"%s.Class does not return a named transport.Class constant: lane scheduling and bandwidth accounting key on the declared classes", typeName)
+	}
+}
+
+func returnsClassConst(pass *analysis.Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok {
+		return false
+	}
+	return analysis.ImplementsIface(c.Type(), transportPath, "Class")
+}
+
+func findMethod(pass *analysis.Pass, typeName, method string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != method || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// --- leopard/internal/transport: the Class enum ---
+
+func checkClasses(pass *analysis.Pass) {
+	var classes []*types.Const
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for _, name := range vs.Names {
+				c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+				if ok && c.Parent() == pass.Pkg.Scope() &&
+					analysis.ImplementsIface(c.Type(), transportPath, "Class") {
+					classes = append(classes, c)
+				}
+			}
+			return true
+		})
+	}
+	if len(classes) == 0 {
+		return
+	}
+	stringCases := constsInCaseClauses(pass, findMethod(pass, "Class", "String"))
+	for _, c := range classes {
+		if !stringCases[c] {
+			pass.Reportf(c.Pos(),
+				"class %s has no case in (Class).String: it renders as %q in every bandwidth breakdown", c.Name(), "unknown")
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package exhaustivewire_test
+
+import (
+	"testing"
+
+	"leopard/internal/lint/exhaustivewire"
+	"leopard/internal/lint/linttest"
+)
+
+func TestExhaustiveWire(t *testing.T) {
+	linttest.Run(t, "testdata", exhaustivewire.Analyzer)
+}

@@ -1,0 +1,66 @@
+// Package leopard is the exhaustivewire fixture: a wire-kind enum where
+// each deliberately broken kind misses exactly one of the places a kind
+// must appear.
+package leopard
+
+import "leopard/internal/transport"
+
+const (
+	kindPing   uint8 = iota + 1
+	kindPong         // want `wire kind kindPong has no case in decodeMessage` `message type PongMsg is missing from the FuzzDecodeMessage seed corpus`
+	kindOrphan       // want `wire kind kindOrphan has no message type OrphanMsg`
+	kindCalc
+	kindNoClass // want `message type NoClassMsg has no Class method`
+	kindUnsent  // want `wire kind kindUnsent is not used in EncodeMessage`
+)
+
+type PingMsg struct{}
+
+func (*PingMsg) Class() transport.Class { return transport.ClassControl }
+
+type PongMsg struct{}
+
+func (*PongMsg) Class() transport.Class { return transport.ClassBulk }
+
+type CalcMsg struct{}
+
+func (*CalcMsg) Class() transport.Class {
+	return transport.Class(1) // want `CalcMsg\.Class does not return a named transport\.Class constant`
+}
+
+type NoClassMsg struct{}
+
+type UnsentMsg struct{}
+
+func (*UnsentMsg) Class() transport.Class { return transport.ClassControl }
+
+func EncodeMessage(msg any) []byte {
+	switch msg.(type) {
+	case *PingMsg:
+		return []byte{kindPing}
+	case *PongMsg:
+		return []byte{kindPong}
+	case *CalcMsg:
+		return []byte{kindCalc}
+	case *NoClassMsg:
+		return []byte{kindNoClass}
+	}
+	_ = kindOrphan
+	return nil
+}
+
+func decodeMessage(buf []byte) any {
+	switch buf[0] {
+	case kindPing:
+		return &PingMsg{}
+	case kindCalc:
+		return &CalcMsg{}
+	case kindNoClass:
+		return &NoClassMsg{}
+	case kindUnsent:
+		return &UnsentMsg{}
+	case kindOrphan:
+		return nil
+	}
+	return nil
+}

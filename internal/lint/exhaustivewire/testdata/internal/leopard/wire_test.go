@@ -1,0 +1,11 @@
+package leopard
+
+// testMessages is the fixture seed corpus: PongMsg is deliberately missing.
+func testMessages() []any {
+	return []any{
+		&PingMsg{},
+		&CalcMsg{},
+		&NoClassMsg{},
+		&UnsentMsg{},
+	}
+}

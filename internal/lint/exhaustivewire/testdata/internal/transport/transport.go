@@ -1,0 +1,22 @@
+// Package transport is a fixture stub mirroring the real
+// leopard/internal/transport Class enum — with one class deliberately
+// missing from String.
+package transport
+
+type Class uint8
+
+const (
+	ClassControl Class = iota
+	ClassBulk
+	ClassOrphaned // want `class ClassOrphaned has no case in \(Class\)\.String`
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassBulk:
+		return "bulk"
+	}
+	return "unknown"
+}

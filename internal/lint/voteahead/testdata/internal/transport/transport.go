@@ -1,0 +1,15 @@
+// Package transport is a fixture stub mirroring the real
+// leopard/internal/transport surface the voteahead analyzer matches on.
+package transport
+
+type Message interface{}
+
+type Envelope struct {
+	To  int
+	Msg Message
+}
+
+type Sink interface {
+	Send(Envelope)
+	Broadcast(Message)
+}

@@ -1,0 +1,12 @@
+package voteahead_test
+
+import (
+	"testing"
+
+	"leopard/internal/lint/linttest"
+	"leopard/internal/lint/voteahead"
+)
+
+func TestVoteAhead(t *testing.T) {
+	linttest.Run(t, "testdata", voteahead.Analyzer)
+}

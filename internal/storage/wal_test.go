@@ -414,7 +414,10 @@ func FuzzWALReplay(f *testing.F) {
 		f.Fatal(err)
 	}
 	var appended []*BlockRecord
-	// recordEnd[i] is the file offset where record i+1's frame ends.
+	var appendedVotes []VoteRecord
+	var appendedNotes []NoteRecord
+	// recordEnd[i] is the file offset where block record i+1's frame ends
+	// (captured before the interleaved vote/note frames that follow it).
 	var recordEnd []int
 	for sn := types.SeqNum(1); sn <= records; sn++ {
 		rec := testRecord(sn, 1, 2, 24)
@@ -427,6 +430,23 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		st := l.Stats()
 		recordEnd = append(recordEnd, int(st.LiveBytes))
+		// Interleave the other frame kinds so corruption traverses
+		// VoteRecord and NoteRecord frames too, not just block records.
+		v := VoteRecord{View: 1, Seq: sn, Round: 1, Digest: types.Hash{byte(sn)}}
+		appendedVotes = append(appendedVotes, v)
+		if err := l.AppendVote(v); err != nil {
+			f.Fatal(err)
+		}
+		if sn%2 == 1 {
+			nt := testNote(sn, 1)
+			appendedNotes = append(appendedNotes, nt)
+			if err := l.AppendNote(nt); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			f.Fatal(err)
+		}
 	}
 	if err := l.Close(); err != nil {
 		f.Fatal(err)
@@ -494,6 +514,32 @@ func FuzzWALReplay(f *testing.F) {
 			r := &codec.Reader{Buf: encodeRecord(rec)}
 			if _, err := ReadBlockRecord(r); err != nil || r.Finish() != nil {
 				t.Fatalf("recovered record %d does not round-trip: %v", sn, err)
+			}
+		}
+		// Damage may drop vote/note frames, never fabricate them: every
+		// recovered record must be one that was appended.
+		for _, v := range re.Votes() {
+			ok := false
+			for _, want := range appendedVotes {
+				if v == want {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("fabricated vote record %+v", v)
+			}
+		}
+		for _, nt := range re.Notes() {
+			ok := false
+			for _, want := range appendedNotes {
+				if notesEqual(nt, want) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("fabricated note record seq %d", nt.Block.Seq)
 			}
 		}
 	})
