@@ -1,8 +1,12 @@
-// Command leopard-client submits requests to a running leopard-node
-// cluster and reports confirmation latency. It speaks the client frame
-// protocol documented in cmd/leopard-node.
+// Command leopard-client runs one closed-loop authenticated client against
+// a running leopard-node cluster: it signs each request with the key
+// derived from the cluster seed, submits to f+1 replicas, collects signed
+// ReplyMsgs and accepts a request only on an f+1 matching reply certificate
+// (so at least one honest replica vouches for the committed result). On
+// timeout it retransmits to a rotating f+1 window until every replica has
+// been covered. It reports mean/p50/p99 latency and a log-scale histogram.
 //
-//	leopard-client -config cluster.json -replica 2 -count 100 -payload 128
+//	leopard-client -config cluster.json -origin 2 -count 100 -payload 128
 package main
 
 import (
@@ -14,29 +18,38 @@ import (
 	"log"
 	"net"
 	"os"
-	"sort"
 	"time"
+
+	"leopard/internal/client"
+	"leopard/internal/leopard"
+	"leopard/internal/metrics"
+	"leopard/internal/types"
 )
 
 func main() {
 	var (
 		configPath = flag.String("config", "cluster.json", "cluster config file")
-		replica    = flag.Int("replica", 2, "replica to submit to (must not be the leader)")
+		origin     = flag.Int("origin", 0, "replica the first transmission of each request goes to")
 		count      = flag.Int("count", 100, "number of requests")
 		payload    = flag.Int("payload", 128, "payload bytes per request")
-		clientID   = flag.Uint64("client", 1, "client id")
+		clientID   = flag.Uint64("client", 1, "client id (selects the signing key)")
+		firstSeq   = flag.Uint64("first-seq", 0, "sequence number of the first request")
+		retransmit = flag.Duration("retransmit", 2*time.Second, "retransmit patience per request")
 	)
 	flag.Parse()
-	if err := run(*configPath, *replica, *count, *payload, *clientID); err != nil {
+	if err := run(*configPath, *origin, *count, *payload, *clientID, *firstSeq, *retransmit); err != nil {
 		log.Fatal(err)
 	}
 }
 
 type clusterConfig struct {
+	Replicas    []string `json:"replicas"`
 	ClientPorts []string `json:"clientPorts"`
+	Seed        string   `json:"seed"`
+	Clients     int      `json:"clients"`
 }
 
-func run(configPath string, replica, count, payload int, clientID uint64) error {
+func run(configPath string, origin, count, payload int, clientID, firstSeq uint64, retransmit time.Duration) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -45,65 +58,122 @@ func run(configPath string, replica, count, payload int, clientID uint64) error 
 	if err := json.Unmarshal(raw, &cfg); err != nil {
 		return err
 	}
-	if replica < 0 || replica >= len(cfg.ClientPorts) {
-		return fmt.Errorf("replica %d has no client port", replica)
+	n := len(cfg.ClientPorts)
+	if n == 0 {
+		return fmt.Errorf("cluster config has no client ports")
 	}
-	conn, err := net.DialTimeout("tcp", cfg.ClientPorts[replica], 5*time.Second)
+	q, err := types.NewQuorumParams(n)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	numClients := cfg.Clients
+	if numClients <= 0 {
+		numClients = 1024
+	}
+	keys, err := client.NewKeychain(numClients, []byte(cfg.Seed))
+	if err != nil {
+		return err
+	}
+	if clientID >= uint64(numClients) {
+		return fmt.Errorf("client id %d outside the cluster's key space of %d", clientID, numClients)
+	}
+	if origin < 0 || origin >= n {
+		return fmt.Errorf("origin replica %d has no client port", origin)
+	}
 
-	sendAt := make(map[uint64]time.Time, count)
-	done := make(chan []time.Duration, 1)
-	go func() {
-		latencies := make([]time.Duration, 0, count)
-		for len(latencies) < count {
-			ack, err := readFrame(conn)
-			if err != nil {
-				break
-			}
-			if len(ack) != 16 {
-				continue
-			}
-			seq := binary.BigEndian.Uint64(ack[8:16])
-			if at, ok := sendAt[seq]; ok {
-				latencies = append(latencies, time.Since(at))
-			}
+	// Dial every replica's client port up front; replies from all of them
+	// funnel into one channel. A replica that is down just contributes no
+	// replies (and swallows the sends aimed at it).
+	replies := make(chan client.Reply, 256)
+	conns := make([]net.Conn, n)
+	for i, addr := range cfg.ClientPorts {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			log.Printf("replica %d (%s) unreachable: %v", i, addr, err)
+			continue
 		}
-		done <- latencies
-	}()
+		defer conn.Close()
+		conns[i] = conn
+		go readReplies(conn, replies)
+	}
 
-	body := make([]byte, 16+payload)
-	binary.BigEndian.PutUint64(body[0:8], clientID)
-	start := time.Now()
-	for i := 0; i < count; i++ {
-		binary.BigEndian.PutUint64(body[8:16], uint64(i))
-		sendAt[uint64(i)] = time.Now()
-		if err := writeFrame(conn, body); err != nil {
-			return err
+	session := client.NewSession(client.SessionConfig{
+		ClientID:        clientID,
+		F:               q.F,
+		RetransmitAfter: retransmit,
+		FirstSeq:        firstSeq,
+	})
+	send := func(req types.Request, sig []byte, targets []types.ReplicaID) {
+		buf, err := leopard.EncodeMessage(&leopard.RequestMsg{Req: req, Sig: sig})
+		if err != nil {
+			return
+		}
+		for _, id := range targets {
+			if conns[id] != nil {
+				writeFrame(conns[id], buf)
+			}
 		}
 	}
 
-	select {
-	case latencies := <-done:
-		elapsed := time.Since(start)
-		if len(latencies) == 0 {
-			return fmt.Errorf("no acknowledgments received")
+	var lat metrics.LatencyRecorder
+	var sig []byte
+	start := time.Now()
+	body := make([]byte, payload)
+	for int(session.Accepted()) < count {
+		now := time.Since(start)
+		switch {
+		case !session.InFlight():
+			binary.BigEndian.PutUint64(body[:8], session.Seq())
+			req := session.Begin(now, body)
+			if sig, err = keys.Sign(req); err != nil {
+				return err
+			}
+			send(req, sig, client.RetransmitSet(n, q.F, 0, types.ReplicaID(origin)))
+		case session.Due(now):
+			req := session.Retransmit(now)
+			send(req, sig, client.RetransmitSet(n, q.F, session.Attempt(), types.ReplicaID(origin)))
 		}
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		var sum time.Duration
-		for _, l := range latencies {
-			sum += l
+		select {
+		case r := <-replies:
+			if ok, l := session.OnReply(time.Since(start), r); ok {
+				lat.Add(l)
+			}
+		case <-time.After(10 * time.Millisecond):
 		}
-		fmt.Printf("confirmed %d/%d requests in %v\n", len(latencies), count, elapsed)
-		fmt.Printf("latency: mean=%v p50=%v p99=%v\n",
-			sum/time.Duration(len(latencies)),
-			latencies[len(latencies)/2],
-			latencies[len(latencies)*99/100])
-		return nil
-	case <-time.After(60 * time.Second):
-		return fmt.Errorf("timed out waiting for acknowledgments")
+		if time.Since(start) > time.Duration(count)*retransmit+60*time.Second {
+			break
+		}
+	}
+
+	if lat.Count() == 0 {
+		return fmt.Errorf("no reply certificates completed")
+	}
+	fmt.Printf("accepted %d/%d requests in %v (%d retransmissions)\n",
+		lat.Count(), count, time.Since(start).Round(time.Millisecond), session.Retransmits())
+	fmt.Printf("latency: mean=%v p50=%v p99=%v\n", lat.Mean(), lat.Percentile(50), lat.Percentile(99))
+	fmt.Print(lat.Histogram())
+	return nil
+}
+
+// readReplies decodes ReplyMsg frames off one replica connection.
+func readReplies(conn net.Conn, out chan<- client.Reply) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := leopard.DecodeMessageCopying(frame)
+		if err != nil {
+			return
+		}
+		m, ok := msg.(*leopard.ReplyMsg)
+		if !ok {
+			continue
+		}
+		out <- client.Reply{
+			Client: m.Client, Seq: m.Seq, SN: m.SN, Result: m.Result,
+			Replica: m.Share.Signer,
+		}
 	}
 }
 
@@ -114,7 +184,7 @@ func readFrame(conn net.Conn) ([]byte, error) {
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
 	if size > 1<<20 {
-		return nil, fmt.Errorf("oversized ack frame")
+		return nil, fmt.Errorf("oversized reply frame")
 	}
 	frame := make([]byte, size)
 	if _, err := io.ReadFull(conn, frame); err != nil {

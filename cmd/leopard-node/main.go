@@ -14,9 +14,12 @@
 // Run: leopard-node -config cluster.json -id 2
 //
 // Client wire protocol (on the replica's client port): each frame is
-// 4-byte big-endian length + body; a submission body is clientID(8) ||
-// seq(8) || payload, and each confirmation is echoed back as the same
-// 16-byte identity.
+// 4-byte big-endian length + body; a submission body is an encoded
+// leopard.RequestMsg (the client-signed request), and the replica answers
+// each executed request with an encoded leopard.ReplyMsg — a signed
+// (serial number, result) claim the client aggregates into an f+1 reply
+// certificate (see cmd/leopard-client). Client keys are derived from the
+// cluster seed; "clients" bounds the registered key space.
 //
 // With -data-dir the replica is durable: executed blocks go to a
 // segmented CRC-checked write-ahead log, stable checkpoints anchor it, and
@@ -48,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"leopard/internal/client"
 	"leopard/internal/crypto"
 	"leopard/internal/leopard"
 	"leopard/internal/storage"
@@ -63,6 +67,9 @@ type ClusterConfig struct {
 	Seed          string   `json:"seed"`
 	DatablockSize int      `json:"datablockSize"`
 	BFTBlockSize  int      `json:"bftBlockSize"`
+	// Clients is the size of the registered client key space; client i
+	// signs with the key derived from (seed, i). Zero means 1024.
+	Clients int `json:"clients"`
 }
 
 func main() {
@@ -111,6 +118,14 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 		store = wal
 		log.Printf("replica %d: durable state in %s", id, dataDir)
 	}
+	numClients := cfg.Clients
+	if numClients <= 0 {
+		numClients = 1024
+	}
+	keys, err := client.NewKeychain(numClients, []byte(cfg.Seed))
+	if err != nil {
+		return err
+	}
 	node, err := leopard.NewNode(leopard.Config{
 		ID:            types.ReplicaID(id),
 		Quorum:        q,
@@ -118,17 +133,14 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 		DatablockSize: cfg.DatablockSize,
 		BFTBlockSize:  cfg.BFTBlockSize,
 		Store:         store,
+		Verifier:      keys.Verifier(),
 	})
 	if err != nil {
 		return err
 	}
 
-	acks := newAckHub()
-	node.SetExecutor(func(sn types.SeqNum, reqs []types.Request) {
-		for _, r := range reqs {
-			acks.notify(r.ID())
-		}
-	})
+	hub := newReplyHub()
+	node.SetReplySink(hub.notify)
 
 	rt, err := tcp.New(tcp.Config{
 		Self:  types.ReplicaID(id),
@@ -187,7 +199,7 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			serveClients(ln, rt, node, acks)
+			serveClients(ln, rt, node, hub)
 		}()
 		log.Printf("replica %d: consensus on %s, clients on %s", id, cfg.Replicas[id], cfg.ClientPorts[id])
 	} else {
@@ -212,6 +224,12 @@ type statusSnapshot struct {
 	Leader            types.ReplicaID `json:"leader"`
 	ExecutedTo        types.SeqNum    `json:"executedTo"`
 	PendingRequests   int             `json:"pendingRequests"`
+	QueuedRequests    int             `json:"queuedRequests"`
+	AdmittedRequests  int64           `json:"admittedRequests"`
+	RejectedRequests  int64           `json:"rejectedRequests"`
+	RateLimited       int64           `json:"rateLimited"`
+	BadSignatures     int64           `json:"badSignatures"`
+	RepliesSent       int64           `json:"repliesSent"`
 	ConfirmedRequests int64           `json:"confirmedRequests"`
 	ConfirmedBlocks   int64           `json:"confirmedBlocks"`
 	ExecutedBlocks    int64           `json:"executedBlocks"`
@@ -266,7 +284,13 @@ func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapsho
 			View:              st.View,
 			Leader:            node.Leader(),
 			ExecutedTo:        node.ExecutedTo(),
-			PendingRequests:   node.PendingRequests(),
+			PendingRequests:   st.PendingRequests,
+			QueuedRequests:    st.QueuedRequests,
+			AdmittedRequests:  st.AdmittedRequests,
+			RejectedRequests:  st.RejectedRequests,
+			RateLimited:       st.RateLimited,
+			BadSignatures:     st.BadSignatures,
+			RepliesSent:       st.RepliesSent,
 			ConfirmedRequests: st.ConfirmedRequests,
 			ConfirmedBlocks:   st.ConfirmedBlocks,
 			ExecutedBlocks:    st.ExecutedBlocks,
@@ -325,82 +349,110 @@ func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapsho
 	}
 }
 
-// ackHub routes confirmations back to the client connection that submitted
-// the request.
-type ackHub struct {
+// clientConn serializes reply writes to one client connection.
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (c *clientConn) writeFrame(body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	writeClientFrame(c.conn, body)
+}
+
+// replyHub routes signed execution replies back to the client connection
+// that submitted (or retransmitted) each request. The node emits a ReplyMsg
+// for every executed request; only requests some connection registered
+// interest in are forwarded, the rest are dropped here.
+type replyHub struct {
 	mu      sync.Mutex
-	waiters map[types.RequestID]chan struct{}
+	waiters map[types.RequestID]*clientConn
 }
 
-func newAckHub() *ackHub {
-	return &ackHub{waiters: make(map[types.RequestID]chan struct{})}
+func newReplyHub() *replyHub {
+	return &replyHub{waiters: make(map[types.RequestID]*clientConn)}
 }
 
-func (h *ackHub) expect(id types.RequestID) chan struct{} {
+// expect registers conn as the reply destination for id. A retransmission
+// through a newer connection takes the slot over.
+func (h *replyHub) expect(id types.RequestID, conn *clientConn) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	ch, ok := h.waiters[id]
-	if !ok {
-		ch = make(chan struct{})
-		h.waiters[id] = ch
-	}
-	return ch
+	h.waiters[id] = conn
+	h.mu.Unlock()
 }
 
-func (h *ackHub) notify(id types.RequestID) {
+// drop forgets every registration pointing at conn (connection closed).
+func (h *replyHub) drop(conn *clientConn) {
 	h.mu.Lock()
-	ch, ok := h.waiters[id]
-	if ok {
-		delete(h.waiters, id)
+	for id, c := range h.waiters {
+		if c == conn {
+			delete(h.waiters, id)
+		}
 	}
 	h.mu.Unlock()
-	if ok {
-		close(ch)
+}
+
+// notify runs on the runtime's apply loop: it must not block, so the frame
+// write happens on a fresh goroutine.
+func (h *replyHub) notify(m leopard.ReplyMsg) {
+	id := types.RequestID{Client: m.Client, Seq: m.Seq}
+	h.mu.Lock()
+	conn := h.waiters[id]
+	delete(h.waiters, id)
+	h.mu.Unlock()
+	if conn == nil {
+		return
 	}
+	go func() {
+		buf, err := leopard.EncodeMessage(&m)
+		if err != nil {
+			return
+		}
+		conn.writeFrame(buf)
+	}()
 }
 
 // serveClients handles client submissions on the client port.
-func serveClients(ln net.Listener, rt *tcp.Runtime, node *leopard.Node, acks *ackHub) {
+func serveClients(ln net.Listener, rt *tcp.Runtime, node *leopard.Node, hub *replyHub) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		go handleClient(conn, rt, node, acks)
+		go handleClient(conn, rt, node, hub)
 	}
 }
 
-func handleClient(conn net.Conn, rt *tcp.Runtime, node *leopard.Node, acks *ackHub) {
-	defer conn.Close()
-	var writeMu sync.Mutex
+func handleClient(conn net.Conn, rt *tcp.Runtime, node *leopard.Node, hub *replyHub) {
+	cc := &clientConn{conn: conn}
+	defer func() {
+		hub.drop(cc)
+		conn.Close()
+	}()
 	for {
 		frame, err := readClientFrame(conn)
 		if err != nil {
 			return
 		}
-		if len(frame) < 16 {
+		msg, err := leopard.DecodeMessageCopying(frame)
+		if err != nil {
 			return
 		}
-		req := types.Request{
-			ClientID: binary.BigEndian.Uint64(frame[0:8]),
-			Seq:      binary.BigEndian.Uint64(frame[8:16]),
-			Payload:  append([]byte(nil), frame[16:]...),
+		req, ok := msg.(*leopard.RequestMsg)
+		if !ok {
+			return
 		}
-		done := acks.expect(req.ID())
+		// Register interest before admission: the reply fires on the apply
+		// loop as soon as the request executes, possibly before Inject
+		// returns. Duplicate submissions (retransmits) are rejected by the
+		// pool but still move the reply slot to this connection.
+		hub.expect(req.Req.ID(), cc)
 		if err := rt.Inject(func(now time.Duration, out transport.Sink) {
-			node.SubmitRequest(now, req)
+			node.SubmitSigned(now, req.Req, req.Sig)
 		}); err != nil {
 			return
 		}
-		go func(id types.RequestID) {
-			<-done
-			var ack [16]byte
-			binary.BigEndian.PutUint64(ack[0:8], id.Client)
-			binary.BigEndian.PutUint64(ack[8:16], id.Seq)
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			writeClientFrame(conn, ack[:])
-		}(req.ID())
 	}
 }
 

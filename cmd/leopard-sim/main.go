@@ -38,6 +38,7 @@ var knownExperiments = []struct{ id, desc string }{
 	{"stream", "slow-receiver datablock fan-out: credit streaming vs drop-on-overflow"},
 	{"recover", "crash-restart a replica: WAL recovery + state transfer vs no-durability baseline"},
 	{"chaos", "seeded fault schedules (partitions, loss, skew, crashes) under the invariant checker"},
+	{"clients", "closed-loop signed clients: reply certificates under leader churn + a reply-suppressing replica"},
 }
 
 func main() {
@@ -50,6 +51,8 @@ func main() {
 			"erasure-coding worker goroutines per replica (0 = NumCPU, 1 = serial)")
 		erasureCache = flag.Int("erasure.cache", 0,
 			"decode-matrix cache entries per replica (0 = default, negative disables)")
+		numClients = flag.Int("clients", 1200,
+			"closed-loop client sessions for -experiment clients")
 	)
 	flag.Parse()
 	experiments.ErasureOpts = erasure.Options{Parallel: *erasureWorkers, CacheSize: *erasureCache}
@@ -68,7 +71,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*experiment, scales); err != nil {
+	if err := run(*experiment, scales, *numClients); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -89,7 +92,7 @@ func parseScales(arg string) ([]int, error) {
 	return out, nil
 }
 
-func run(id string, scales []int) error {
+func run(id string, scales []int, numClients int) error {
 	switch id {
 	case "fig2":
 		rows, err := experiments.Fig2(scales)
@@ -258,6 +261,14 @@ func run(id string, scales []int) error {
 		}
 		if bad > 0 {
 			return fmt.Errorf("chaos: %d invariant violations", bad)
+		}
+	case "clients":
+		rows, err := experiments.ClientsScenario(scales, numClients)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Print(experiments.FormatClients(r))
 		}
 	case "attack":
 		if len(scales) == 0 {

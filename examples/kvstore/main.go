@@ -1,10 +1,20 @@
-// kvstore: a replicated key-value store built on the Leopard log.
+// kvstore: a replicated key-value store built on the Leopard log, served
+// through the authenticated client path.
 //
 // Each replica applies confirmed requests (SET commands) to a local map in
 // log order; because Leopard guarantees an identical log at every honest
-// replica, all stores converge to the same state. The demo issues
-// conflicting writes through different replicas and shows that every
-// replica resolves them identically.
+// replica, all stores converge to the same state. Writes are signed with
+// per-client ed25519 keys and verified at admission; a write counts as
+// done only when f+1 replicas return matching signed replies (the reply
+// certificate — at least one of them is honest). Reads are served from any
+// single replica's executed state without agreement, tagged with the
+// height the replica had executed to: fast, but possibly stale, and a
+// lone Byzantine replica could lie — certificate-grade reads would need
+// f+1 matching answers too.
+//
+// The demo issues conflicting writes through different replicas (including
+// a duplicate retransmission) and shows that every replica resolves them
+// identically and applies each write exactly once.
 //
 //	go run ./examples/kvstore
 package main
@@ -15,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"leopard/internal/client"
 	"leopard/internal/crypto"
 	"leopard/internal/leopard"
 	"leopard/internal/simnet"
@@ -22,20 +33,71 @@ import (
 	"leopard/internal/types"
 )
 
-// Store is the state machine: a string map applied in log order.
+// Store is the state machine: a string map applied in log order. It keeps
+// the executed height alongside the data so local reads can report how
+// fresh they are.
 type Store struct {
 	data    map[string]string
 	applied int
+	height  types.SeqNum
+	// seen guards against duplicate application: a request retransmitted
+	// through two replicas can be packed into two datablocks and therefore
+	// appear twice in the log. A per-client high-water mark is NOT enough —
+	// datablocks from different replicas commit in log order, not per-client
+	// seq order, so a later seq can execute before an earlier one.
+	seen map[types.RequestID]bool
 }
 
-// Apply executes one SET command of the form "key=value".
-func (s *Store) Apply(payload []byte) {
-	parts := strings.SplitN(string(payload), "=", 2)
+// Apply executes one SET command of the form "key=value", exactly once per
+// (client, seq).
+func (s *Store) Apply(sn types.SeqNum, r types.Request) {
+	s.height = sn
+	if s.seen[r.ID()] {
+		return // duplicate commit of a retransmitted write
+	}
+	s.seen[r.ID()] = true
+	parts := strings.SplitN(string(r.Payload), "=", 2)
 	if len(parts) != 2 {
 		return
 	}
 	s.data[parts[0]] = parts[1]
 	s.applied++
+}
+
+// Get is the fast local read path: it answers from this replica's executed
+// state without running agreement, and reports the executed height the
+// answer reflects. The caveat: the value can lag writes other replicas
+// already executed, and trusting one replica is weaker than a certificate.
+func (s *Store) Get(key string) (string, types.SeqNum) {
+	return s.data[key], s.height
+}
+
+// certTracker aggregates signed replies per write until f+1 replicas agree
+// on the same (serial number, result) — the reply-certificate rule from
+// internal/client, inlined here because the demo's writes are concurrent
+// rather than one closed loop.
+type certTracker struct {
+	f     int
+	votes map[types.RequestID]map[types.ReplicaID]string
+	done  map[types.RequestID]bool
+}
+
+func (c *certTracker) add(m leopard.ReplyMsg) {
+	id := types.RequestID{Client: m.Client, Seq: m.Seq}
+	if c.votes[id] == nil {
+		c.votes[id] = make(map[types.ReplicaID]string)
+	}
+	key := fmt.Sprintf("%d/%x", m.SN, m.Result[:4])
+	c.votes[id][m.Share.Signer] = key
+	matching := 0
+	for _, k := range c.votes[id] {
+		if k == key {
+			matching++
+		}
+	}
+	if matching >= c.f+1 {
+		c.done[id] = true
+	}
 }
 
 func main() {
@@ -54,18 +116,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Three registered clients; each signs its writes with its own key.
+	keys, err := client.NewKeychain(3, []byte("kvstore"))
+	if err != nil {
+		return err
+	}
 
+	certs := &certTracker{
+		f:     q.F,
+		votes: make(map[types.RequestID]map[types.ReplicaID]string),
+		done:  make(map[types.RequestID]bool),
+	}
 	stores := make([]*Store, n)
 	nodes := make([]transport.Node, n)
 	leo := make([]*leopard.Node, n)
 	for i := 0; i < n; i++ {
-		stores[i] = &Store{data: make(map[string]string)}
+		stores[i] = &Store{data: make(map[string]string), seen: make(map[types.RequestID]bool)}
 		node, err := leopard.NewNode(leopard.Config{
 			ID:            types.ReplicaID(i),
 			Quorum:        q,
 			Suite:         suite,
 			DatablockSize: 4,
 			BFTBlockSize:  2,
+			Verifier:      keys.Verifier(),
 		})
 		if err != nil {
 			return err
@@ -73,9 +146,10 @@ func run() error {
 		store := stores[i]
 		node.SetExecutor(func(sn types.SeqNum, reqs []types.Request) {
 			for _, r := range reqs {
-				store.Apply(r.Payload)
+				store.Apply(sn, r)
 			}
 		})
+		node.SetReplySink(certs.add)
 		leo[i] = node
 		nodes[i] = node
 	}
@@ -86,8 +160,10 @@ func run() error {
 	}
 	net.Start()
 
-	// Two synthetic clients write through different replicas, including
-	// conflicting writes to the same key. The log linearizes them.
+	// Two clients write through different replicas, including conflicting
+	// writes to the same key and one duplicate retransmission through a
+	// second replica. The log linearizes the conflicts; the per-client seq
+	// watermark in Apply suppresses the duplicate.
 	writes := []struct {
 		via     types.ReplicaID
 		client  uint64
@@ -100,28 +176,72 @@ func run() error {
 		{3, 2, 2, "carol=50"},
 		{3, 2, 3, "alice=900"}, // conflicting write through another replica
 		{2, 1, 3, "dave=75"},
+		{3, 1, 3, "dave=75"}, // retransmission of the same signed write
 	}
+	ids := make(map[types.RequestID]string)
 	for _, w := range writes {
-		leo[w.via].SubmitRequest(net.Now(), types.Request{
-			ClientID: w.client, Seq: w.seq, Payload: []byte(w.command),
-		})
+		req := types.Request{ClientID: w.client, Seq: w.seq, Payload: []byte(w.command)}
+		sig, err := keys.Sign(req)
+		if err != nil {
+			return err
+		}
+		if v := leo[w.via].SubmitSigned(net.Now(), req, sig); !v.OK() {
+			fmt.Printf("replica %d refused %q: %v (expected for the duplicate)\n", w.via, w.command, v)
+		}
+		ids[req.ID()] = w.command
+	}
+	// A forged write must be rejected at admission: client 2's key cannot
+	// sign for client 1.
+	forged := types.Request{ClientID: 1, Seq: 9, Payload: []byte("alice=0")}
+	badSig, err := keys.Sign(types.Request{ClientID: 2, Seq: 9, Payload: []byte("alice=0")})
+	if err != nil {
+		return err
+	}
+	if v := leo[2].SubmitSigned(net.Now(), forged, badSig); v.OK() {
+		return fmt.Errorf("forged write was admitted")
+	} else {
+		fmt.Printf("forged write rejected at admission: %v\n\n", v)
 	}
 
 	net.Run(2 * time.Second)
 
-	// Every replica must hold the same state.
-	fmt.Println("replica states after convergence:")
+	// Every submitted write must hold an f+1 reply certificate.
+	fmt.Println("reply certificates (f+1 matching signed replies):")
+	for id, cmd := range ids {
+		status := "MISSING"
+		if certs.done[id] {
+			status = "certified"
+		}
+		fmt.Printf("  client %d seq %d %-12q %s\n", id.Client, id.Seq, cmd, status)
+		if !certs.done[id] {
+			return fmt.Errorf("write %q never formed a reply certificate", cmd)
+		}
+	}
+
+	// Every replica must hold the same state, each write applied once.
+	fmt.Println("\nreplica states after convergence:")
 	for i, s := range stores {
 		fmt.Printf("  replica %d: applied=%d alice=%s bob=%s carol=%s dave=%s\n",
 			i, s.applied, s.data["alice"], s.data["bob"], s.data["carol"], s.data["dave"])
 	}
 	for i := 1; i < n; i++ {
+		if stores[i].applied != stores[0].applied {
+			return fmt.Errorf("replica %d applied %d writes, replica 0 applied %d (duplicate suppression diverged)",
+				i, stores[i].applied, stores[0].applied)
+		}
 		for k, v := range stores[0].data {
 			if stores[i].data[k] != v {
 				return fmt.Errorf("divergence: replica %d has %s=%s, replica 0 has %s", i, k, stores[i].data[k], v)
 			}
 		}
 	}
+
+	// The fast local read path: any single replica answers immediately from
+	// executed state, tagged with the height the answer reflects.
+	value, height := stores[2].Get("alice")
+	fmt.Printf("\nfast local read at replica 2: alice=%s (executed height %d; no agreement run —\n"+
+		"the value may lag other replicas and certificate-grade reads need f+1 answers)\n", value, height)
+
 	fmt.Println("\nall replicas agree on the final key-value state")
 	return nil
 }

@@ -65,9 +65,12 @@ func run() error {
 	net.Start()
 
 	// Submit 100 requests to the non-leader replicas (replica 1 leads
-	// view 1). In a deployment a client library does this; see
-	// cmd/leopard-client.
+	// view 1): one client per replica, each with its own contiguous seq
+	// stream — the nonce-aware mempool parks gapped seqs, so a client must
+	// not stripe one stream across replicas. In a deployment a client
+	// library does this; see cmd/leopard-client.
 	leader := leoNodes[0].Leader()
+	seqs := make(map[types.ReplicaID]uint64)
 	submitted := 0
 	for i := 0; submitted < 100; i++ {
 		target := types.ReplicaID(i % n)
@@ -75,10 +78,11 @@ func run() error {
 			continue
 		}
 		req := types.Request{
-			ClientID: 42,
-			Seq:      uint64(submitted),
+			ClientID: 42 + uint64(target),
+			Seq:      seqs[target],
 			Payload:  []byte(fmt.Sprintf("transfer #%d", submitted)),
 		}
+		seqs[target]++
 		leoNodes[target].SubmitRequest(net.Now(), req)
 		submitted++
 	}

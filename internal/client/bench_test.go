@@ -1,0 +1,64 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+
+	"leopard/internal/types"
+)
+
+// benchBatch builds size signed requests across 16 clients.
+func benchBatch(b *testing.B, size int) (*Verifier, []types.Request, [][]byte) {
+	b.Helper()
+	kc, err := NewKeychain(16, []byte("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]types.Request, size)
+	sigs := make([][]byte, size)
+	payload := make([]byte, 128)
+	for i := range reqs {
+		reqs[i] = types.Request{ClientID: uint64(i % 16), Seq: uint64(i), Payload: payload}
+		sigs[i], err = kc.Sign(reqs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return kc.Verifier(), reqs, sigs
+}
+
+// BenchmarkVerifySequential is the one-by-one admission baseline.
+func BenchmarkVerifySequential(b *testing.B) {
+	for _, size := range []int{64, 512} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			v, reqs, sigs := benchBatch(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range reqs {
+					if !v.VerifyRequest(reqs[j], sigs[j]) {
+						b.Fatal("verify failed")
+					}
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "sigs/s")
+		})
+	}
+}
+
+// BenchmarkVerifyBatch is the admission path: parallel chunked verification.
+func BenchmarkVerifyBatch(b *testing.B) {
+	for _, size := range []int{64, 512} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			v, reqs, sigs := benchBatch(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ok := range v.VerifyRequestBatch(reqs, sigs) {
+					if !ok {
+						b.Fatal("verify failed")
+					}
+				}
+			}
+			b.ReportMetric(float64(size*b.N)/b.Elapsed().Seconds(), "sigs/s")
+		})
+	}
+}

@@ -1,0 +1,116 @@
+// Package client implements the client side of Leopard's authenticated
+// serving path: deterministic per-client ed25519 keys, canonical
+// signed-request digests, reply digests, batch signature verification for
+// replica admission, and a closed-loop Session that accepts a request only
+// once f+1 replicas report the same execution result.
+//
+// The package depends only on types and codec, so both replicas
+// (internal/leopard admission and reply emission) and client binaries
+// (cmd/leopard-client, examples/kvstore) can share one wire contract.
+package client
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"leopard/internal/codec"
+	"leopard/internal/types"
+)
+
+// SignatureSize is the wire size of a request signature.
+const SignatureSize = ed25519.SignatureSize
+
+// requestDomain and replyDomain separate the two signature/digest spaces so
+// a request signature can never be replayed as anything else (and vice
+// versa), mirroring the domain tags in internal/crypto.
+const (
+	requestDomain = "leopard/client-req"
+	replyDomain   = "leopard/reply"
+)
+
+// RequestDigest is the canonical signing digest of a client request:
+// SHA-256 over the domain tag and the codec encoding of the client ID, the
+// sequence number and the payload digest. Hashing the payload digest (not
+// the payload) keeps signing cost independent of payload size and lets
+// replicas verify against zero-copy payloads without re-encoding.
+func RequestDigest(req types.Request) types.Hash {
+	payload := sha256.Sum256(req.Payload)
+	w := codec.Writer{Buf: make([]byte, 0, len(requestDomain)+16+32)}
+	w.Buf = append(w.Buf, requestDomain...)
+	w.U64(req.ClientID)
+	w.U64(req.Seq)
+	w.Hash(payload)
+	return sha256.Sum256(w.Buf)
+}
+
+// ReplyDigest is the digest an executing replica signs over its reply:
+// it binds the request identity (client, seq) to the serial number the
+// request executed at and the replica's execution result hash. f+1 valid
+// reply signatures over one digest form a reply certificate.
+func ReplyDigest(clientID, seq uint64, sn types.SeqNum, result types.Hash) types.Hash {
+	var buf [len(replyDomain) + 24 + 32]byte
+	off := copy(buf[:], replyDomain)
+	binary.BigEndian.PutUint64(buf[off:], clientID)
+	binary.BigEndian.PutUint64(buf[off+8:], seq)
+	binary.BigEndian.PutUint64(buf[off+16:], uint64(sn))
+	copy(buf[off+24:], result[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Keychain derives one ed25519 key pair per client from a shared seed, the
+// same trusted-dealer pattern as crypto.Ed25519Suite: client i's private
+// key is NewKeyFromSeed(SHA-256(seed || "client" || i)). Simulations and
+// tests hand the seed to both the clients and the replicas' Verifier;
+// deployments would distribute only the public keys.
+type Keychain struct {
+	keys []ed25519.PrivateKey
+	pubs []ed25519.PublicKey
+}
+
+// NewKeychain derives n client key pairs (client IDs 0..n-1) from seed.
+func NewKeychain(n int, seed []byte) (*Keychain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("client: keychain needs n > 0, got %d", n)
+	}
+	kc := &Keychain{
+		keys: make([]ed25519.PrivateKey, n),
+		pubs: make([]ed25519.PublicKey, n),
+	}
+	for i := 0; i < n; i++ {
+		h := sha256.New()
+		h.Write(seed)
+		h.Write([]byte("client"))
+		var idx [8]byte
+		binary.BigEndian.PutUint64(idx[:], uint64(i))
+		h.Write(idx[:])
+		kc.keys[i] = ed25519.NewKeyFromSeed(h.Sum(nil))
+		kc.pubs[i] = kc.keys[i].Public().(ed25519.PublicKey)
+	}
+	return kc, nil
+}
+
+// NumClients returns the number of derived key pairs.
+func (kc *Keychain) NumClients() int { return len(kc.keys) }
+
+// Public returns client id's public key, or nil if id is out of range.
+func (kc *Keychain) Public(id uint64) ed25519.PublicKey {
+	if id >= uint64(len(kc.pubs)) {
+		return nil
+	}
+	return kc.pubs[id]
+}
+
+// Sign signs the request under its client's key. The request's ClientID
+// must be within the keychain.
+func (kc *Keychain) Sign(req types.Request) ([]byte, error) {
+	if req.ClientID >= uint64(len(kc.keys)) {
+		return nil, fmt.Errorf("client: no key for client %d", req.ClientID)
+	}
+	d := RequestDigest(req)
+	return ed25519.Sign(kc.keys[req.ClientID], d[:]), nil
+}
+
+// Verifier returns a request verifier over this keychain's public keys.
+func (kc *Keychain) Verifier() *Verifier { return NewVerifier(kc.pubs) }

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"time"
+
+	"leopard/internal/types"
+)
+
+// Reply is the transport-agnostic form of a replica's signed reply: the
+// request identity, the serial number it executed at, the replica's
+// execution result hash, and the replica that sent it. The wire form is
+// leopard.ReplyMsg; drivers convert before handing it to a Session.
+type Reply struct {
+	Client  uint64
+	Seq     uint64
+	SN      types.SeqNum
+	Result  types.Hash
+	Replica types.ReplicaID
+}
+
+// certKey is the value f+1 replies must agree on to form a certificate: a
+// matching serial number and execution result.
+type certKey struct {
+	sn     types.SeqNum
+	result types.Hash
+}
+
+// SessionConfig parameterizes one closed-loop client session.
+type SessionConfig struct {
+	// ClientID identifies the client; its key signs every request.
+	ClientID uint64
+	// F is the cluster's fault threshold: a request is accepted once F+1
+	// replicas report matching (serial number, result) replies — at least
+	// one is honest, so the result is the one the cluster committed.
+	F int
+	// RetransmitAfter is how long an unaccepted request waits before the
+	// client retransmits it. Zero defaults to 500ms.
+	RetransmitAfter time.Duration
+	// FirstSeq is the sequence number of the session's first request.
+	FirstSeq uint64
+}
+
+// Session is one closed-loop client: at most one request in flight,
+// sequence numbers strictly increasing, acceptance only on an f+1 reply
+// certificate. It is a pure state machine — the caller supplies time,
+// signs requests (Keychain) and moves bytes — so simulations stay
+// deterministic and the TCP client reuses the same logic.
+type Session struct {
+	cfg      SessionConfig
+	seq      uint64
+	inflight bool
+	payload  []byte
+	sentAt   time.Duration // first transmission of the current request
+	lastSend time.Duration
+	attempts int
+	// votes holds each replica's latest (sn, result) claim for the current
+	// request: one slot per replica, so Byzantine replicas cannot grow it
+	// by spraying conflicting results.
+	votes map[types.ReplicaID]certKey
+
+	accepted    int64
+	retransmits int64
+}
+
+// NewSession creates a session with no request in flight.
+func NewSession(cfg SessionConfig) *Session {
+	if cfg.RetransmitAfter <= 0 {
+		cfg.RetransmitAfter = 500 * time.Millisecond
+	}
+	return &Session{cfg: cfg, seq: cfg.FirstSeq, votes: make(map[types.ReplicaID]certKey)}
+}
+
+// Seq returns the sequence number of the current (or next) request.
+func (s *Session) Seq() uint64 { return s.seq }
+
+// InFlight reports whether a request is awaiting its certificate.
+func (s *Session) InFlight() bool { return s.inflight }
+
+// Accepted returns how many requests have completed with a certificate.
+func (s *Session) Accepted() int64 { return s.accepted }
+
+// Retransmits returns how many retransmissions the session has issued.
+func (s *Session) Retransmits() int64 { return s.retransmits }
+
+// Begin starts the next request with the given payload at time now and
+// returns the request to sign and send. It must not be called while a
+// request is in flight.
+func (s *Session) Begin(now time.Duration, payload []byte) types.Request {
+	if s.inflight {
+		panic("client: Begin with a request in flight")
+	}
+	s.inflight = true
+	s.payload = payload
+	s.sentAt = now
+	s.lastSend = now
+	s.attempts = 1
+	for k := range s.votes {
+		delete(s.votes, k)
+	}
+	return s.Request()
+}
+
+// Request returns the current in-flight request.
+func (s *Session) Request() types.Request {
+	return types.Request{ClientID: s.cfg.ClientID, Seq: s.seq, Payload: s.payload}
+}
+
+// Due reports whether the in-flight request's retransmit timer has expired.
+func (s *Session) Due(now time.Duration) bool {
+	return s.inflight && now-s.lastSend >= s.cfg.RetransmitAfter
+}
+
+// Retransmit restamps the retransmit timer and returns the request to
+// resend. The caller should send it to a rotating set of f+1 replicas
+// (RetransmitSet) so at least one recipient is honest and live.
+func (s *Session) Retransmit(now time.Duration) types.Request {
+	s.lastSend = now
+	s.attempts++
+	s.retransmits++
+	return s.Request()
+}
+
+// Attempt returns the 0-based retransmission round of the current request
+// (0 while only the original send is outstanding).
+func (s *Session) Attempt() int {
+	if s.attempts == 0 {
+		return 0
+	}
+	return s.attempts - 1
+}
+
+// OnReply folds one replica reply into the current request's certificate.
+// It returns (true, latency) when this reply completes the f+1 matching
+// set: the request is accepted, the session becomes idle, and latency is
+// measured from the request's first transmission. Replies for other
+// requests (stale retransmitted seqs, other clients) are ignored.
+func (s *Session) OnReply(now time.Duration, r Reply) (bool, time.Duration) {
+	if !s.inflight || r.Client != s.cfg.ClientID || r.Seq != s.seq {
+		return false, 0
+	}
+	key := certKey{sn: r.SN, result: r.Result}
+	s.votes[r.Replica] = key
+	matching := 0
+	for _, k := range s.votes {
+		if k == key {
+			matching++
+		}
+	}
+	if matching < s.cfg.F+1 {
+		return false, 0
+	}
+	s.inflight = false
+	s.seq++
+	s.accepted++
+	return true, now - s.sentAt
+}
+
+// RetransmitSet returns the f+1 replicas attempt k of a request should go
+// to: a window rotating through the cluster from the original target, so
+// successive attempts cover every replica — whatever mix of crashed,
+// Byzantine-silent or leader (non-packing) replicas the first f+1 hit.
+func RetransmitSet(n, f, attempt int, origin types.ReplicaID) []types.ReplicaID {
+	if n <= 0 {
+		return nil
+	}
+	count := f + 1
+	if count > n {
+		count = n
+	}
+	out := make([]types.ReplicaID, 0, count)
+	start := (int(origin) + attempt) % n
+	for i := 0; i < count; i++ {
+		out = append(out, types.ReplicaID((start+i)%n))
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"leopard/internal/types"
+)
+
+func reply(client, seq uint64, sn types.SeqNum, result byte, replica types.ReplicaID) Reply {
+	return Reply{Client: client, Seq: seq, SN: sn, Result: types.Hash{result}, Replica: replica}
+}
+
+func TestSessionCertificate(t *testing.T) {
+	s := NewSession(SessionConfig{ClientID: 3, F: 1})
+	req := s.Begin(10*time.Millisecond, []byte("op"))
+	if req.ClientID != 3 || req.Seq != 0 {
+		t.Fatalf("unexpected request %+v", req)
+	}
+
+	// One matching reply is below f+1.
+	if ok, _ := s.OnReply(12*time.Millisecond, reply(3, 0, 5, 0xaa, 0)); ok {
+		t.Fatal("accepted on a single reply with f=1")
+	}
+	// A second reply with a different result does not match.
+	if ok, _ := s.OnReply(13*time.Millisecond, reply(3, 0, 5, 0xbb, 1)); ok {
+		t.Fatal("accepted on conflicting results")
+	}
+	// Matching reply from the same replica must not double-count.
+	if ok, _ := s.OnReply(14*time.Millisecond, reply(3, 0, 5, 0xaa, 0)); ok {
+		t.Fatal("accepted two replies from one replica")
+	}
+	// A second distinct replica matching completes the certificate.
+	ok, lat := s.OnReply(20*time.Millisecond, reply(3, 0, 5, 0xaa, 2))
+	if !ok {
+		t.Fatal("f+1 matching replies did not complete the certificate")
+	}
+	if lat != 10*time.Millisecond {
+		t.Fatalf("latency = %v, want 10ms (from first send)", lat)
+	}
+	if s.InFlight() || s.Seq() != 1 || s.Accepted() != 1 {
+		t.Fatalf("post-accept state: inflight=%v seq=%d accepted=%d", s.InFlight(), s.Seq(), s.Accepted())
+	}
+}
+
+func TestSessionByzantineSpray(t *testing.T) {
+	// A Byzantine replica spraying distinct results holds one vote slot and
+	// can never complete a certificate alone, nor block honest ones.
+	s := NewSession(SessionConfig{ClientID: 1, F: 1})
+	s.Begin(0, []byte("x"))
+	for i := byte(0); i < 50; i++ {
+		if ok, _ := s.OnReply(time.Millisecond, reply(1, 0, types.SeqNum(i), i, 7)); ok {
+			t.Fatal("one replica completed an f+1 certificate")
+		}
+	}
+	if len(s.votes) != 1 {
+		t.Fatalf("vote map grew to %d under a spraying replica", len(s.votes))
+	}
+	if ok, _ := s.OnReply(2*time.Millisecond, reply(1, 0, 9, 0x11, 0)); ok {
+		t.Fatal("early accept")
+	}
+	if ok, _ := s.OnReply(3*time.Millisecond, reply(1, 0, 9, 0x11, 2)); !ok {
+		t.Fatal("honest f+1 certificate blocked by the sprayer")
+	}
+}
+
+func TestSessionIgnoresStaleAndForeignReplies(t *testing.T) {
+	s := NewSession(SessionConfig{ClientID: 2, F: 0, FirstSeq: 10})
+	s.Begin(0, nil)
+	if ok, _ := s.OnReply(0, reply(2, 9, 1, 0x1, 0)); ok {
+		t.Fatal("accepted a reply for a previous seq")
+	}
+	if ok, _ := s.OnReply(0, reply(4, 10, 1, 0x1, 0)); ok {
+		t.Fatal("accepted a reply for another client")
+	}
+	if ok, _ := s.OnReply(0, reply(2, 10, 1, 0x1, 0)); !ok {
+		t.Fatal("f=0 certificate needs exactly one reply")
+	}
+	if s.Seq() != 11 {
+		t.Fatalf("seq = %d, want 11", s.Seq())
+	}
+	// Idle sessions ignore replies entirely.
+	if ok, _ := s.OnReply(0, reply(2, 11, 2, 0x1, 0)); ok {
+		t.Fatal("accepted a reply with nothing in flight")
+	}
+}
+
+func TestSessionRetransmitTimer(t *testing.T) {
+	s := NewSession(SessionConfig{ClientID: 0, F: 1, RetransmitAfter: 100 * time.Millisecond})
+	s.Begin(0, nil)
+	if s.Due(99 * time.Millisecond) {
+		t.Fatal("due before the timer expired")
+	}
+	if !s.Due(100 * time.Millisecond) {
+		t.Fatal("not due at the timer boundary")
+	}
+	req := s.Retransmit(100 * time.Millisecond)
+	if req.Seq != 0 {
+		t.Fatalf("retransmit changed seq to %d", req.Seq)
+	}
+	if s.Attempt() != 1 || s.Retransmits() != 1 {
+		t.Fatalf("attempt=%d retransmits=%d", s.Attempt(), s.Retransmits())
+	}
+	if s.Due(150 * time.Millisecond) {
+		t.Fatal("due again before a full period since the retransmit")
+	}
+	// Latency is still measured from the first send.
+	s.OnReply(250*time.Millisecond, reply(0, 0, 1, 0x1, 0))
+	if ok, lat := s.OnReply(250*time.Millisecond, reply(0, 0, 1, 0x1, 1)); !ok || lat != 250*time.Millisecond {
+		t.Fatalf("ok=%v lat=%v, want latency from first send", ok, lat)
+	}
+}
+
+func TestRetransmitSet(t *testing.T) {
+	got := RetransmitSet(4, 1, 0, 2)
+	want := []types.ReplicaID{2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attempt 0: got %v want %v", got, want)
+		}
+	}
+	// Successive attempts rotate through the full cluster.
+	seen := map[types.ReplicaID]bool{}
+	for attempt := 0; attempt < 4; attempt++ {
+		for _, id := range RetransmitSet(4, 1, attempt, 2) {
+			seen[id] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("rotation covered %d of 4 replicas", len(seen))
+	}
+	if got := RetransmitSet(2, 2, 0, 0); len(got) != 2 {
+		t.Fatalf("f+1 > n should clamp to n, got %v", got)
+	}
+	if RetransmitSet(0, 1, 0, 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}

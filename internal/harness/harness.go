@@ -49,7 +49,11 @@ type Cluster struct {
 	Net      *simnet.Network
 	Replicas []protocol.Replica
 	Tracker  *workload.Tracker
-	Gen      *workload.Generator
+	// gens holds one request generator per replica, each over a disjoint
+	// client-ID range: the nonce-aware mempool requires every client's seq
+	// stream to arrive contiguously at whichever replica serves it, so one
+	// global stream must not be striped across replicas.
+	gens []*workload.Generator
 	// Invariants, when attached (AttachInvariants), asserts durability
 	// around every Restart and observes traffic for equivocation.
 	Invariants *InvariantChecker
@@ -81,9 +85,14 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 	c := &Cluster{
 		Tracker:     workload.NewTracker(),
-		Gen:         workload.NewGenerator(opts.PayloadSize, 64),
+		gens:        make([]*workload.Generator, opts.N),
 		opts:        opts,
 		submittedTo: make(map[types.RequestID]types.ReplicaID),
+	}
+	const clientsPerReplica = 64
+	for i := range c.gens {
+		c.gens[i] = workload.NewGeneratorAt(opts.PayloadSize, clientsPerReplica,
+			uint64(i)*clientsPerReplica)
 	}
 	nodes := make([]transport.Node, opts.N)
 	c.Replicas = make([]protocol.Replica, opts.N)
@@ -170,7 +179,11 @@ func (c *Cluster) inject(now time.Duration) {
 			if !targets(types.ReplicaID(i)) {
 				continue
 			}
-			for r.PendingRequests() < c.opts.SaturationDepth {
+			// Bound the top-up: if the pool rejects (rate limit, budget), a
+			// bare pending<depth loop would spin forever at one virtual
+			// instant. Unfilled depth is retried at the next injection tick.
+			for attempts := 2 * c.opts.SaturationDepth; attempts > 0 &&
+				r.PendingRequests() < c.opts.SaturationDepth; attempts-- {
 				c.submit(now, types.ReplicaID(i), r)
 			}
 		}
@@ -191,7 +204,7 @@ func (c *Cluster) inject(now time.Duration) {
 }
 
 func (c *Cluster) submit(now time.Duration, id types.ReplicaID, r protocol.Replica) {
-	req := c.Gen.Next()
+	req := c.gens[id].Next()
 	if r.SubmitRequest(now, req) {
 		if c.sampled(req.ID()) {
 			c.Tracker.Submitted(req.ID(), now)

@@ -18,9 +18,19 @@ import (
 
 	"leopard/internal/crypto"
 	"leopard/internal/erasure"
+	"leopard/internal/mempool"
 	"leopard/internal/storage"
 	"leopard/internal/types"
 )
+
+// ClientVerifier authenticates client request submissions at admission.
+// internal/client.Verifier is the production implementation; tests may
+// substitute fakes. VerifyRequestBatch must be positionally equivalent to
+// calling VerifyRequest per element (implementations typically parallelize).
+type ClientVerifier interface {
+	VerifyRequest(req types.Request, sig []byte) bool
+	VerifyRequestBatch(reqs []types.Request, sigs [][]byte) []bool
+}
 
 // Default protocol parameters. Batch sizes follow the paper's Table II.
 const (
@@ -73,6 +83,17 @@ type Config struct {
 	// packed into a partial datablock, and how long ready datablocks wait
 	// before the leader proposes a partial BFTblock.
 	BatchTimeout time.Duration
+
+	// Verifier, when non-nil, makes the replica's front door authenticated:
+	// SubmitSigned/SubmitSignedBatch and peer-forwarded RequestMsgs verify
+	// the client's signature before admission, and the unsigned
+	// SubmitRequest path is rejected outright. Nil keeps the legacy
+	// unauthenticated admission (synthetic workloads, protocol tests).
+	Verifier ClientVerifier
+	// Mempool bounds the request pool: byte/count budgets, per-client
+	// caps, token-bucket rate limits, nonce bookkeeping windows. The zero
+	// value selects the pool's generous defaults.
+	Mempool mempool.Limits
 
 	// Erasure tunes the retrieval committee's Reed–Solomon codec: worker
 	// parallelism for large blocks and the decode-matrix cache size. The

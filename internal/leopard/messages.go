@@ -299,6 +299,46 @@ func (m *StateRespMsg) Class() transport.Class { return transport.ClassState }
 // are charged through the receiver's CPU stage.
 func (m *StateRespMsg) CarriesPayload() bool { return true }
 
+// RequestMsg is a signed client request submission: the authenticated front
+// door of the serving path. Clients (and replicas forwarding on their
+// behalf) send it to a replica, which verifies Sig against the client's
+// public key (client.RequestDigest) before admitting the request to its
+// mempool. Carries raw payload bytes, so it rides the bulk lane.
+type RequestMsg struct {
+	Req types.Request
+	Sig []byte
+}
+
+var _ transport.Message = (*RequestMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *RequestMsg) WireSize() int { return hdrSize + m.Req.Size() + 4 + len(m.Sig) }
+
+// Class implements transport.Message.
+func (m *RequestMsg) Class() transport.Class { return transport.ClassRequest }
+
+// ReplyMsg is an executing replica's signed reply to a client: the request
+// identity, the serial number it executed at, the replica's execution chain
+// result, and the replica's signature share over client.ReplyDigest. A
+// client accepts once f+1 replicas report matching (SN, Result) — at least
+// one is honest, so the result is the committed one. Replies are small and
+// latency-sensitive: they travel the control lane (ClassAck is not bulk).
+type ReplyMsg struct {
+	Client uint64
+	Seq    uint64
+	SN     types.SeqNum
+	Result types.Hash
+	Share  crypto.Share
+}
+
+var _ transport.Message = (*ReplyMsg)(nil)
+
+// WireSize implements transport.Message.
+func (m *ReplyMsg) WireSize() int { return hdrSize + 24 + hashSize + len(m.Share.Sig) }
+
+// Class implements transport.Message.
+func (m *ReplyMsg) Class() transport.Class { return transport.ClassAck }
+
 // NewViewMsg is broadcast by the new leader: <new-view, v+1, V>.
 type NewViewMsg struct {
 	NewView types.View

@@ -100,6 +100,15 @@ type Stats struct {
 	// share/digest maps — bounded by the watermark window (regression:
 	// TestCheckpointMapsPruned).
 	CheckpointSeqsTracked int
+
+	// Client serving path counters (client-signed admission + replies).
+	PendingRequests  int   // gauge: extractable mempool entries
+	QueuedRequests   int   // gauge: nonce-gapped mempool entries
+	AdmittedRequests int64 // requests admitted (pending or queued)
+	RejectedRequests int64 // admission rejections, all causes
+	RateLimited      int64 // rejections from per-client token buckets
+	BadSignatures    int64 // rejections from signature verification
+	RepliesSent      int64 // signed ReplyMsgs emitted after execution
 }
 
 // Node is a Leopard replica. It implements transport.Node and must be
@@ -238,6 +247,12 @@ type Node struct {
 	// change. Pruned with the watermark.
 	confirmedDBs map[types.Hash]struct{}
 
+	// replyFn, when set, receives a signed ReplyMsg for every executed
+	// request (SetReplySink); replaying suppresses emission during WAL
+	// replay at Start.
+	replyFn   func(ReplyMsg)
+	replaying bool
+
 	stats  Stats
 	stages metrics.StageTimer
 
@@ -264,7 +279,7 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:           cfg,
 		suite:         cfg.Suite,
 		q:             cfg.Quorum,
-		reqPool:       mempool.NewRequestPool(),
+		reqPool:       mempool.NewRequestPoolLimits(cfg.Mempool),
 		dbPool:        mempool.NewDatablockPool(),
 		myOutstanding: make(map[types.Hash]struct{}),
 		myDBPacked:    make(map[types.Hash]time.Duration),
@@ -338,6 +353,12 @@ func (n *Node) Stats() Stats {
 		s.CheckpointSeqsTracked = d
 	}
 	s.WALFailed = n.walFailed
+	s.PendingRequests = n.reqPool.Len()
+	s.QueuedRequests = n.reqPool.Queued()
+	ps := n.reqPool.Stats()
+	s.AdmittedRequests = ps.Admitted
+	s.RejectedRequests = ps.Rejected + s.BadSignatures
+	s.RateLimited = ps.RateLimited
 	return s
 }
 
@@ -375,12 +396,64 @@ const (
 	StageAgreement     = "agreement"
 )
 
-// SubmitRequest adds a client request to this replica's mempool. Returns
-// false if the request is a duplicate.
+// SubmitRequest adds a client request to this replica's mempool over the
+// legacy unauthenticated path. Returns false if the request is rejected
+// (duplicate, stale nonce, over budget — or always, on replicas configured
+// with a Verifier: an authenticated front door takes no unsigned requests).
 func (n *Node) SubmitRequest(now time.Duration, req types.Request) bool {
 	n.observe(now)
+	if n.cfg.Verifier != nil {
+		n.stats.BadSignatures++
+		return false
+	}
 	return n.reqPool.Add(req, now)
 }
+
+// SubmitSigned verifies a client-signed request and admits it to the
+// mempool, returning the admission verdict. Replicas without a Verifier
+// accept the request unverified (the signature is carried but not checked).
+func (n *Node) SubmitSigned(now time.Duration, req types.Request, sig []byte) mempool.Verdict {
+	n.observe(now)
+	if n.cfg.Verifier != nil && !n.cfg.Verifier.VerifyRequest(req, sig) {
+		n.stats.BadSignatures++
+		return mempool.BadSignature
+	}
+	return n.reqPool.Admit(req, now)
+}
+
+// SubmitSignedBatch admits a batch of client-signed requests, verifying all
+// signatures in one batched pass (ClientVerifier.VerifyRequestBatch — the
+// parallel admission path) before touching the pool. Verdicts are
+// positional. Drivers that aggregate submissions between events (the
+// clients scenario, cmd/leopard-node's apply loop) get signature
+// verification at batch cost instead of per-request cost.
+func (n *Node) SubmitSignedBatch(now time.Duration, reqs []types.Request, sigs [][]byte) []mempool.Verdict {
+	n.observe(now)
+	out := make([]mempool.Verdict, len(reqs))
+	var okSigs []bool
+	if n.cfg.Verifier != nil {
+		okSigs = n.cfg.Verifier.VerifyRequestBatch(reqs, sigs)
+	}
+	for i := range reqs {
+		if okSigs != nil && !okSigs[i] {
+			n.stats.BadSignatures++
+			out[i] = mempool.BadSignature
+			continue
+		}
+		out[i] = n.reqPool.Admit(reqs[i], now)
+	}
+	return out
+}
+
+// QueuedRequests returns the number of nonce-gapped mempool entries.
+func (n *Node) QueuedRequests() int { return n.reqPool.Queued() }
+
+// SetReplySink registers the callback that carries signed execution replies
+// toward clients; the transport layer (simnet driver, TCP runtime) owns the
+// actual delivery. Replies are emitted once per request execution — not
+// during WAL replay, which re-executes history the clients of a previous
+// life already saw. Must be called before Start.
+func (n *Node) SetReplySink(fn func(ReplyMsg)) { n.replyFn = fn }
 
 // SetSelectiveAttack makes this (faulty) replica send its datablocks only
 // to the listed targets, the paper's §V-B selective attack. Nil restores
@@ -469,6 +542,10 @@ func (n *Node) Deliver(now time.Duration, from types.ReplicaID, msg transport.Me
 	out = n.outbound(out)
 	defer n.releaseOutbound()
 	switch m := msg.(type) {
+	case *RequestMsg:
+		// A peer (or a client gateway) forwarded a signed submission; it
+		// goes through the same authenticated admission as SubmitSigned.
+		n.SubmitSigned(now, m.Req, m.Sig)
 	case *DatablockMsg:
 		n.handleDatablock(from, m, out)
 	case *ReadyMsg:

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"time"
 
+	"leopard/internal/client"
 	"leopard/internal/crypto"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
@@ -85,6 +86,10 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 			n.execState = cp.StateHash
 		}
 	}
+	// Replay rebuilds local state only: the requests in replayed blocks were
+	// already answered (or will be re-requested by their clients), so the
+	// reply path stays quiet until live execution resumes.
+	n.replaying = true
 	for {
 		rec, ok := st.Get(n.executedTo + 1)
 		if !ok || rec.Block == nil || len(rec.Datablocks) != len(rec.Block.Content) {
@@ -92,6 +97,7 @@ func (n *Node) recoverFromStore(out transport.Sink) {
 		}
 		n.replayRecord(rec)
 	}
+	n.replaying = false
 	if _, last := st.Bounds(); last != 0 && last != n.executedTo {
 		// The durable tail does not meet the execution frontier: the anchor
 		// was saved ahead of the last appended record (the watermark advanced
@@ -525,6 +531,7 @@ func executionDigest(block *types.BFTblock) types.Hash {
 // caller guarantees datablocks[i] matches block.Content[i] and that the
 // block sits exactly at the execution frontier.
 func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks []*types.Datablock) {
+	digest := executionDigest(block)
 	for _, db := range datablocks {
 		n.stats.ConfirmedRequests += int64(len(db.Requests))
 		if n.execFn != nil {
@@ -535,8 +542,17 @@ func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks [
 				n.reqPool.MarkConfirmed(r.ID())
 			}
 		}
+		if n.replyFn != nil && !n.replaying {
+			for _, r := range db.Requests {
+				share, err := n.suite.Sign(n.cfg.ID, client.ReplyDigest(r.ClientID, r.Seq, sn, digest))
+				if err != nil {
+					continue
+				}
+				n.replyFn(ReplyMsg{Client: r.ClientID, Seq: r.Seq, SN: sn, Result: digest, Share: share})
+				n.stats.RepliesSent++
+			}
+		}
 	}
-	digest := executionDigest(block)
 	n.execState = crypto.HashConcat(n.execState[:], digest[:])
 	n.executedTo = sn
 	n.stats.ExecutedBlocks++

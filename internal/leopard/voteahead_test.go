@@ -245,8 +245,8 @@ func TestWALFailStop(t *testing.T) {
 	// Every fsync from here on fails: the next persist attempt poisons the
 	// store and the following tick latches the fail-stop.
 	ffs.FailNextSyncs(1 << 20)
-	r.submit(victim, 20, 2000)
-	r.submit(3, 20, 3000)
+	r.submit(victim, 20, 40)
+	r.submit(3, 20, 1040)
 	r.advance(150*time.Millisecond, 5*time.Millisecond)
 	if !r.nodes[victim].Stats().WALFailed {
 		t.Fatal("sticky store error did not latch the fail-stop state")
@@ -264,7 +264,7 @@ func TestWALFailStop(t *testing.T) {
 		return false
 	}
 	before := r.nodes[0].ExecutedTo()
-	r.submit(3, 40, 4000)
+	r.submit(3, 40, 1060)
 	r.advance(300*time.Millisecond, 5*time.Millisecond)
 	if votesAfter != 0 {
 		t.Errorf("fail-stopped replica sent %d votes after the latch", votesAfter)

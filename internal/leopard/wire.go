@@ -41,6 +41,8 @@ const (
 	kindNewView
 	kindStateReq
 	kindStateResp
+	kindRequest
+	kindReply
 )
 
 func writeShare(w *codec.Writer, s crypto.Share) {
@@ -195,6 +197,17 @@ func EncodeMessage(msg transport.Message) ([]byte, error) {
 		for _, rec := range m.Blocks {
 			storage.AppendBlockRecord(w, rec)
 		}
+	case *RequestMsg:
+		w.U8(kindRequest)
+		codec.MarshalRequest(w, m.Req)
+		w.Bytes(m.Sig)
+	case *ReplyMsg:
+		w.U8(kindReply)
+		w.U64(m.Client)
+		w.U64(m.Seq)
+		w.U64(uint64(m.SN))
+		w.Hash(m.Result)
+		writeShare(w, m.Share)
 	default:
 		return nil, fmt.Errorf("leopard: cannot encode message type %T", msg)
 	}
@@ -383,6 +396,16 @@ func decodeMessage(buf []byte, borrow bool) (transport.Message, error) {
 			sr.Blocks = append(sr.Blocks, rec)
 		}
 		msg = sr
+	case kindRequest:
+		msg = &RequestMsg{Req: codec.UnmarshalRequest(r), Sig: r.Bytes()}
+	case kindReply:
+		msg = &ReplyMsg{
+			Client: r.U64(),
+			Seq:    r.U64(),
+			SN:     types.SeqNum(r.U64()),
+			Result: r.Hash(),
+			Share:  readShare(r),
+		}
 	default:
 		return nil, fmt.Errorf("leopard: unknown wire kind %d", buf[0])
 	}

@@ -104,6 +104,11 @@ func testMessages() []transport.Message {
 		&vc,
 		&NewViewMsg{NewView: 4, Proofs: []ViewChangeMsg{vc}, Share: share},
 		&StateReqMsg{Have: 41},
+		&RequestMsg{
+			Req: types.Request{ClientID: 7, Seq: 12, Payload: []byte("signed-pay")},
+			Sig: []byte("client-sig-64-bytes"),
+		},
+		&ReplyMsg{Client: 7, Seq: 12, SN: 51, Result: types.Hash{8}, Share: share},
 		&StateRespMsg{
 			Checkpoint: cp,
 			Blocks: []*storage.BlockRecord{{

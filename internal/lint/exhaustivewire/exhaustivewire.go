@@ -22,11 +22,16 @@
 //     transport.Class constants — the hook transport.LaneFor and the
 //     bandwidth breakdown classify by;
 //   - the message type is referenced in the fuzz seed corpus (the
-//     testMessages function in the package's test files).
+//     testMessages function in the package's test files);
+//   - no two kind constants share a value — a collision makes frames of
+//     one kind decode as the other (kinds that collide are reported once
+//     and skip the per-kind checks, which would only add noise).
 //
 // In leopard/internal/transport it checks that every Class constant has a
 // case in (Class).String — so no class ever renders as "unknown" in a
-// Table III breakdown.
+// Table III breakdown — and that NumClasses equals the highest class value
+// plus one, so the dense per-class accounting arrays cannot silently drop
+// the newest class.
 //
 // There is no exemption annotation: a wire kind is either fully wired or a
 // bug.
@@ -34,6 +39,7 @@ package exhaustivewire
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"strings"
 
@@ -73,7 +79,26 @@ func checkKinds(pass *analysis.Pass) {
 	decodeCases := constsInCaseClauses(pass, firstNonNil(findFunc(pass, "decodeMessage"), findFunc(pass, "DecodeMessage")))
 	seedIdents, seedFound := identsInTestFunc(pass, "testMessages")
 
+	// Kind values must be distinct: a collision makes frames of one kind
+	// decode as the other. A colliding kind is broken at the root, so it is
+	// reported once and skips the per-kind checks below.
+	byValue := make(map[string]*types.Const)
+	colliding := make(map[*types.Const]bool)
 	for _, k := range kinds {
+		v := k.Val().ExactString()
+		if prev, ok := byValue[v]; ok {
+			pass.Reportf(k.Pos(),
+				"wire kind %s duplicates the value of %s (%s): frames of one kind decode as the other", k.Name(), prev.Name(), v)
+			colliding[k] = true
+			continue
+		}
+		byValue[v] = k
+	}
+
+	for _, k := range kinds {
+		if colliding[k] {
+			continue
+		}
 		typeName := strings.TrimPrefix(k.Name(), "kind") + "Msg"
 		if pass.Pkg.Scope().Lookup(typeName) == nil {
 			pass.Reportf(k.Pos(),
@@ -302,5 +327,33 @@ func checkClasses(pass *analysis.Pass) {
 			pass.Reportf(c.Pos(),
 				"class %s has no case in (Class).String: it renders as %q in every bandwidth breakdown", c.Name(), "unknown")
 		}
+	}
+	checkNumClasses(pass, classes)
+}
+
+// checkNumClasses verifies that the NumClasses constant — the size of every
+// dense per-class accounting array — tracks the class enum: it must equal
+// the highest class value plus one.
+func checkNumClasses(pass *analysis.Pass, classes []*types.Const) {
+	var top *types.Const
+	var topVal int64
+	for _, c := range classes {
+		if v, ok := constant.Int64Val(c.Val()); ok && (top == nil || v > topVal) {
+			top, topVal = c, v
+		}
+	}
+	if top == nil {
+		return
+	}
+	nc, ok := pass.Pkg.Scope().Lookup("NumClasses").(*types.Const)
+	if !ok {
+		pass.Reportf(top.Pos(),
+			"class enum has no NumClasses constant: dense per-class accounting arrays have nothing to size by")
+		return
+	}
+	if v, ok := constant.Int64Val(nc.Val()); !ok || v != topVal+1 {
+		pass.Reportf(nc.Pos(),
+			"NumClasses is %s but the class enum tops out at %s (%d): per-class accounting arrays sized by NumClasses drop the newest class",
+			nc.Val().ExactString(), top.Name(), topVal)
 	}
 }

@@ -12,6 +12,8 @@ const (
 	kindCalc
 	kindNoClass // want `message type NoClassMsg has no Class method`
 	kindUnsent  // want `wire kind kindUnsent is not used in EncodeMessage`
+
+	kindAlias uint8 = 1 // want `wire kind kindAlias duplicates the value of kindPing \(1\)`
 )
 
 type PingMsg struct{}

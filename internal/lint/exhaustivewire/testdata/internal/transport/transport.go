@@ -11,6 +11,9 @@ const (
 	ClassOrphaned // want `class ClassOrphaned has no case in \(Class\)\.String`
 )
 
+// NumClasses is deliberately stale: it stops one short of ClassOrphaned.
+const NumClasses = int(ClassBulk) + 1 // want `NumClasses is 2 but the class enum tops out at ClassOrphaned \(2\)`
+
 func (c Class) String() string {
 	switch c {
 	case ClassControl:

@@ -1,6 +1,11 @@
-// Package mempool buffers pending client requests (FIFO with dedup) and
-// datablocks awaiting consensus. Both pools are used by the protocol state
-// machines, which are single-threaded, so the pools are not synchronized.
+// Package mempool buffers pending client requests and datablocks awaiting
+// consensus. The request pool is prioritized and nonce-aware: per client it
+// keeps a pending list (sequence numbers reachable from what it has seen,
+// extractable) and a queued list (nonce-gapped arrivals that become pending
+// when the gap fills), under byte/count admission budgets, per-client
+// token-bucket rate limits, and eviction of the lowest-priority entries
+// under pressure. Both pools are used by the protocol state machines, which
+// are single-threaded, so the pools are not synchronized.
 package mempool
 
 import (
@@ -10,78 +15,409 @@ import (
 	"leopard/internal/types"
 )
 
-// entry pairs a pending request with its enqueue time, so batching code can
-// report how long requests waited (Table IV's generation stage).
+// Default admission budgets. Generous on purpose: protocol state machines
+// construct pools with NewRequestPool() and expect saturation workloads
+// (tens of thousands of outstanding synthetic requests) to be admitted;
+// deployments that want a tight front door pass explicit Limits.
+const (
+	DefaultMaxBytes        = 256 << 20
+	DefaultMaxRequests     = 1 << 20
+	DefaultMaxPerClient    = 1 << 16
+	DefaultMaxClients      = 1 << 16
+	DefaultConfirmedWindow = 4096
+)
+
+// Limits bounds a RequestPool. The zero value of every field selects its
+// default; rate limiting is off unless RatePerSec is set.
+type Limits struct {
+	// MaxBytes bounds the total wire size of live (pending + queued)
+	// requests. Admission under pressure evicts the newest queued entries
+	// to make room for gap-free arrivals; when nothing evictable remains,
+	// new requests are rejected.
+	MaxBytes int
+	// MaxRequests bounds the number of live requests.
+	MaxRequests int
+	// MaxPerClient bounds one client's live requests.
+	MaxPerClient int
+	// MaxClients bounds the number of per-client states retained
+	// (including pure dedup bookkeeping for clients with no live
+	// requests). At the cap, idle states are discarded wholesale — their
+	// clients fall back to consensus-output dedup.
+	MaxClients int
+	// ConfirmedWindow bounds the out-of-order confirmed-seq set kept per
+	// client above its contiguous watermark. Overflow forgets the
+	// furthest-ahead confirmations: a replay of those re-runs consensus
+	// harmlessly (consensus-output dedup is the backstop), whereas
+	// forgetting low seqs could reject requests forever.
+	ConfirmedWindow int
+	// RatePerSec, when positive, enables a per-client token bucket:
+	// admissions drain one token, refilled at this rate up to RateBurst.
+	RatePerSec float64
+	// RateBurst is the bucket capacity; zero with RatePerSec set means 32.
+	RateBurst int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBytes <= 0 {
+		l.MaxBytes = DefaultMaxBytes
+	}
+	if l.MaxRequests <= 0 {
+		l.MaxRequests = DefaultMaxRequests
+	}
+	if l.MaxPerClient <= 0 {
+		l.MaxPerClient = DefaultMaxPerClient
+	}
+	if l.MaxClients <= 0 {
+		l.MaxClients = DefaultMaxClients
+	}
+	if l.ConfirmedWindow <= 0 {
+		l.ConfirmedWindow = DefaultConfirmedWindow
+	}
+	if l.RatePerSec > 0 && l.RateBurst <= 0 {
+		l.RateBurst = 32
+	}
+	return l
+}
+
+// Verdict is the outcome of one admission attempt.
+type Verdict uint8
+
+const (
+	// Admitted: the request is pending and extractable.
+	Admitted Verdict = iota
+	// AdmittedQueued: admitted, but parked behind a nonce gap; it becomes
+	// pending when the gap fills (or the gap's seqs confirm elsewhere).
+	AdmittedQueued
+	// DupLive: an identical request is already pending or queued.
+	DupLive
+	// DupConfirmed: the request already finished consensus.
+	DupConfirmed
+	// StaleSeq: the sequence number is below the client's consumed
+	// watermark — superseded by a later committed request.
+	StaleSeq
+	// RateLimited: the client's token bucket is empty.
+	RateLimited
+	// PoolFull: the pool's byte/count/client budgets are exhausted and the
+	// request did not outrank anything evictable.
+	PoolFull
+	// ClientFull: the client's live-request budget is exhausted.
+	ClientFull
+	// BadSignature is produced by authenticated admission layers
+	// (leopard.Node.SubmitSigned), never by the pool itself.
+	BadSignature
+)
+
+// OK reports whether the request entered the pool.
+func (v Verdict) OK() bool { return v <= AdmittedQueued }
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Admitted:
+		return "admitted"
+	case AdmittedQueued:
+		return "queued"
+	case DupLive:
+		return "duplicate"
+	case DupConfirmed:
+		return "confirmed"
+	case StaleSeq:
+		return "stale-seq"
+	case RateLimited:
+		return "rate-limited"
+	case PoolFull:
+		return "pool-full"
+	case ClientFull:
+		return "client-full"
+	case BadSignature:
+		return "bad-signature"
+	default:
+		return "unknown"
+	}
+}
+
+// entry pairs a live request with its enqueue time (so batching code can
+// report how long requests waited — Table IV's generation stage) and its
+// position in the priority order.
 type entry struct {
-	req types.Request
-	at  time.Duration
+	req    types.Request
+	at     time.Duration
+	client *clientState
+	elem   *list.Element // in pending or queued
+	queued bool
 }
 
-// RequestPool is a FIFO of pending requests with duplicate suppression.
-// The zero value is not usable; create with NewRequestPool.
+// clientState is the per-client nonce ledger and rate limiter.
+type clientState struct {
+	id   uint64
+	init bool
+	// base is the consumed watermark: every seq below it was confirmed or
+	// superseded by a later confirmed seq, so submissions below it are
+	// rejected as stale.
+	base uint64
+	// frontier is the highest seq reachable without a gap: every seq in
+	// [base, frontier] was admitted or confirmed at some point. Arrivals
+	// at or below frontier+1 go to pending; above it they queue.
+	frontier uint64
+	// confirmed holds confirmed seqs above base (out-of-order
+	// confirmations), bounded by Limits.ConfirmedWindow.
+	confirmed map[uint64]struct{}
+	// gapped indexes this client's queued entries by seq for promotion.
+	gapped map[uint64]*entry
+	live   int
+
+	tokens     float64
+	lastRefill time.Duration
+	tokensInit bool
+}
+
+// PoolStats are the pool's monotonic admission counters.
+type PoolStats struct {
+	Admitted    int64
+	Rejected    int64 // every non-OK verdict, including RateLimited
+	RateLimited int64
+	Evicted     int64
+}
+
+// RequestPool is a prioritized, nonce-aware request pool with duplicate
+// suppression. The zero value is not usable; create with NewRequestPool or
+// NewRequestPoolLimits.
+//
+// Priority is total and deterministic: gap-free (pending) entries outrank
+// nonce-gapped (queued) entries, and within each class earlier promotion
+// outranks later. Extraction takes the highest-priority entries; eviction
+// under pressure removes the lowest-priority ones.
 type RequestPool struct {
-	fifo    *list.List
-	present map[types.RequestID]struct{}
-	// confirmed remembers ids whose requests were already confirmed so a
-	// late duplicate is not re-admitted. Bounded by pruning in Confirm.
-	confirmed map[types.RequestID]struct{}
-	maxSeen   int
-	bytes     int
+	lim     Limits
+	pending *list.List // *entry in promotion order (front = extract next)
+	queued  *list.List // *entry in admission order (back = evict first)
+	byID    map[types.RequestID]*entry
+	clients map[uint64]*clientState
+	bytes   int
+	stats   PoolStats
 }
 
-// NewRequestPool creates an empty pool.
-func NewRequestPool() *RequestPool {
+// NewRequestPool creates an empty pool with default limits.
+func NewRequestPool() *RequestPool { return NewRequestPoolLimits(Limits{}) }
+
+// NewRequestPoolLimits creates an empty pool bounded by lim.
+func NewRequestPoolLimits(lim Limits) *RequestPool {
 	return &RequestPool{
-		fifo:      list.New(),
-		present:   make(map[types.RequestID]struct{}),
-		confirmed: make(map[types.RequestID]struct{}),
+		lim:     lim.withDefaults(),
+		pending: list.New(),
+		queued:  list.New(),
+		byID:    make(map[types.RequestID]*entry),
+		clients: make(map[uint64]*clientState),
 	}
 }
 
-// Add enqueues a request at time now unless it is already pending or
-// confirmed. It reports whether the request was admitted.
+// Add enqueues a request at time now. It reports whether the request was
+// admitted (pending or queued); Admit exposes the full verdict.
 func (p *RequestPool) Add(r types.Request, now time.Duration) bool {
+	return p.Admit(r, now).OK()
+}
+
+// client returns the per-client state, creating it if the state budget
+// allows. At the cap, idle states (no live entries) are discarded wholesale
+// — a deterministic set, so seeded simulations stay reproducible — and nil
+// is returned only if every retained state still has live entries.
+func (p *RequestPool) client(id uint64) *clientState {
+	if c, ok := p.clients[id]; ok {
+		return c
+	}
+	if len(p.clients) >= p.lim.MaxClients {
+		for cid, c := range p.clients {
+			if c.live == 0 {
+				delete(p.clients, cid)
+			}
+		}
+		if len(p.clients) >= p.lim.MaxClients {
+			return nil
+		}
+	}
+	c := &clientState{id: id}
+	p.clients[id] = c
+	return c
+}
+
+// Admit attempts to add a request at time now and returns the verdict.
+func (p *RequestPool) Admit(r types.Request, now time.Duration) Verdict {
+	v := p.admit(r, now)
+	if v.OK() {
+		p.stats.Admitted++
+	} else {
+		p.stats.Rejected++
+		if v == RateLimited {
+			p.stats.RateLimited++
+		}
+	}
+	return v
+}
+
+func (p *RequestPool) admit(r types.Request, now time.Duration) Verdict {
 	id := r.ID()
-	if _, ok := p.present[id]; ok {
+	if _, ok := p.byID[id]; ok {
+		return DupLive
+	}
+	c := p.client(r.ClientID)
+	if c == nil {
+		return PoolFull
+	}
+	if c.init {
+		if r.Seq < c.base {
+			return StaleSeq
+		}
+		if _, ok := c.confirmed[r.Seq]; ok {
+			return DupConfirmed
+		}
+	}
+	if c.live >= p.lim.MaxPerClient {
+		return ClientFull
+	}
+	if p.lim.RatePerSec > 0 && !p.takeToken(c, now) {
+		return RateLimited
+	}
+
+	gapped := c.init && r.Seq > c.frontier+1
+	size := r.Size()
+	if !p.makeRoom(size, gapped) {
+		return PoolFull
+	}
+
+	e := &entry{req: r, at: now, client: c}
+	p.byID[id] = e
+	c.live++
+	p.bytes += size
+	if gapped {
+		e.queued = true
+		e.elem = p.queued.PushBack(e)
+		c.gapped[r.Seq] = e
+		return AdmittedQueued
+	}
+	if !c.init {
+		c.init = true
+		c.base = r.Seq
+		c.frontier = r.Seq
+		c.confirmed = make(map[uint64]struct{})
+		c.gapped = make(map[uint64]*entry)
+	} else if r.Seq == c.frontier+1 {
+		c.frontier = r.Seq
+	}
+	e.elem = p.pending.PushBack(e)
+	p.promote(c)
+	return Admitted
+}
+
+// takeToken refills and drains the client's token bucket. The bucket is
+// primed full at its first use.
+func (p *RequestPool) takeToken(c *clientState, now time.Duration) bool {
+	burst := float64(p.lim.RateBurst)
+	if !c.tokensInit {
+		c.tokensInit = true
+		c.tokens = burst
+		c.lastRefill = now
+	} else if now > c.lastRefill {
+		c.tokens += (now - c.lastRefill).Seconds() * p.lim.RatePerSec
+		if c.tokens > burst {
+			c.tokens = burst
+		}
+		c.lastRefill = now
+	}
+	if c.tokens < 1 {
 		return false
 	}
-	if _, ok := p.confirmed[id]; ok {
-		return false
-	}
-	p.present[id] = struct{}{}
-	p.fifo.PushBack(entry{req: r, at: now})
-	p.bytes += r.Size()
-	if p.fifo.Len() > p.maxSeen {
-		p.maxSeen = p.fifo.Len()
-	}
+	c.tokens--
 	return true
 }
 
-// Len returns the number of pending requests.
-func (p *RequestPool) Len() int { return p.fifo.Len() }
+// makeRoom enforces the byte/count budgets for an arrival of the given
+// size, evicting newest-queued entries (the lowest-priority class) to admit
+// a gap-free request. A gapped arrival never evicts: it would itself be the
+// newest queued entry, i.e. the pool's lowest priority.
+func (p *RequestPool) makeRoom(size int, gapped bool) bool {
+	over := func() bool {
+		return len(p.byID) >= p.lim.MaxRequests || p.bytes+size > p.lim.MaxBytes
+	}
+	if !over() {
+		return true
+	}
+	if gapped {
+		return false
+	}
+	for over() && p.queued.Len() > 0 {
+		victim := p.queued.Back().Value.(*entry)
+		p.remove(victim)
+		p.stats.Evicted++
+	}
+	return !over()
+}
 
-// Bytes returns the total wire size of pending requests.
+// promote moves the client's queued entries into pending for as long as the
+// frontier extends through them (or through seqs confirmed out of order).
+func (p *RequestPool) promote(c *clientState) {
+	for {
+		if e, ok := c.gapped[c.frontier+1]; ok {
+			c.frontier++
+			delete(c.gapped, c.frontier)
+			p.queued.Remove(e.elem)
+			e.queued = false
+			e.elem = p.pending.PushBack(e)
+			continue
+		}
+		if _, ok := c.confirmed[c.frontier+1]; ok {
+			c.frontier++
+			continue
+		}
+		return
+	}
+}
+
+// remove unlinks a live entry entirely.
+func (p *RequestPool) remove(e *entry) {
+	if e.queued {
+		p.queued.Remove(e.elem)
+		delete(e.client.gapped, e.req.Seq)
+	} else {
+		p.pending.Remove(e.elem)
+	}
+	delete(p.byID, e.req.ID())
+	e.client.live--
+	p.bytes -= e.req.Size()
+}
+
+// Len returns the number of pending (extractable) requests.
+func (p *RequestPool) Len() int { return p.pending.Len() }
+
+// Queued returns the number of nonce-gapped requests awaiting promotion.
+func (p *RequestPool) Queued() int { return p.queued.Len() }
+
+// Bytes returns the total wire size of live (pending + queued) requests.
 func (p *RequestPool) Bytes() int { return p.bytes }
 
-// Extract removes and returns up to max requests in FIFO order, along with
-// the enqueue time of the oldest extracted request (zero when none).
+// Stats returns the pool's admission counters.
+func (p *RequestPool) Stats() PoolStats { return p.stats }
+
+// Extract removes and returns up to max pending requests in priority order,
+// along with the enqueue time of the oldest extracted request (zero when
+// none). Extracted requests may be re-admitted until they confirm — that is
+// how client retransmissions of in-flight requests are served.
 func (p *RequestPool) Extract(max int) ([]types.Request, time.Duration) {
 	if max <= 0 {
 		return nil, 0
 	}
 	n := max
-	if l := p.fifo.Len(); l < n {
+	if l := p.pending.Len(); l < n {
 		n = l
+	}
+	if n == 0 {
+		return nil, 0
 	}
 	var oldest time.Duration
 	out := make([]types.Request, 0, n)
 	for i := 0; i < n; i++ {
-		front := p.fifo.Front()
-		e := front.Value.(entry)
-		p.fifo.Remove(front)
-		delete(p.present, e.req.ID())
-		p.bytes -= e.req.Size()
-		if i == 0 {
+		e := p.pending.Front().Value.(*entry)
+		p.remove(e)
+		if i == 0 || e.at < oldest {
 			oldest = e.at
 		}
 		out = append(out, e.req)
@@ -89,16 +425,69 @@ func (p *RequestPool) Extract(max int) ([]types.Request, time.Duration) {
 	return out, oldest
 }
 
-// MarkConfirmed records that a request finished consensus, so future
-// duplicates are rejected. The confirmed set is pruned at pruneLimit.
+// MarkConfirmed records that a request finished consensus: duplicates are
+// rejected from then on, a live copy (confirmed via another replica's
+// datablock) is dropped, and the client's consumed watermark advances.
+// Per-client bookkeeping is bounded: contiguous confirmations fold into the
+// base watermark, out-of-order ones live in a window of ConfirmedWindow
+// seqs whose furthest-ahead entries are forgotten on overflow.
 func (p *RequestPool) MarkConfirmed(id types.RequestID) {
-	const pruneLimit = 1 << 20
-	if len(p.confirmed) >= pruneLimit {
-		// Reset wholesale: clients that resubmit after this window re-run
-		// consensus harmlessly (consensus output dedup is the backstop).
-		p.confirmed = make(map[types.RequestID]struct{})
+	c := p.client(id.Client)
+	if c == nil {
+		return // state budget exhausted: rely on consensus-output dedup
 	}
-	p.confirmed[id] = struct{}{}
+	if e, ok := p.byID[id]; ok {
+		p.remove(e)
+	}
+	seq := id.Seq
+	if !c.init {
+		c.init = true
+		c.base = seq + 1
+		c.frontier = seq
+		c.confirmed = make(map[uint64]struct{})
+		c.gapped = make(map[uint64]*entry)
+		return
+	}
+	if seq < c.base {
+		return
+	}
+	if _, ok := c.confirmed[seq]; ok {
+		return
+	}
+	if seq == c.base {
+		c.base++
+		for {
+			if _, ok := c.confirmed[c.base]; !ok {
+				break
+			}
+			delete(c.confirmed, c.base)
+			c.base++
+		}
+	} else {
+		if len(c.confirmed) >= p.lim.ConfirmedWindow {
+			var maxSeq uint64
+			for s := range c.confirmed {
+				if s > maxSeq {
+					maxSeq = s
+				}
+			}
+			if seq > maxSeq {
+				return // the newcomer is the furthest ahead: forget it
+			}
+			delete(c.confirmed, maxSeq)
+		}
+		c.confirmed[seq] = struct{}{}
+	}
+	if c.base > 0 && c.frontier < c.base-1 {
+		c.frontier = c.base - 1
+	}
+	if seq == c.frontier+1 {
+		c.frontier = seq
+	}
+	// No live entry can sit below base here: base advances only through
+	// seqs that were individually confirmed, and each confirmation removed
+	// its live copy above.
+	p.promote(c)
 }
 
 // DatablockPool stores accepted datablocks, indexed both by digest and by

@@ -140,6 +140,55 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	return l.samples[idx]
 }
 
+// Histogram renders the samples as a log-scale latency histogram: one row
+// per power-of-two bucket starting at 1ms, with a proportional bar and the
+// sample count. Buckets with no samples between the first and last occupied
+// bucket still print, so the shape of the distribution is readable.
+func (l *LatencyRecorder) Histogram() string {
+	if len(l.samples) == 0 {
+		return "(no samples)\n"
+	}
+	const base = time.Millisecond
+	bucket := func(d time.Duration) int {
+		b := 0
+		for limit := base; d >= limit && b < 62; limit *= 2 {
+			b++
+		}
+		return b
+	}
+	counts := make(map[int]int)
+	lo, hi := 63, 0
+	for _, s := range l.samples {
+		b := bucket(s)
+		counts[b]++
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for b := lo; b <= hi; b++ {
+		var label string
+		if b == 0 {
+			label = fmt.Sprintf("       < %v", base)
+		} else {
+			label = fmt.Sprintf("%8v - %v", base<<(b-1), base<<b)
+		}
+		c := counts[b]
+		bar := strings.Repeat("#", c*40/max)
+		fmt.Fprintf(&sb, "%-22s %6d %s\n", label, c, bar)
+	}
+	return sb.String()
+}
+
 // Throughput converts a confirmed-request count over a duration into
 // requests per second.
 func Throughput(confirmed int64, elapsed time.Duration) float64 {

@@ -102,11 +102,13 @@ func TestLeopardOverTCP(t *testing.T) {
 	}()
 
 	// Give listeners a moment, then submit 40 requests to replicas 2 and 3
-	// (replica 1 leads view 1).
+	// (replica 1 leads view 1). One client per replica, each with a
+	// contiguous seq stream: the nonce-aware mempool parks gapped seqs until
+	// the gap fills, so a client must not stripe one stream across replicas.
 	time.Sleep(200 * time.Millisecond)
 	for i := 0; i < 40; i++ {
 		target := 2 + i%2
-		req := types.Request{ClientID: uint64(target), Seq: uint64(i), Payload: []byte(fmt.Sprintf("req-%d", i))}
+		req := types.Request{ClientID: uint64(target), Seq: uint64(i / 2), Payload: []byte(fmt.Sprintf("req-%d", i))}
 		node := nodes[target]
 		if err := runtimes[target].Inject(func(now time.Duration, out transport.Sink) {
 			node.SubmitRequest(now, req)

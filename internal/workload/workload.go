@@ -31,16 +31,30 @@ func Assign(req types.RequestID, n int, leader types.ReplicaID) types.ReplicaID 
 // consensus treats payloads as opaque, so sharing keeps multi-million-
 // request simulations within memory. Callers that mutate payloads must
 // copy them first.
+//
+// Each client's seqs are emitted contiguously from zero — the nonce-aware
+// mempool parks gapped seqs until the gap fills, so a generator's stream
+// must all be submitted to the same replica. Give each replica its own
+// generator over a disjoint client range (NewGeneratorAt) rather than
+// striping one stream across replicas.
 type Generator struct {
-	payload    []byte
-	nextClient uint64
-	nextSeq    uint64
-	numClients uint64
+	payload     []byte
+	firstClient uint64
+	nextClient  uint64
+	nextSeq     uint64
+	numClients  uint64
 }
 
 // NewGenerator creates a generator producing payloadSize-byte requests from
-// numClients synthetic clients.
+// numClients synthetic clients with IDs starting at zero.
 func NewGenerator(payloadSize, numClients int) *Generator {
+	return NewGeneratorAt(payloadSize, numClients, 0)
+}
+
+// NewGeneratorAt is NewGenerator with the client-ID range starting at
+// firstClient, so multiple generators can produce disjoint client
+// populations (one per replica).
+func NewGeneratorAt(payloadSize, numClients int, firstClient uint64) *Generator {
 	if numClients < 1 {
 		numClients = 1
 	}
@@ -48,12 +62,12 @@ func NewGenerator(payloadSize, numClients int) *Generator {
 	for i := range payload {
 		payload[i] = byte(0xa5 ^ i)
 	}
-	return &Generator{payload: payload, numClients: uint64(numClients)}
+	return &Generator{payload: payload, firstClient: firstClient, numClients: uint64(numClients)}
 }
 
 // Next returns the next request in the stream.
 func (g *Generator) Next() types.Request {
-	r := types.Request{ClientID: g.nextClient, Seq: g.nextSeq, Payload: g.payload}
+	r := types.Request{ClientID: g.firstClient + g.nextClient, Seq: g.nextSeq, Payload: g.payload}
 	g.nextClient++
 	if g.nextClient == g.numClients {
 		g.nextClient = 0
