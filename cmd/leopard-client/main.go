@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"leopard/internal/client"
+	"leopard/internal/crypto"
 	"leopard/internal/leopard"
 	"leopard/internal/metrics"
 	"leopard/internal/types"
@@ -62,7 +63,20 @@ func run(configPath string, origin, count, payload int, clientID, firstSeq uint6
 	if n == 0 {
 		return fmt.Errorf("cluster config has no client ports")
 	}
+	if len(cfg.Replicas) != n {
+		return fmt.Errorf("cluster config has %d replicas but %d client ports", len(cfg.Replicas), n)
+	}
+	if payload < 8 {
+		return fmt.Errorf("payload must be at least 8 bytes (the sequence-number prefix), got %d", payload)
+	}
 	q, err := types.NewQuorumParams(n)
+	if err != nil {
+		return err
+	}
+	// The replica suite's public keys, derived from the same cluster seed
+	// the replicas use: replies are only counted toward a certificate after
+	// their signature share verifies against the claimed signer's key.
+	suite, err := crypto.NewEd25519Suite(n, []byte(cfg.Seed))
 	if err != nil {
 		return err
 	}
@@ -94,7 +108,7 @@ func run(configPath string, origin, count, payload int, clientID, firstSeq uint6
 		}
 		defer conn.Close()
 		conns[i] = conn
-		go readReplies(conn, replies)
+		go readReplies(conn, suite, replies)
 	}
 
 	session := client.NewSession(client.SessionConfig{
@@ -155,8 +169,13 @@ func run(configPath string, origin, count, payload int, clientID, firstSeq uint6
 	return nil
 }
 
-// readReplies decodes ReplyMsg frames off one replica connection.
-func readReplies(conn net.Conn, out chan<- client.Reply) {
+// readReplies decodes ReplyMsg frames off one replica connection and drops
+// any reply whose signature share does not verify: Share.Signer is
+// attacker-controlled wire data, and the f+1 certificate rule only holds if
+// each counted reply is provably from the distinct replica it names — an
+// unverified reply would let a single Byzantine replica (or a tampered
+// connection) forge a full certificate over an arbitrary result.
+func readReplies(conn net.Conn, suite crypto.Suite, out chan<- client.Reply) {
 	for {
 		frame, err := readFrame(conn)
 		if err != nil {
@@ -168,6 +187,10 @@ func readReplies(conn net.Conn, out chan<- client.Reply) {
 		}
 		m, ok := msg.(*leopard.ReplyMsg)
 		if !ok {
+			continue
+		}
+		digest := client.ReplyDigest(m.Client, m.Seq, m.SN, m.Result)
+		if suite.VerifyShare(digest, m.Share) != nil {
 			continue
 		}
 		out <- client.Reply{

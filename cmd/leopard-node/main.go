@@ -54,6 +54,7 @@ import (
 	"leopard/internal/client"
 	"leopard/internal/crypto"
 	"leopard/internal/leopard"
+	"leopard/internal/mempool"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/transport/tcp"
@@ -443,13 +444,18 @@ func handleClient(conn net.Conn, rt *tcp.Runtime, node *leopard.Node, hub *reply
 		if !ok {
 			return
 		}
-		// Register interest before admission: the reply fires on the apply
-		// loop as soon as the request executes, possibly before Inject
-		// returns. Duplicate submissions (retransmits) are rejected by the
-		// pool but still move the reply slot to this connection.
-		hub.expect(req.Req.ID(), cc)
+		// The waiter is registered inside the Inject closure, after the
+		// admission verdict: RequestID is only (client, seq), so a request
+		// that fails signature verification must never take over another
+		// client's reply slot (suppressing its reply) or grow the waiters
+		// map from an unauthenticated connection. Registering on the apply
+		// loop is race-free — the reply for this request also fires on the
+		// apply loop, strictly after admission. Duplicate submissions
+		// (retransmits, DupLive) still move the reply slot here.
 		if err := rt.Inject(func(now time.Duration, out transport.Sink) {
-			node.SubmitSigned(now, req.Req, req.Sig)
+			if v := node.SubmitSigned(now, req.Req, req.Sig); v != mempool.BadSignature {
+				hub.expect(req.Req.ID(), cc)
+			}
 		}); err != nil {
 			return
 		}

@@ -78,11 +78,18 @@ func (s *Store) Get(key string) (string, types.SeqNum) {
 // rather than one closed loop.
 type certTracker struct {
 	f     int
+	suite crypto.Suite
 	votes map[types.RequestID]map[types.ReplicaID]string
 	done  map[types.RequestID]bool
 }
 
 func (c *certTracker) add(m leopard.ReplyMsg) {
+	// Only count replies whose signature share verifies: Share.Signer is
+	// what names the voting replica, so counting an unverified reply would
+	// let one Byzantine replica stuff a certificate with forged signers.
+	if c.suite.VerifyShare(client.ReplyDigest(m.Client, m.Seq, m.SN, m.Result), m.Share) != nil {
+		return
+	}
 	id := types.RequestID{Client: m.Client, Seq: m.Seq}
 	if c.votes[id] == nil {
 		c.votes[id] = make(map[types.ReplicaID]string)
@@ -124,6 +131,7 @@ func run() error {
 
 	certs := &certTracker{
 		f:     q.F,
+		suite: suite,
 		votes: make(map[types.RequestID]map[types.ReplicaID]string),
 		done:  make(map[types.RequestID]bool),
 	}

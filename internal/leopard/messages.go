@@ -333,8 +333,10 @@ type ReplyMsg struct {
 
 var _ transport.Message = (*ReplyMsg)(nil)
 
-// WireSize implements transport.Message.
-func (m *ReplyMsg) WireSize() int { return hdrSize + 24 + hashSize + len(m.Share.Sig) }
+// WireSize implements transport.Message. The trailing 8 covers the share's
+// signer id and signature length prefix (writeShare), matching EncodeMessage
+// byte-for-byte so simnet bandwidth accounting does not undercount replies.
+func (m *ReplyMsg) WireSize() int { return hdrSize + 24 + hashSize + 8 + len(m.Share.Sig) }
 
 // Class implements transport.Message.
 func (m *ReplyMsg) Class() transport.Class { return transport.ClassAck }
