@@ -39,6 +39,8 @@ var knownExperiments = []struct{ id, desc string }{
 	{"recover", "crash-restart a replica: WAL recovery + state transfer vs no-durability baseline"},
 	{"chaos", "seeded fault schedules (partitions, loss, skew, crashes) under the invariant checker"},
 	{"clients", "closed-loop signed clients: reply certificates under leader churn + a reply-suppressing replica"},
+	{"rotate", "pipelined rotating-leader agreement: fixed vs rotated A/B with per-replica CPU shares"},
+	{"chaos-rotate", "the chaos fault sweep with the rotating-leader schedule enabled"},
 }
 
 func main() {
@@ -238,8 +240,25 @@ func run(id string, scales []int, numClients int) error {
 				r.N, r.Mode, caught, catchup, r.HeightAtRestart,
 				r.BlocksReplayed, r.StateBlocks, r.Retrievals, r.ReVotes)
 		}
-	case "chaos":
-		rows, err := experiments.ChaosScenario(scales)
+	case "rotate":
+		rows, err := experiments.RotateScenario(scales)
+		if err != nil {
+			return err
+		}
+		fmt.Println("   n   mode      throughput(Kreq/s)   latency(ms)   leader-cpu   other-cpu   max-cpu")
+		for _, r := range rows {
+			fmt.Printf("%4d   %-7s   %18.1f   %11.1f   %9.1f%%   %8.1f%%   %6.1f%%\n",
+				r.N, r.Mode, r.Throughput/1e3, float64(r.MeanLat.Microseconds())/1e3,
+				100*r.LeaderCPU, 100*r.OtherCPU, 100*r.MaxCPU)
+		}
+	case "chaos", "chaos-rotate":
+		var rows []experiments.ChaosResult
+		var err error
+		if id == "chaos-rotate" {
+			rows, err = experiments.ChaosScenarioRotated(scales)
+		} else {
+			rows, err = experiments.ChaosScenario(scales)
+		}
 		if err != nil {
 			return err
 		}

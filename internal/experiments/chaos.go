@@ -49,6 +49,30 @@ type chaosParams struct {
 	grace       time.Duration // bounded-liveness budget after the plan heals
 	triggerSeq  types.SeqNum  // amnesia: crash the leader at this proposal
 	seed        int64
+	// rotate runs the whole schedule library with the rotating-leader
+	// schedule enabled (Config.RotateLeaders) and the invariant checker's
+	// scheduled-proposer check armed.
+	rotate bool
+}
+
+// rotateMutate composes the rotation flag onto a per-run config mutator.
+func (p chaosParams) rotateMutate(mutate func(*leopard.Config)) func(*leopard.Config) {
+	if !p.rotate {
+		return mutate
+	}
+	return func(cfg *leopard.Config) {
+		cfg.RotateLeaders = true
+		if mutate != nil {
+			mutate(cfg)
+		}
+	}
+}
+
+// arm wires the rotation-aware checks into a fresh invariant checker.
+func (p chaosParams) arm(ic *harness.InvariantChecker, n int) {
+	if p.rotate {
+		ic.SetRotation(n)
+	}
 }
 
 func defaultChaosParams() chaosParams {
@@ -261,6 +285,9 @@ func chaosFinish(res *ChaosResult, c *harness.Cluster, ic *harness.InvariantChec
 // chaosOnce runs one scheduled plan under the invariant checker.
 func chaosOnce(n int, plan faultplan.Plan, p chaosParams) (ChaosResult, error) {
 	res := ChaosResult{N: n, Plan: plan.Name}
+	if p.rotate {
+		res.Plan += "+rotate"
+	}
 	if n < 4 {
 		return res, fmt.Errorf("need n >= 4, got %d", n)
 	}
@@ -269,12 +296,13 @@ func chaosOnce(n int, plan faultplan.Plan, p chaosParams) (ChaosResult, error) {
 		return res, err
 	}
 	ic := harness.NewInvariantChecker(suite)
+	p.arm(ic, n)
 	stores := make([]storage.Store, n)
 	for i := range stores {
 		stores[i] = storage.NewMemLog()
 		ic.RegisterStore(types.ReplicaID(i), stores[i])
 	}
-	c, err := chaosCluster(n, p, suite, ic, stores, nil)
+	c, err := chaosCluster(n, p, suite, ic, stores, p.rotateMutate(nil))
 	if err != nil {
 		return res, err
 	}
@@ -313,6 +341,9 @@ func chaosAmnesia(n int, disableVAL bool, p chaosParams) (ChaosResult, error) {
 	if disableVAL {
 		name += "-noval"
 	}
+	if p.rotate {
+		name += "+rotate"
+	}
 	res := ChaosResult{N: n, Plan: name}
 	if n < 4 {
 		return res, fmt.Errorf("need n >= 4, got %d", n)
@@ -322,12 +353,13 @@ func chaosAmnesia(n int, disableVAL bool, p chaosParams) (ChaosResult, error) {
 		return res, err
 	}
 	ic := harness.NewInvariantChecker(suite)
+	p.arm(ic, n)
 	stores := make([]storage.Store, n)
 	for i := range stores {
 		stores[i] = storage.NewMemLog()
 		ic.RegisterStore(types.ReplicaID(i), stores[i])
 	}
-	c, err := chaosCluster(n, p, suite, ic, stores, func(cfg *leopard.Config) {
+	c, err := chaosCluster(n, p, suite, ic, stores, p.rotateMutate(func(cfg *leopard.Config) {
 		// A patient view-change timer keeps the cluster in the leader's
 		// view long enough for the restarted leader to equivocate before
 		// anyone gives up on it, and a deep outstanding window keeps the
@@ -336,7 +368,7 @@ func chaosAmnesia(n int, disableVAL bool, p chaosParams) (ChaosResult, error) {
 		cfg.ViewChangeTimeout = time.Second
 		cfg.MaxOutstandingDatablocks = 64
 		cfg.DisableVoteAheadLog = disableVAL
-	})
+	}))
 	if err != nil {
 		return res, err
 	}
@@ -394,10 +426,22 @@ func ChaosAmnesia(n int, disableVAL bool) (ChaosResult, error) {
 // vote-ahead logging enabled) at each scale with the invariant checker on.
 // A healthy tree returns zero violations in every row.
 func ChaosScenario(scales []int) ([]ChaosResult, error) {
+	return chaosScenario(scales, defaultChaosParams())
+}
+
+// ChaosScenarioRotated is ChaosScenario with the rotating-leader schedule
+// enabled on every replica and the checker's scheduled-proposer invariant
+// armed — the fault sweep that gates rotation changes in CI.
+func ChaosScenarioRotated(scales []int) ([]ChaosResult, error) {
+	p := defaultChaosParams()
+	p.rotate = true
+	return chaosScenario(scales, p)
+}
+
+func chaosScenario(scales []int, p chaosParams) ([]ChaosResult, error) {
 	if len(scales) == 0 {
 		scales = []int{4, 8, 16}
 	}
-	p := defaultChaosParams()
 	var out []ChaosResult
 	for _, n := range scales {
 		for _, plan := range chaosPlans(n, p.seed) {

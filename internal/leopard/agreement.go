@@ -16,6 +16,13 @@ func (n *Node) maybePropose(out transport.Sink) {
 		if n.walFailed {
 			return // fail-stop latched (possibly by a failed vote persist)
 		}
+		if n.cfg.RotateLeaders {
+			// Under rotation this replica proposes only its own stride-n
+			// subset of serials; skip past slots owned by other proposers.
+			for !n.isProposer(n.nextSeq) {
+				n.nextSeq++
+			}
+		}
 		if n.nextSeq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
 			return // watermark window full; wait for checkpoints
 		}
@@ -27,7 +34,14 @@ func (n *Node) maybePropose(out transport.Sink) {
 		}
 		full := len(n.readyQueue) >= n.cfg.BFTBlockSize
 		stale := len(n.readyQueue) > 0 && n.now-n.lastPropose >= n.cfg.BatchTimeout
-		if !full && !stale {
+		// Under rotation, an owned slot that peers have already proposed
+		// past is a hole blocking everyone's consecutive-prefix executor;
+		// fill it with an empty block once the batch timer expires. Fills
+		// do not reset lastPropose, so a run of consecutive holes (e.g.
+		// after this replica rejoins) fills in a single tick.
+		fill := n.cfg.RotateLeaders && n.maxSeqSeen > n.nextSeq &&
+			n.now-n.lastPropose >= n.cfg.BatchTimeout
+		if !full && !stale && !fill {
 			return
 		}
 		take := n.cfg.BFTBlockSize
@@ -42,7 +56,9 @@ func (n *Node) maybePropose(out transport.Sink) {
 		}
 		block := &types.BFTblock{View: n.view, Seq: n.nextSeq, Content: content}
 		n.nextSeq++
-		n.lastPropose = n.now
+		if take > 0 {
+			n.lastPropose = n.now
+		}
 		if err := n.propose(block, out); err != nil {
 			// Signing with our own key cannot fail in a correct setup.
 			panic(err)
@@ -71,6 +87,9 @@ func (n *Node) propose(block *types.BFTblock, out transport.Sink) error {
 	inst.proposedAt = n.now
 	inst.voted1 = true
 	n.votedSeq[block.Seq] = digest
+	if block.Seq > n.maxSeqSeen {
+		n.maxSeqSeen = block.Seq
+	}
 	n.addVote1(inst, share)
 	out.Broadcast(&BFTblockMsg{Block: block, LeaderShare: share})
 	return nil
@@ -150,17 +169,20 @@ func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out transpor
 		// 2f+1 view-change messages) and the new leader's first proposals
 		// routinely overtake it; dropping them would strand every redo slot,
 		// because the leader proposes each slot exactly once.
-		if from == types.LeaderOf(block.View, n.q.N) && len(n.futureBlocks) < 4*n.cfg.MaxParallel {
+		if from == n.proposerForView(block.View, block.Seq) && len(n.futureBlocks) < 4*n.cfg.MaxParallel {
 			//lint:retains-frame buffered proposal keeps its frame alive until the view advances and handleBFTblock replays it; the buffer is bounded by 4*MaxParallel
 			n.futureBlocks = append(n.futureBlocks, m)
 		}
 		return
 	}
-	if n.inViewChange || block.View != n.view || from != n.Leader() {
+	if n.inViewChange || block.View != n.view || from != n.proposerOf(block.Seq) {
 		return
 	}
 	if block.Seq <= n.lw || block.Seq > n.lw+types.SeqNum(n.cfg.MaxParallel) {
 		return // outside the watermark window
+	}
+	if block.Seq > n.maxSeqSeen {
+		n.maxSeqSeen = block.Seq
 	}
 	digest := crypto.HashBFTblock(block)
 	if prev, voted := n.votedSeq[block.Seq]; voted && prev != digest {
@@ -229,17 +251,17 @@ func (n *Node) castVote1(inst *instance, out transport.Sink) {
 	inst.voted1 = true
 	n.votedSeq[inst.block.Seq] = inst.digest
 	vote := &VoteMsg{Block: inst.block.ID(), Round: 1, Digest: inst.digest, Share: share}
-	if n.isLeader() {
+	if n.isProposer(inst.block.Seq) {
 		n.addVote1(inst, share)
 		return
 	}
-	out.Send(transport.Unicast(n.Leader(), vote))
+	out.Send(transport.Unicast(n.proposerOf(inst.block.Seq), vote))
 }
 
 // handleVote collects threshold shares at the leader (notarize and confirm
 // stages of Alg. 2).
 func (n *Node) handleVote(from types.ReplicaID, m *VoteMsg, out transport.Sink) {
-	if !n.isLeader() || n.inViewChange || m.Block.View != n.view {
+	if n.inViewChange || m.Block.View != n.view || !n.isProposer(m.Block.Seq) {
 		return
 	}
 	inst := n.instances[m.Block.Seq]
@@ -422,12 +444,12 @@ func (n *Node) castVote2(inst *instance, out transport.Sink) {
 	}
 	inst.voted2 = true
 	n.vote2Lock[inst.block.Seq] = inst.sigma1Digest
-	if n.isLeader() {
+	if n.isProposer(inst.block.Seq) {
 		inst.vote2Seen[n.cfg.ID] = struct{}{}
 		inst.vote2Shares = append(inst.vote2Shares, share)
 		return
 	}
-	out.Send(transport.Unicast(n.Leader(), &VoteMsg{
+	out.Send(transport.Unicast(n.proposerOf(inst.block.Seq), &VoteMsg{
 		Block: inst.block.ID(), Round: 2, Digest: inst.sigma1Digest, Share: share,
 	}))
 }

@@ -281,3 +281,71 @@ func TestNoRepliesDuringReplay(t *testing.T) {
 		t.Fatalf("RepliesSent = %d after pure replay", node.Stats().RepliesSent)
 	}
 }
+
+// TestConfirmedResubmissionGetsFreshReply: a client that missed the original
+// reply certificate retransmits its confirmed request; instead of a bare
+// dup-confirmed rejection, the replica re-emits a fresh signed ReplyMsg from
+// its last-reply cache, so the client still completes.
+func TestConfirmedResubmissionGetsFreshReply(t *testing.T) {
+	var replies []leopard.ReplyMsg
+	r := newRouter(t, 4, nil)
+	r.nodes[0].SetReplySink(func(m leopard.ReplyMsg) { replies = append(replies, m) })
+
+	const clientID, seq = 77, 5
+	req := types.Request{ClientID: clientID, Seq: seq, Payload: []byte("retry-me")}
+	if v := r.nodes[0].SubmitSigned(r.now, req, nil); v != mempool.Admitted {
+		t.Fatalf("initial submission: verdict %v", v)
+	}
+	r.advance(200*time.Millisecond, 5*time.Millisecond)
+
+	var original *leopard.ReplyMsg
+	for i := range replies {
+		if replies[i].Client == clientID && replies[i].Seq == seq {
+			original = &replies[i]
+		}
+	}
+	if original == nil {
+		t.Fatal("request never executed; no original reply emitted")
+	}
+	first := *original
+
+	// The client missed the certificate and retransmits. The pool rejects
+	// the duplicate (as StaleSeq here: the contiguous confirmation folded
+	// into the consumed watermark), but the cached reply must be re-sent —
+	// identical result and a share that verifies, so f+1 such replies still
+	// certify.
+	replies = replies[:0]
+	sentBefore := r.nodes[0].Stats().RepliesSent
+	if v := r.nodes[0].SubmitSigned(r.now, req, nil); v.OK() {
+		t.Fatalf("retransmission admitted: %v", v)
+	}
+	if len(replies) != 1 {
+		t.Fatalf("retransmission produced %d replies, want 1", len(replies))
+	}
+	got := replies[0]
+	if got.Client != clientID || got.Seq != seq || got.SN != first.SN || got.Result != first.Result {
+		t.Fatalf("re-emitted reply %+v does not match original %+v", got, first)
+	}
+	suite, err := crypto.NewEd25519Suite(4, []byte("router-seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := client.ReplyDigest(got.Client, got.Seq, got.SN, got.Result)
+	if err := suite.VerifyShare(digest, got.Share); err != nil {
+		t.Fatalf("re-emitted reply share does not verify: %v", err)
+	}
+	if sent := r.nodes[0].Stats().RepliesSent; sent != sentBefore+1 {
+		t.Fatalf("RepliesSent %d → %d, want +1", sentBefore, sent)
+	}
+
+	// Only the exact confirmed (client, seq) is served from the cache: a
+	// different stale seq stays a bare rejection.
+	replies = replies[:0]
+	stale := types.Request{ClientID: clientID, Seq: seq - 1, Payload: []byte("older")}
+	if v := r.nodes[0].SubmitSigned(r.now, stale, nil); v.OK() {
+		t.Fatalf("stale retransmission admitted: %v", v)
+	}
+	if len(replies) != 0 {
+		t.Fatalf("stale retransmission re-emitted %d replies", len(replies))
+	}
+}

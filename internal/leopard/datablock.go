@@ -8,10 +8,11 @@ import (
 
 // maybePackDatablocks implements the generation loop of Alg. 1: extract
 // pending requests, build a datablock, multicast it. Non-leader replicas
-// only; pacing is by the outstanding-datablock window, and partial blocks
-// are packed once requests have waited BatchTimeout.
+// only (every replica under RotateLeaders — there is no single leader to
+// exempt); pacing is by the outstanding-datablock window, and partial
+// blocks are packed once requests have waited BatchTimeout.
 func (n *Node) maybePackDatablocks(out transport.Sink) {
-	if n.isLeader() || n.inViewChange {
+	if n.inViewChange || (!n.cfg.RotateLeaders && n.isLeader()) {
 		return
 	}
 	for len(n.myOutstanding) < n.cfg.MaxOutstandingDatablocks {
@@ -43,14 +44,16 @@ func (n *Node) maybePackDatablocks(out transport.Sink) {
 	}
 }
 
-// sendReady routes a ready announcement for digest to the current leader,
-// or applies it locally when this replica is the leader.
+// sendReady routes a ready announcement for digest to its vote collector —
+// the fixed view leader, or the rotated per-digest owner under
+// RotateLeaders — applying it locally when that is this replica.
 func (n *Node) sendReady(digest types.Hash, out transport.Sink) {
-	if n.isLeader() {
+	owner := n.readyOwnerOf(digest)
+	if owner == n.cfg.ID {
 		n.recordReady(digest, n.cfg.ID)
 		return
 	}
-	out.Send(transport.Unicast(n.Leader(), &ReadyMsg{Digest: digest}))
+	out.Send(transport.Unicast(owner, &ReadyMsg{Digest: digest}))
 }
 
 // handleDatablock implements datablock verification (Alg. 1, lines 11-16):
@@ -75,8 +78,8 @@ func (n *Node) acceptDatablock(digest types.Hash, db *types.Datablock, from type
 	if !n.dbPool.Add(digest, db) {
 		return // duplicate digest or duplicate (generator, counter)
 	}
-	if n.isLeader() {
-		// The leader counts itself and the generator as holders.
+	if n.readyOwnerOf(digest) == n.cfg.ID {
+		// The vote collector counts itself and the generator as holders.
 		n.recordReady(digest, n.cfg.ID)
 		n.recordReady(digest, db.Ref.Generator)
 	} else {
@@ -85,11 +88,12 @@ func (n *Node) acceptDatablock(digest types.Hash, db *types.Datablock, from type
 	n.resolveMissing(digest, out)
 }
 
-// handleReady collects ready votes at the leader (Alg. 3, Ready step). A
-// datablock moves to the ready queue once 2f+1 distinct replicas hold it,
-// guaranteeing f+1 honest holders for the retrieval committee.
+// handleReady collects ready votes at the digest's vote collector (Alg. 3,
+// Ready step). A datablock moves to the ready queue once 2f+1 distinct
+// replicas hold it, guaranteeing f+1 honest holders for the retrieval
+// committee.
 func (n *Node) handleReady(from types.ReplicaID, m *ReadyMsg, out transport.Sink) {
-	if !n.isLeader() {
+	if n.readyOwnerOf(m.Digest) != n.cfg.ID {
 		return
 	}
 	n.recordReady(m.Digest, from)

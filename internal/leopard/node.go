@@ -1,6 +1,7 @@
 package leopard
 
 import (
+	"encoding/binary"
 	"sort"
 	"time"
 
@@ -140,6 +141,12 @@ type Node struct {
 	linked      map[types.Hash]struct{}
 	nextSeq     types.SeqNum
 	lastPropose time.Duration
+	// maxSeqSeen is the highest serial number proposed or received in the
+	// current view. Under RotateLeaders each proposer owns a stride-n subset
+	// of serials, and fills its own slots with empty blocks when peers have
+	// proposed past them (agreement.go), so the consecutive-prefix executor
+	// never stalls on a hole owned by an idle replica.
+	maxSeqSeen types.SeqNum
 
 	// Agreement state.
 	view      types.View
@@ -237,6 +244,11 @@ type Node struct {
 	vcMsgs       map[types.View]map[types.ReplicaID]*ViewChangeMsg
 	expectedRedo map[types.SeqNum]types.Hash // content digests promised by new-view
 	lastProgress time.Duration
+	// lastExecProgress is when the execution frontier last advanced. Under
+	// RotateLeaders, confirmations at higher serials keep lastProgress fresh
+	// even while a crashed proposer's hole stalls execution, so the
+	// view-change timer additionally watches this (viewchange.go).
+	lastExecProgress time.Duration
 	sentNewView  map[types.View]bool
 	// futureBlocks buffers proposals for views this replica has not
 	// entered yet (control-plane messages can overtake the new-view
@@ -252,6 +264,12 @@ type Node struct {
 	// replay at Start.
 	replyFn   func(ReplyMsg)
 	replaying bool
+	// lastReply caches the newest signed reply per client so a request that
+	// re-arrives after confirmation — a client that missed the original
+	// certificate — gets its ReplyMsg re-emitted instead of a bare
+	// dup-confirmed rejection. Bounded FIFO over clients (replyOrder).
+	lastReply  map[uint64]ReplyMsg
+	replyOrder []uint64
 
 	stats  Stats
 	stages metrics.StageTimer
@@ -304,6 +322,7 @@ func NewNode(cfg Config) (*Node, error) {
 		vcMsgs:        make(map[types.View]map[types.ReplicaID]*ViewChangeMsg),
 		sentNewView:   make(map[types.View]bool),
 		confirmedDBs:  make(map[types.Hash]struct{}),
+		lastReply:     make(map[uint64]ReplyMsg),
 		store:         cfg.Store,
 		proofStash:    make(map[types.SeqNum]blockProofs),
 		stateServed:   make(map[types.ReplicaID]stateServeState),
@@ -334,6 +353,40 @@ func (n *Node) Leader() types.ReplicaID { return types.LeaderOf(n.view, n.q.N) }
 
 // isLeader reports whether this replica leads the current view.
 func (n *Node) isLeader() bool { return n.Leader() == n.cfg.ID }
+
+// proposerOf returns the proposer of serial s in the current view: the
+// rotated schedule under RotateLeaders, the fixed view leader otherwise.
+func (n *Node) proposerOf(s types.SeqNum) types.ReplicaID {
+	if n.cfg.RotateLeaders {
+		return types.LeaderFor(n.view, s, n.q.N)
+	}
+	return n.Leader()
+}
+
+// proposerForView returns the proposer of serial s as of view v (used when
+// classifying buffered future-view proposals).
+func (n *Node) proposerForView(v types.View, s types.SeqNum) types.ReplicaID {
+	if n.cfg.RotateLeaders {
+		return types.LeaderFor(v, s, n.q.N)
+	}
+	return types.LeaderOf(v, n.q.N)
+}
+
+// isProposer reports whether this replica proposes serial s in the current
+// view.
+func (n *Node) isProposer(s types.SeqNum) bool { return n.proposerOf(s) == n.cfg.ID }
+
+// readyOwnerOf returns the replica that collects ready votes for the given
+// datablock digest. Under RotateLeaders ownership rotates deterministically
+// per digest (offset by the view, so a censoring owner is rotated away by a
+// view change); otherwise the fixed view leader collects all ready votes.
+func (n *Node) readyOwnerOf(digest types.Hash) types.ReplicaID {
+	if !n.cfg.RotateLeaders {
+		return n.Leader()
+	}
+	h := binary.BigEndian.Uint64(digest[:8])
+	return types.ReplicaID((h + uint64(n.view)) % uint64(n.q.N))
+}
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
@@ -418,7 +471,43 @@ func (n *Node) SubmitSigned(now time.Duration, req types.Request, sig []byte) me
 		n.stats.BadSignatures++
 		return mempool.BadSignature
 	}
-	return n.reqPool.Admit(req, now)
+	v := n.reqPool.Admit(req, now)
+	if v == mempool.DupConfirmed || v == mempool.StaleSeq {
+		n.resendReply(req)
+	}
+	return v
+}
+
+// maxReplyCache bounds the per-client last-reply cache (FIFO over clients).
+const maxReplyCache = 1024
+
+// cacheReply records the newest signed reply per client, evicting the
+// oldest-admitted client once the bound is reached.
+func (n *Node) cacheReply(r ReplyMsg) {
+	if _, ok := n.lastReply[r.Client]; !ok {
+		if len(n.replyOrder) >= maxReplyCache {
+			delete(n.lastReply, n.replyOrder[0])
+			n.replyOrder = n.replyOrder[1:]
+		}
+		n.replyOrder = append(n.replyOrder, r.Client)
+	}
+	n.lastReply[r.Client] = r
+}
+
+// resendReply re-emits the cached signed reply for a request that re-arrived
+// after confirmation — the pool reports such arrivals as DupConfirmed or,
+// once the confirmation folded into the client's consumed watermark, as
+// StaleSeq. Either way a client that missed the original certificate still
+// completes. Only the client's newest executed seq is cached; older dups
+// stay bare rejections (the client has necessarily moved past them).
+func (n *Node) resendReply(req types.Request) {
+	if n.replyFn == nil {
+		return
+	}
+	if r, ok := n.lastReply[req.ClientID]; ok && r.Seq == req.Seq {
+		n.replyFn(r)
+		n.stats.RepliesSent++
+	}
 }
 
 // SubmitSignedBatch admits a batch of client-signed requests, verifying all
@@ -441,6 +530,9 @@ func (n *Node) SubmitSignedBatch(now time.Duration, reqs []types.Request, sigs [
 			continue
 		}
 		out[i] = n.reqPool.Admit(reqs[i], now)
+		if out[i] == mempool.DupConfirmed || out[i] == mempool.StaleSeq {
+			n.resendReply(reqs[i])
+		}
 	}
 	return out
 }
@@ -495,6 +587,7 @@ func (n *Node) observe(now time.Duration) {
 func (n *Node) Start(now time.Duration, out transport.Sink) {
 	n.observe(now)
 	n.lastProgress = now
+	n.lastExecProgress = now
 	if n.store != nil {
 		out = n.outbound(out)
 		defer n.releaseOutbound()
@@ -510,7 +603,7 @@ func (n *Node) Tick(now time.Duration, out transport.Sink) {
 	n.checkStoreHealth()
 	if !n.walFailed {
 		n.maybePackDatablocks(out)
-		if n.isLeader() && !n.inViewChange {
+		if (n.isLeader() || n.cfg.RotateLeaders) && !n.inViewChange {
 			n.maybePropose(out)
 		}
 	}

@@ -548,13 +548,16 @@ func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks [
 				if err != nil {
 					continue
 				}
-				n.replyFn(ReplyMsg{Client: r.ClientID, Seq: r.Seq, SN: sn, Result: digest, Share: share})
+				reply := ReplyMsg{Client: r.ClientID, Seq: r.Seq, SN: sn, Result: digest, Share: share}
+				n.cacheReply(reply)
+				n.replyFn(reply)
 				n.stats.RepliesSent++
 			}
 		}
 	}
 	n.execState = crypto.HashConcat(n.execState[:], digest[:])
 	n.executedTo = sn
+	n.lastExecProgress = n.now
 	n.stats.ExecutedBlocks++
 	if sn > n.maxConfirmed {
 		n.maxConfirmed = sn

@@ -331,9 +331,14 @@ func (p *RequestPool) takeToken(c *clientState, now time.Duration) bool {
 }
 
 // makeRoom enforces the byte/count budgets for an arrival of the given
-// size, evicting newest-queued entries (the lowest-priority class) to admit
-// a gap-free request. A gapped arrival never evicts: it would itself be the
-// newest queued entry, i.e. the pool's lowest priority.
+// size, evicting queued entries (the lowest-priority class) to admit a
+// gap-free request. Victims are chosen biggest-footprint-first — freeing
+// the most bytes per lost request — with ties broken toward the newest
+// arrival, so under byte pressure a single fat straggler is sacrificed
+// before a crowd of small ones. Pending entries are never evicted: a
+// client's extractable in-flight head survives any amount of pressure.
+// A gapped arrival never evicts: it would itself be among the pool's
+// lowest-priority entries.
 func (p *RequestPool) makeRoom(size int, gapped bool) bool {
 	over := func() bool {
 		return len(p.byID) >= p.lim.MaxRequests || p.bytes+size > p.lim.MaxBytes
@@ -345,7 +350,14 @@ func (p *RequestPool) makeRoom(size int, gapped bool) bool {
 		return false
 	}
 	for over() && p.queued.Len() > 0 {
+		// Back-to-front with a strict > keeps the backmost (newest) of any
+		// size tie, matching the old newest-first order when sizes are equal.
 		victim := p.queued.Back().Value.(*entry)
+		for el := p.queued.Back().Prev(); el != nil; el = el.Prev() {
+			if e := el.Value.(*entry); e.req.Size() > victim.req.Size() {
+				victim = e
+			}
+		}
 		p.remove(victim)
 		p.stats.Evicted++
 	}

@@ -1,0 +1,102 @@
+package types_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"leopard/internal/types"
+)
+
+// TestLeaderForAgreement: the schedule is a pure function of public state —
+// every replica computing LeaderFor for the same (view, seq, n) gets the
+// same proposer, including across view-change boundaries, and the result is
+// always a valid replica id.
+func TestLeaderForAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{4, 7, 16, 64} {
+		for trial := 0; trial < 200; trial++ {
+			v := types.View(rng.Int63n(1 << 20))
+			s := types.SeqNum(rng.Int63n(1 << 30))
+			first := types.LeaderFor(v, s, n)
+			if int(first) >= n {
+				t.Fatalf("n=%d view=%d seq=%d: proposer %d out of range", n, v, s, first)
+			}
+			// Each "replica" derives the proposer independently; all must
+			// agree (the function may consult nothing replica-local).
+			for replica := 0; replica < n; replica++ {
+				if got := types.LeaderFor(v, s, n); got != first {
+					t.Fatalf("n=%d view=%d seq=%d: replica %d derived %d, others %d",
+						n, v, s, replica, got, first)
+				}
+			}
+			// Across a view-change boundary the shifted schedule is still
+			// the same function for everyone: v+1 maps seq s where v mapped
+			// s+1, so a crashed proposer's slots move to its successor.
+			if types.LeaderFor(v+1, s, n) != types.LeaderFor(v, s+1, n) {
+				t.Fatalf("n=%d view=%d seq=%d: view shift is not a schedule rotation", n, v, s)
+			}
+		}
+	}
+}
+
+// TestLeaderForFairness: in any window of n consecutive serials — at any
+// view, starting anywhere — every replica proposes exactly once.
+func TestLeaderForFairness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{4, 10, 64} {
+		for trial := 0; trial < 100; trial++ {
+			v := types.View(rng.Int63n(1 << 20))
+			start := types.SeqNum(rng.Int63n(1 << 30))
+			seen := make(map[types.ReplicaID]int, n)
+			for i := 0; i < n; i++ {
+				seen[types.LeaderFor(v, start+types.SeqNum(i), n)]++
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d view=%d window at %d: only %d distinct proposers", n, v, start, len(seen))
+			}
+			for id, count := range seen {
+				if count != 1 {
+					t.Fatalf("n=%d view=%d window at %d: replica %d proposed %d times", n, v, start, id, count)
+				}
+			}
+		}
+	}
+}
+
+// TestLeaderForDeterministicUnderReseeding: the schedule depends only on
+// (view, seq, n) — recomputing it in a different order, from different
+// randomized probe sequences, reproduces the identical table. A schedule
+// with hidden state (an RNG, iteration-order dependence) would diverge.
+func TestLeaderForDeterministicUnderReseeding(t *testing.T) {
+	const n = 16
+	type key struct {
+		v types.View
+		s types.SeqNum
+	}
+	table := make(map[key]types.ReplicaID)
+	for _, seed := range []int64{1, 99, -3} {
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 500; trial++ {
+			k := key{types.View(rng.Int63n(64)), types.SeqNum(rng.Int63n(256))}
+			got := types.LeaderFor(k.v, k.s, n)
+			if prev, ok := table[k]; ok && prev != got {
+				t.Fatalf("view=%d seq=%d: derived %d after seed %d, previously %d",
+					k.v, k.s, got, seed, prev)
+			}
+			table[k] = got
+		}
+	}
+}
+
+// TestLeaderForMatchesFixedPolicyShape: LeaderFor degenerates sensibly —
+// at seq 0 it matches the fixed per-view policy LeaderOf, anchoring the
+// rotated schedule to the view-change coordinator line.
+func TestLeaderForMatchesFixedPolicyShape(t *testing.T) {
+	for _, n := range []int{4, 8, 64} {
+		for v := types.View(0); v < types.View(3*n); v++ {
+			if types.LeaderFor(v, 0, n) != types.LeaderOf(v, n) {
+				t.Fatalf("n=%d view=%d: LeaderFor(v, 0) diverges from LeaderOf(v)", n, v)
+			}
+		}
+	}
+}
