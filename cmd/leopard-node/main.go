@@ -27,11 +27,15 @@
 // whatever the cluster decided in the meantime. Each replica needs its own
 // directory.
 //
-// With -status the replica also serves an HTTP JSON snapshot of its
-// counters (GET /status). The snapshot is taken on the runtime's apply
-// loop via Inject — the node is a single-goroutine state machine, so
-// Stats()/ExecutedTo() must never be read directly from an HTTP handler
-// goroutine.
+// With -status the replica serves its unified metrics registry over HTTP:
+// GET /metrics is the Prometheus text exposition and GET /status a JSON
+// snapshot of the same registry — both views are generated from one source
+// of truth, so adding a counter to leopard.Stats or metrics.StreamStats
+// surfaces on both endpoints with no hand edits. Each scrape re-binds the
+// node's counters on the runtime's apply loop via Inject — the node is a
+// single-goroutine state machine, so Stats()/ExecutedTo() must never be
+// read directly from an HTTP handler goroutine. -pprof additionally mounts
+// net/http/pprof profiling handlers on the status listener.
 package main
 
 import (
@@ -45,6 +49,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -55,6 +60,7 @@ import (
 	"leopard/internal/crypto"
 	"leopard/internal/leopard"
 	"leopard/internal/mempool"
+	"leopard/internal/obs"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/transport/tcp"
@@ -77,18 +83,19 @@ func main() {
 	var (
 		configPath = flag.String("config", "cluster.json", "cluster config file")
 		id         = flag.Int("id", -1, "replica id")
-		statusAddr = flag.String("status", "", "HTTP status listen address (empty disables)")
+		statusAddr = flag.String("status", "", "HTTP observability listen address serving /metrics and /status (empty disables)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/ on the -status listener")
 		dataDir    = flag.String("data-dir", "", "durable state directory for this replica (empty runs in-memory); "+
 			"holds the executed-block WAL, the stable-checkpoint anchor and replica metadata — "+
 			"on restart the replica recovers from it and state-transfers the rest from peers")
 	)
 	flag.Parse()
-	if err := run(*configPath, *id, *statusAddr, *dataDir); err != nil {
+	if err := run(*configPath, *id, *statusAddr, *pprofOn, *dataDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(configPath string, id int, statusAddr, dataDir string) error {
+func run(configPath string, id int, statusAddr string, pprofOn bool, dataDir string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -127,6 +134,19 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 	if err != nil {
 		return err
 	}
+	// One registry feeds both HTTP views; the tracer keeps a ring of
+	// recent lifecycle events and mirrors per-kind counts into the
+	// registry so the event stream shows up on /metrics too. Both are
+	// only worth the atomics when something will scrape them.
+	var (
+		reg    *obs.Registry
+		tracer *obs.Tracer
+	)
+	if statusAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(obs.DefaultRingCap)
+		tracer.MirrorCounts(reg, "leopard")
+	}
 	node, err := leopard.NewNode(leopard.Config{
 		ID:            types.ReplicaID(id),
 		Quorum:        q,
@@ -135,6 +155,7 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 		BFTBlockSize:  cfg.BFTBlockSize,
 		Store:         store,
 		Verifier:      keys.Verifier(),
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err
@@ -144,9 +165,10 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 	node.SetReplySink(hub.notify)
 
 	rt, err := tcp.New(tcp.Config{
-		Self:  types.ReplicaID(id),
-		Addrs: cfg.Replicas,
-		Codec: leopard.WireCodec{},
+		Self:   types.ReplicaID(id),
+		Addrs:  cfg.Replicas,
+		Codec:  leopard.WireCodec{},
+		Tracer: tracer,
 	}, node)
 	if err != nil {
 		return err
@@ -163,14 +185,29 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
-			snap, err := snapshot(rt, node, n)
-			if err != nil {
+			if err := refresh(reg, rt, node, n); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(snap)
+			json.NewEncoder(w).Encode(reg.Snapshot())
 		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			if err := refresh(reg, rt, node, n); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("replica %d: pprof on http://%s/debug/pprof/", id, statusAddr)
+		}
 		srv := &http.Server{Handler: mux}
 		wg.Add(1)
 		go func() {
@@ -184,7 +221,9 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 			defer wg.Done()
 			srv.Serve(statusLn)
 		}()
-		log.Printf("replica %d: status on http://%s/status", id, statusAddr)
+		log.Printf("replica %d: observability on http://%s/metrics and /status", id, statusAddr)
+	} else if pprofOn {
+		return errors.New("-pprof requires -status (profiling handlers mount on the status listener)")
 	}
 	if len(cfg.ClientPorts) == n {
 		ln, err := net.Listen("tcp", cfg.ClientPorts[id])
@@ -218,136 +257,47 @@ func run(configPath string, id int, statusAddr, dataDir string) error {
 	return err
 }
 
-// statusSnapshot is the JSON body served on /status.
-type statusSnapshot struct {
-	Now               time.Duration   `json:"now"`
-	View              types.View      `json:"view"`
-	Leader            types.ReplicaID `json:"leader"`
-	ExecutedTo        types.SeqNum    `json:"executedTo"`
-	PendingRequests   int             `json:"pendingRequests"`
-	QueuedRequests    int             `json:"queuedRequests"`
-	AdmittedRequests  int64           `json:"admittedRequests"`
-	RejectedRequests  int64           `json:"rejectedRequests"`
-	RateLimited       int64           `json:"rateLimited"`
-	BadSignatures     int64           `json:"badSignatures"`
-	RepliesSent       int64           `json:"repliesSent"`
-	ConfirmedRequests int64           `json:"confirmedRequests"`
-	ConfirmedBlocks   int64           `json:"confirmedBlocks"`
-	ExecutedBlocks    int64           `json:"executedBlocks"`
-	DatablocksMade    int64           `json:"datablocksMade"`
-	DatablocksHeld    int64           `json:"datablocksHeld"`
-	Retrievals        int64           `json:"retrievals"`
-	ViewChanges       int64           `json:"viewChanges"`
-	// Bulk-lane streaming / flow control, aggregated over peers (see
-	// metrics.StreamStats): how much bulk output is parked awaiting
-	// credit, how much of the credit windows is in flight, how many
-	// streams are queued or mid-transfer, and the frames lost to
-	// park-budget evictions or control-queue overflow.
-	QueuedBulkBytes     int64 `json:"queuedBulkBytes"`
-	PeakQueuedBulkBytes int64 `json:"peakQueuedBulkBytes"`
-	CreditsOutstanding  int64 `json:"creditsOutstanding"`
-	StreamsActive       int64 `json:"streamsActive"`
-	StreamEvictions     int64 `json:"streamEvictions"`
-	DroppedFrames       int64 `json:"droppedFrames"`
-	// Durability and recovery (all zero without -data-dir): the stable
-	// checkpoint the replica is anchored at, the write-ahead log's shape,
-	// what restart recovery replayed, and the state-transfer traffic this
-	// replica served and consumed.
-	LastCheckpointSeq  types.SeqNum `json:"lastCheckpointSeq"`
-	LogSegments        int64        `json:"logSegments"`
-	LogBytes           int64        `json:"logBytes"`
-	BlocksReplayed     int64        `json:"blocksReplayed"`
-	BytesReplayed      int64        `json:"bytesReplayed"`
-	StateReqsServed    int64        `json:"stateReqsServed"`
-	StateRespsReceived int64        `json:"stateRespsReceived"`
-	StateBlocksApplied int64        `json:"stateBlocksApplied"`
-	WALErrors          int64        `json:"walErrors"`
-	// WALFailed reports the fail-stop latch: the store hit a sticky error
-	// and the replica stopped voting and proposing (read paths keep
-	// serving). Operators should treat this as a dead disk.
-	WALFailed     bool  `json:"walFailed"`
-	VotesLogged   int64 `json:"votesLogged"`
-	VotesReloaded int64 `json:"votesReloaded"`
-	NotesLogged   int64 `json:"notesLogged"`
-	NotesReloaded int64 `json:"notesReloaded"`
-}
-
-// snapshot reads the node's counters under the runtime's serialization:
-// the closure runs on the apply loop, the only goroutine allowed to touch
-// node state, and hands the copied values back over a channel. nReplicas
-// is the cluster size, for summing per-peer transport counters.
-func snapshot(rt *tcp.Runtime, node *leopard.Node, nReplicas int) (statusSnapshot, error) {
-	done := make(chan statusSnapshot, 1)
+// refresh re-binds the replica's counters into the registry for one
+// scrape. Node counters are read under the runtime's serialization: the
+// closure runs on the apply loop, the only goroutine allowed to touch node
+// state. Every exported numeric field of leopard.Stats becomes a
+// leopard_* gauge via SetStruct, so new stats fields surface on /metrics
+// and /status without touching this file. nReplicas is the cluster size,
+// for summing per-peer transport counters.
+func refresh(reg *obs.Registry, rt *tcp.Runtime, node *leopard.Node, nReplicas int) error {
+	done := make(chan struct{})
 	err := rt.Inject(func(now time.Duration, out transport.Sink) {
-		st := node.Stats()
-		done <- statusSnapshot{
-			Now:               now,
-			View:              st.View,
-			Leader:            node.Leader(),
-			ExecutedTo:        node.ExecutedTo(),
-			PendingRequests:   st.PendingRequests,
-			QueuedRequests:    st.QueuedRequests,
-			AdmittedRequests:  st.AdmittedRequests,
-			RejectedRequests:  st.RejectedRequests,
-			RateLimited:       st.RateLimited,
-			BadSignatures:     st.BadSignatures,
-			RepliesSent:       st.RepliesSent,
-			ConfirmedRequests: st.ConfirmedRequests,
-			ConfirmedBlocks:   st.ConfirmedBlocks,
-			ExecutedBlocks:    st.ExecutedBlocks,
-			DatablocksMade:    st.DatablocksMade,
-			DatablocksHeld:    st.DatablocksHeld,
-			Retrievals:        st.Retrievals,
-			ViewChanges:       st.ViewChanges,
-
-			LastCheckpointSeq:  st.LastCheckpointSeq,
-			LogSegments:        st.LogSegments,
-			LogBytes:           st.LogBytes,
-			BlocksReplayed:     st.BlocksReplayed,
-			BytesReplayed:      st.BytesReplayed,
-			StateReqsServed:    st.StateReqsServed,
-			StateRespsReceived: st.StateRespsReceived,
-			StateBlocksApplied: st.StateBlocksApplied,
-			WALErrors:          st.WALErrors,
-			WALFailed:          st.WALFailed,
-			VotesLogged:        st.VotesLogged,
-			VotesReloaded:      st.VotesReloaded,
-			NotesLogged:        st.NotesLogged,
-			NotesReloaded:      st.NotesReloaded,
-		}
+		defer close(done)
+		reg.SetStruct("leopard", node.Stats())
+		reg.Gauge("leopard_now_seconds", "runtime clock at scrape time").Set(now.Seconds())
+		reg.Gauge("leopard_leader", "leader replica id in the current view").SetInt(int64(node.Leader()))
+		reg.Gauge("leopard_executed_to", "execution frontier sequence number").SetInt(int64(node.ExecutedTo()))
 	})
 	if err != nil {
-		return statusSnapshot{}, err
+		return err
+	}
+	// The closure may be enqueued but never run if the runtime stops
+	// first; waiting on done alone would hang the scrape forever.
+	select {
+	case <-done:
+	case <-rt.Done():
+		// The bind may have completed in the same instant the runtime
+		// stopped; prefer it over the shutdown error.
+		select {
+		case <-done:
+		default:
+			return errors.New("runtime stopped")
+		}
 	}
 	// Transport-side counters live behind their own locks, not the apply
 	// loop, so they are read here rather than inside the Inject closure.
-	fill := func(snap statusSnapshot) statusSnapshot {
-		st := rt.StreamTotals()
-		snap.QueuedBulkBytes = st.QueuedBytes
-		snap.PeakQueuedBulkBytes = st.PeakQueuedBytes
-		snap.CreditsOutstanding = st.CreditsOutstanding
-		snap.StreamsActive = st.StreamsActive
-		snap.StreamEvictions = st.Evictions
-		for i := 0; i < nReplicas; i++ {
-			snap.DroppedFrames += rt.Drops(types.ReplicaID(i))
-		}
-		return snap
+	reg.SetStruct("leopard_stream", rt.StreamTotals())
+	var drops int64
+	for i := 0; i < nReplicas; i++ {
+		drops += rt.Drops(types.ReplicaID(i))
 	}
-	// The closure may be enqueued but never run if the runtime stops
-	// first; waiting on done alone would hang this handler forever.
-	select {
-	case snap := <-done:
-		return fill(snap), nil
-	case <-rt.Done():
-		// The snapshot may have been delivered in the same instant the
-		// runtime stopped; prefer it over the shutdown error.
-		select {
-		case snap := <-done:
-			return fill(snap), nil
-		default:
-			return statusSnapshot{}, errors.New("runtime stopped")
-		}
-	}
+	reg.Gauge("leopard_dropped_frames", "inbound frames dropped by the control-queue bound, summed over peers").SetInt(drops)
+	return nil
 }
 
 // clientConn serializes reply writes to one client connection.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"leopard/internal/experiments"
 	"leopard/internal/leopard/analysis"
 	"leopard/internal/metrics"
+	"leopard/internal/obs"
 )
 
 var knownExperiments = []struct{ id, desc string }{
@@ -55,6 +57,10 @@ func main() {
 			"decode-matrix cache entries per replica (0 = default, negative disables)")
 		numClients = flag.Int("clients", 1200,
 			"closed-loop client sessions for -experiment clients")
+		tracePath = flag.String("trace", "",
+			"write a Chrome trace_event JSON of the run to this path (chaos, chaos-rotate, rotate)")
+		jsonPath = flag.String("json", "",
+			"write the experiment's result rows as JSON to this path")
 	)
 	flag.Parse()
 	experiments.ErasureOpts = erasure.Options{Parallel: *erasureWorkers, CacheSize: *erasureCache}
@@ -73,10 +79,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*experiment, scales, *numClients); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if *tracePath != "" {
+		if !traceable[*experiment] {
+			fmt.Fprintf(os.Stderr, "-trace is not supported by experiment %q (supported: chaos, chaos-rotate, rotate)\n", *experiment)
+			os.Exit(2)
+		}
+		experiments.Tracing = obs.NewCollector(obs.DefaultRingCap)
+	}
+	rows, runErr := run(*experiment, scales, *numClients)
+	// The trace and JSON artifacts are written even when the run reports
+	// violations: a failing chaos run is exactly when the trace matters.
+	if *jsonPath != "" && rows != nil {
+		if err := writeJSON(*jsonPath, *experiment, scales, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, experiments.Tracing); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
 		os.Exit(1)
 	}
+}
+
+// traceable marks the experiments wired into the experiments.Tracing
+// collector; -trace on anything else would silently export nothing.
+var traceable = map[string]bool{"chaos": true, "chaos-rotate": true, "rotate": true}
+
+// writeJSON dumps the experiment's typed result rows for machines.
+func writeJSON(path, experiment string, scales []int, rows any) error {
+	doc := struct {
+		Experiment string `json:"experiment"`
+		Scales     []int  `json:"scales,omitempty"`
+		Rows       any    `json:"rows"`
+	}{Experiment: experiment, Scales: scales, Rows: rows}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal results: %w", err)
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// writeTrace exports the collected event traces as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) and prints the stage-latency reduction.
+func writeTrace(path string, col *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create trace: %w", err)
+	}
+	if err := col.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if rows := col.StageBreakdown(); len(rows) > 0 {
+		fmt.Println("-- traced stage breakdown --")
+		for _, r := range rows {
+			fmt.Printf("%-34s %12v %6.2f%%\n", r.Stage, r.Total, r.Percent)
+		}
+	}
+	fmt.Printf("trace written to %s\n", path)
+	return nil
 }
 
 func parseScales(arg string) ([]int, error) {
@@ -94,48 +164,65 @@ func parseScales(arg string) ([]int, error) {
 	return out, nil
 }
 
-func run(id string, scales []int, numClients int) error {
+// run executes one experiment: it prints the human-readable table and
+// returns the typed result rows for the -json writer (nil when the
+// experiment has no row form).
+func run(id string, scales []int, numClients int) (any, error) {
+	var out any
 	switch id {
 	case "fig2":
 		rows, err := experiments.Fig2(scales)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   throughput(Kreq/s)   leader(Gbps)")
 		for _, r := range rows {
 			fmt.Printf("%4d   %18.1f   %12.2f\n", r.N, r.Throughput/1e3, r.LeaderMbps/1e3)
 		}
 	case "table1":
-		for _, r := range analysis.TableI() {
+		rows := analysis.TableI()
+		out = rows
+		for _, r := range rows {
 			fmt.Printf("%-9s leader=%-5s replica=%-5s SF=%-5s votes=%d/%d\n",
 				r.Protocol, r.LeaderCost, r.ReplicaCost, r.ScalingFactor, r.VotingOptimistic, r.VotingFaulty)
 		}
 	case "fig6":
 		rows, err := experiments.Fig6(scales, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		printPoints("batch", rows)
 	case "fig7":
 		rows, err := experiments.Fig7(scales, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		printPoints("links", rows)
 	case "fig8":
+		type fig8Group struct {
+			BFTBlockSize int
+			Rows         []experiments.Point
+		}
+		var groups []fig8Group
 		for _, bft := range []int{10, 100} {
 			rows, err := experiments.Fig8(scales, nil, bft)
 			if err != nil {
-				return err
+				return nil, err
 			}
+			groups = append(groups, fig8Group{BFTBlockSize: bft, Rows: rows})
 			fmt.Printf("-- BFTblock size %d --\n", bft)
 			printPoints("datablock", rows)
 		}
+		out = groups
 	case "fig9", "fig11":
 		rows, err := experiments.Fig9(scales, 300)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		if id == "fig9" {
 			fmt.Println("   n   Leopard(Kreq/s)   HotStuff(Kreq/s)")
 		} else {
@@ -159,8 +246,9 @@ func run(id string, scales []int, numClients int) error {
 	case "fig10":
 		rows, err := experiments.Fig10(scales, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("system     n   bw(Mbps)   tput(Mbps)   latency")
 		for _, r := range rows {
 			fmt.Printf("%-8s %4d   %8.0f   %10.2f   %v\n", r.System, r.N, r.BandwidthMbps, r.TputMbps, r.MeanLat)
@@ -168,8 +256,12 @@ func run(id string, scales []int, numClients int) error {
 	case "table3":
 		leader, replica, err := experiments.Table3(32)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = struct {
+			Leader  []metrics.BreakdownRow
+			Replica []metrics.BreakdownRow
+		}{Leader: leader, Replica: replica}
 		fmt.Println("-- leader --")
 		fmt.Print(metrics.FormatBreakdown(leader))
 		fmt.Println("-- non-leader --")
@@ -177,16 +269,18 @@ func run(id string, scales []int, numClients int) error {
 	case "table4":
 		rows, err := experiments.Table4(32)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		for _, r := range rows {
 			fmt.Printf("%-26s %6.2f%%\n", r.Stage, r.Percent)
 		}
 	case "fig12":
 		rows, err := experiments.Fig12(scales, false)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   recover(KB)   respond(KB)   time(ms)")
 		for _, r := range rows {
 			fmt.Printf("%4d   %11.1f   %11.1f   %8.1f\n",
@@ -196,8 +290,9 @@ func run(id string, scales []int, numClients int) error {
 	case "fig13":
 		rows, err := experiments.Fig13(scales)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   time(ms)   total(B)   leader-sent(B)")
 		for _, r := range rows {
 			fmt.Printf("%4d   %8.1f   %8d   %14d\n",
@@ -206,8 +301,9 @@ func run(id string, scales []int, numClients int) error {
 	case "vclanes":
 		rows, err := experiments.ViewChangeUnderBulk(scales)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   laned(ms)   single-queue(ms)")
 		for _, r := range rows {
 			fmt.Printf("%4d   %9.1f   %16.1f\n",
@@ -216,8 +312,9 @@ func run(id string, scales []int, numClients int) error {
 	case "stream":
 		rows, err := experiments.StreamScenario(scales)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   mode     converge(ms)   peak-queued(KB)   drops   retrievals")
 		for _, r := range rows {
 			fmt.Printf("%4d   %-6s   %12.1f   %15.1f   %5d   %10d\n",
@@ -227,8 +324,9 @@ func run(id string, scales []int, numClients int) error {
 	case "recover":
 		rows, err := experiments.RecoverScenario(scales)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   mode       caught-up   catchup(ms)   height@restart   replayed   transferred   retrievals   re-votes")
 		for _, r := range rows {
 			caught := "yes"
@@ -243,8 +341,9 @@ func run(id string, scales []int, numClients int) error {
 	case "rotate":
 		rows, err := experiments.RotateScenario(scales)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   mode      throughput(Kreq/s)   latency(ms)   leader-cpu   other-cpu   max-cpu")
 		for _, r := range rows {
 			fmt.Printf("%4d   %-7s   %18.1f   %11.1f   %9.1f%%   %8.1f%%   %6.1f%%\n",
@@ -260,8 +359,9 @@ func run(id string, scales []int, numClients int) error {
 			rows, err = experiments.ChaosScenario(scales)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		fmt.Println("   n   plan                     height   view-changes   votes-logged   votes-reloaded   violations")
 		bad := 0
 		for _, r := range rows {
@@ -277,15 +377,19 @@ func run(id string, scales []int, numClients int) error {
 			for _, v := range r.Violations {
 				fmt.Printf("VIOLATION n=%d plan=%s: %s\n", r.N, r.Plan, v)
 			}
+			if r.PostMortem != "" {
+				fmt.Printf("-- post-mortem n=%d plan=%s (event history at first violation) --\n%s", r.N, r.Plan, r.PostMortem)
+			}
 		}
 		if bad > 0 {
-			return fmt.Errorf("chaos: %d invariant violations", bad)
+			return out, fmt.Errorf("chaos: %d invariant violations", bad)
 		}
 	case "clients":
 		rows, err := experiments.ClientsScenario(scales, numClients)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		out = rows
 		for _, r := range rows {
 			fmt.Print(experiments.FormatClients(r))
 		}
@@ -293,18 +397,21 @@ func run(id string, scales []int, numClients int) error {
 		if len(scales) == 0 {
 			scales = []int{16, 64}
 		}
+		var rows []experiments.SelectiveAttackResult
 		fmt.Println("   n   throughput(Kreq/s)   retrievals")
 		for _, n := range scales {
 			r, err := experiments.SelectiveAttack(n)
 			if err != nil {
-				return err
+				return nil, err
 			}
+			rows = append(rows, r)
 			fmt.Printf("%4d   %18.1f   %10d\n", r.N, r.Throughput/1e3, r.Retrievals)
 		}
+		out = rows
 	default:
-		return fmt.Errorf("unknown experiment %q (use -list)", id)
+		return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
 	}
-	return nil
+	return out, nil
 }
 
 func printPoints(param string, rows []experiments.Point) {

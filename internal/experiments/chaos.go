@@ -8,6 +8,7 @@ import (
 	"leopard/internal/faultplan"
 	"leopard/internal/harness"
 	"leopard/internal/leopard"
+	"leopard/internal/obs"
 	"leopard/internal/protocol"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
@@ -32,6 +33,9 @@ type ChaosResult struct {
 	VotesLogged   int64
 	VotesReloaded int64
 	Violations    []string
+	// PostMortem is the per-replica event-trace dump captured at the first
+	// violation — empty on a clean run, or when tracing was off.
+	PostMortem string `json:",omitempty"`
 
 	// traffic is the per-replica sent/received byte signature folded into
 	// ChaosRunDigest's determinism assertion.
@@ -166,7 +170,7 @@ func member(ids []types.ReplicaID, id types.ReplicaID) bool {
 // store (registered for the durability invariant) and reports executions
 // through the checker's per-replica observer.
 func chaosCluster(n int, p chaosParams, suite crypto.Suite, ic *harness.InvariantChecker,
-	stores []storage.Store, mutate func(*leopard.Config)) (*harness.Cluster, error) {
+	stores []storage.Store, ts *obs.TraceSet, mutate func(*leopard.Config)) (*harness.Cluster, error) {
 	q, err := types.NewQuorumParams(n)
 	if err != nil {
 		return nil, err
@@ -179,6 +183,7 @@ func chaosCluster(n int, p chaosParams, suite crypto.Suite, ic *harness.Invarian
 		Net:           net,
 		PayloadSize:   PayloadSize,
 		LatencySample: 16,
+		Trace:         ts,
 		Build: func(id types.ReplicaID) (protocol.Replica, error) {
 			cfg := leopard.Config{
 				ID:                       id,
@@ -199,6 +204,10 @@ func chaosCluster(n int, p chaosParams, suite crypto.Suite, ic *harness.Invarian
 				SkipRequestDedup:     true,
 				Store:                stores[id],
 				OnExecute:            ic.ExecutionObserver(id),
+				// The Build closure runs again on Restart, re-wiring the
+				// same per-slot tracer: one event history spans a replica's
+				// crash/restart lives.
+				Tracer: ts.Tracer(int(id)),
 			}
 			if mutate != nil {
 				mutate(&cfg)
@@ -210,6 +219,7 @@ func chaosCluster(n int, p chaosParams, suite crypto.Suite, ic *harness.Invarian
 		return nil, err
 	}
 	c.AttachInvariants(ic)
+	ic.AttachTrace(ts)
 	return c, nil
 }
 
@@ -280,6 +290,7 @@ func chaosFinish(res *ChaosResult, c *harness.Cluster, ic *harness.InvariantChec
 		res.traffic += fmt.Sprintf("%d:%d/%d ", i, bw.TotalSent(), bw.TotalReceived())
 	}
 	res.Violations = ic.Violations()
+	res.PostMortem = ic.PostMortem()
 }
 
 // chaosOnce runs one scheduled plan under the invariant checker.
@@ -302,7 +313,7 @@ func chaosOnce(n int, plan faultplan.Plan, p chaosParams) (ChaosResult, error) {
 		stores[i] = storage.NewMemLog()
 		ic.RegisterStore(types.ReplicaID(i), stores[i])
 	}
-	c, err := chaosCluster(n, p, suite, ic, stores, p.rotateMutate(nil))
+	c, err := chaosCluster(n, p, suite, ic, stores, traceRun("chaos "+res.Plan, n), p.rotateMutate(nil))
 	if err != nil {
 		return res, err
 	}
@@ -359,7 +370,7 @@ func chaosAmnesia(n int, disableVAL bool, p chaosParams) (ChaosResult, error) {
 		stores[i] = storage.NewMemLog()
 		ic.RegisterStore(types.ReplicaID(i), stores[i])
 	}
-	c, err := chaosCluster(n, p, suite, ic, stores, p.rotateMutate(func(cfg *leopard.Config) {
+	c, err := chaosCluster(n, p, suite, ic, stores, traceRun("chaos "+name, n), p.rotateMutate(func(cfg *leopard.Config) {
 		// A patient view-change timer keeps the cluster in the leader's
 		// view long enough for the restarted leader to equivocate before
 		// anyone gives up on it, and a deep outstanding window keeps the

@@ -102,7 +102,7 @@ func escalationTimeoutVotes(t *testing.T, maxTimeout time.Duration) int {
 	for i := range stores {
 		stores[i] = storage.NewMemLog()
 	}
-	c, err := chaosCluster(n, p, suite, ic, stores, func(cfg *leopard.Config) {
+	c, err := chaosCluster(n, p, suite, ic, stores, nil, func(cfg *leopard.Config) {
 		cfg.ViewChangeTimeout = 100 * time.Millisecond
 		cfg.ViewChangeMaxTimeout = maxTimeout
 	})

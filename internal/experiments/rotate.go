@@ -30,6 +30,8 @@ type RotateRow struct {
 	Mode       string // "fixed" or "rotated"
 	Throughput float64
 	MeanLat    time.Duration
+	P50Lat     time.Duration
+	P99Lat     time.Duration
 	// LeaderCPU is the CPU-stage utilization of the view-1 leader over the
 	// measurement window; OtherCPU is the mean utilization of the remaining
 	// replicas, and MaxCPU the cluster-wide maximum. Under rotation
@@ -54,6 +56,11 @@ func rotateCluster(n int, rotate bool, seed int64) (*harness.Cluster, error) {
 	net := netConfig()
 	net.VoteProcCost = rotateVoteCost
 	net.Seed = seed
+	mode := "fixed"
+	if rotate {
+		mode = "rotated"
+	}
+	ts := traceRun("rotate "+mode, n)
 	return harness.NewCluster(harness.Options{
 		N:                n,
 		Net:              net,
@@ -61,6 +68,7 @@ func rotateCluster(n int, rotate bool, seed int64) (*harness.Cluster, error) {
 		SaturationDepth:  2 * rotateDBSize,
 		LatencySample:    16,
 		SubmitEverywhere: rotate,
+		Trace:            ts,
 		Build: func(id types.ReplicaID) (protocol.Replica, error) {
 			return leopard.NewNode(leopard.Config{
 				ID:                       id,
@@ -74,6 +82,7 @@ func rotateCluster(n int, rotate bool, seed int64) (*harness.Cluster, error) {
 				ViewChangeTimeout:        time.Hour, // honest cluster, no VC noise
 				MaxOutstandingDatablocks: 2,
 				Erasure:                  ErasureOpts,
+				Tracer:                   ts.Tracer(int(id)),
 			})
 		},
 	})
@@ -90,6 +99,8 @@ func rotateMeasure(c *harness.Cluster, n int, mode string) RotateRow {
 		Mode:       mode,
 		Throughput: res.Throughput,
 		MeanLat:    res.MeanLat,
+		P50Lat:     res.P50Lat,
+		P99Lat:     res.P99Lat,
 	}
 	leader := c.Replicas[0].Leader()
 	elapsed := res.Elapsed.Seconds()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"leopard/internal/metrics"
+	"leopard/internal/obs"
 	"leopard/internal/protocol"
 	"leopard/internal/simnet"
 	"leopard/internal/transport"
@@ -46,6 +47,12 @@ type Options struct {
 	// simulations use a sparse sample to stay within memory. Throughput is
 	// always counted exactly, via executions observed at replica 0.
 	LatencySample int
+	// Trace, when set, attaches its per-replica tracers to the simnet's
+	// flow-control emit sites (credit parks/evictions). Protocol-level
+	// events are the Build closure's job: it must set the same tracer into
+	// the replica's config (obs is clock-agnostic, so one tracer can carry
+	// both), which also keeps one event history across Restart.
+	Trace *obs.TraceSet
 }
 
 // Cluster is a running simulated deployment.
@@ -115,6 +122,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.Net = net
+	if opts.Trace != nil {
+		for i := 0; i < opts.N; i++ {
+			net.SetTracer(types.ReplicaID(i), opts.Trace.Tracer(i))
+		}
+	}
 	return c, nil
 }
 

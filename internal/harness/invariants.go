@@ -6,6 +6,7 @@ import (
 
 	"leopard/internal/crypto"
 	"leopard/internal/leopard"
+	"leopard/internal/obs"
 	"leopard/internal/protocol"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
@@ -58,6 +59,12 @@ type InvariantChecker struct {
 
 	violations []string
 	suppressed int
+
+	// trace, when attached, is dumped into postMortem at the first
+	// violation — the event history leading up to the failure, captured
+	// before the run continues and the rings wrap past it.
+	trace      *obs.TraceSet
+	postMortem string
 }
 
 type execObs struct {
@@ -94,9 +101,28 @@ func NewInvariantChecker(suite crypto.Suite) *InvariantChecker {
 // so this adds the stronger claim that only the scheduled replica proposes.
 func (ic *InvariantChecker) SetRotation(n int) { ic.rotationN = n }
 
+// postMortemEvents is how much per-replica event history a violation dump
+// keeps: enough to see the protocol steps leading into the failure without
+// flooding the report.
+const postMortemEvents = 32
+
+// AttachTrace gives the checker the cluster's trace set; on the first
+// violation the last postMortemEvents events of every replica are captured
+// as the post-mortem.
+func (ic *InvariantChecker) AttachTrace(ts *obs.TraceSet) { ic.trace = ts }
+
+// PostMortem returns the per-replica event dump captured at the first
+// violation (empty when no violation occurred or no trace was attached).
+func (ic *InvariantChecker) PostMortem() string { return ic.postMortem }
+
 // Violate records a violation (the experiment's own checks, e.g. bounded
 // liveness, report through here so one list covers the whole run).
 func (ic *InvariantChecker) Violate(format string, args ...any) {
+	if len(ic.violations) == 0 && ic.suppressed == 0 && ic.trace != nil {
+		// First violation: freeze the event history now, while it still
+		// shows the steps that led here.
+		ic.postMortem = ic.trace.DumpLast(postMortemEvents)
+	}
 	if len(ic.violations) >= maxViolations {
 		ic.suppressed++
 		return

@@ -2,6 +2,7 @@ package leopard
 
 import (
 	"leopard/internal/crypto"
+	"leopard/internal/obs"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
@@ -91,6 +92,7 @@ func (n *Node) propose(block *types.BFTblock, out transport.Sink) error {
 		n.maxSeqSeen = block.Seq
 	}
 	n.addVote1(inst, share)
+	n.trace(obs.EvBlockProposed, uint64(block.Seq), int64(len(block.Content)))
 	out.Broadcast(&BFTblockMsg{Block: block, LeaderShare: share})
 	return nil
 }
@@ -200,6 +202,7 @@ func (n *Node) handleBFTblock(from types.ReplicaID, m *BFTblockMsg, out transpor
 		inst.block = block
 		inst.digest = digest
 		inst.proposedAt = n.now
+		n.trace(obs.EvBlockProposed, uint64(block.Seq), int64(len(block.Content)))
 	} else if inst.digest != digest {
 		return
 	}
@@ -325,6 +328,7 @@ func (n *Node) leaderNotarize(inst *instance, out transport.Sink) {
 		inst.state = types.StateNotarized
 	}
 	inst.sigma1Digest = crypto.HashBytes(proof.Sig)
+	n.trace(obs.EvSigma1Cert, uint64(inst.block.Seq), 0)
 	out.Broadcast(&ProofMsg{
 		Block: inst.block.ID(), Round: 1, Digest: inst.digest, Proof: proof,
 	})
@@ -400,6 +404,7 @@ func (n *Node) applyProof(inst *instance, round int, digest types.Hash, proof cr
 		if inst.state < types.StateNotarized {
 			inst.state = types.StateNotarized
 		}
+		n.trace(obs.EvSigma1Cert, uint64(inst.block.Seq), 0)
 		n.castVote2(inst, out)
 	case 2:
 		if inst.confirmed != nil {
@@ -483,6 +488,7 @@ func (n *Node) confirmBlock(inst *instance, out transport.Sink) {
 		return
 	}
 	n.log[inst.block.Seq] = inst.block
+	n.trace(obs.EvSigma2Cert, uint64(inst.block.Seq), 0)
 	if inst.block.Seq > n.maxConfirmed {
 		// A frontier gap below maxConfirmed starts the stuckBehind clock
 		// (frontierStalled); if it persists a full retry interval, state

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"leopard/internal/crypto"
+	"leopard/internal/obs"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
@@ -108,6 +109,7 @@ func (n *Node) applyCheckpoint(cp *CheckpointProofMsg) {
 		return
 	}
 	n.lastCheckpoint = cp
+	n.trace(obs.EvCheckpointStable, uint64(cp.Seq), 0)
 	if n.store != nil {
 		// Durable order matters: the anchor must hit disk before the log
 		// below it becomes eligible for truncation, or a crash in between

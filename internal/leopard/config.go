@@ -19,6 +19,7 @@ import (
 	"leopard/internal/crypto"
 	"leopard/internal/erasure"
 	"leopard/internal/mempool"
+	"leopard/internal/obs"
 	"leopard/internal/storage"
 	"leopard/internal/types"
 )
@@ -122,6 +123,15 @@ type Config struct {
 	// per escalation up to this cap, resetting when a view completes. Zero
 	// defaults to 16×ViewChangeTimeout.
 	ViewChangeMaxTimeout time.Duration
+	// Tracer, when non-nil, records this replica's lifecycle events
+	// (request admitted → packed → ready → proposed → σ1 → σ2 → executed →
+	// replied, plus view-change/retrieval/state-transfer spans) into the
+	// obs ring buffer, stamped with the node clock. Events are emitted at
+	// the same points regardless of tracing, so a traced run is
+	// byte-identical to an untraced one; nil disables with a single
+	// pointer check per site. A replica restarted through the same tracer
+	// keeps accumulating into one history.
+	Tracer *obs.Tracer
 	// OnExecute, when set, is invoked after every block execution —
 	// including WAL replay and state-transfer apply — with the height, the
 	// executed block and the resulting chain state hash. The harness's

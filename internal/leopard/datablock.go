@@ -2,6 +2,7 @@ package leopard
 
 import (
 	"leopard/internal/crypto"
+	"leopard/internal/obs"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -37,6 +38,7 @@ func (n *Node) maybePackDatablocks(out transport.Sink) {
 		n.myDBPacked[digest] = n.now
 		n.stats.DatablocksMade++
 		n.stages.Add(StageGeneration, n.now-oldest)
+		n.trace(obs.EvDatablockPacked, traceID(digest), int64(len(reqs)))
 		n.lastPack = n.now
 		out.Broadcast(&DatablockMsg{Block: db, Digest: digest})
 		// The generator holds its own datablock; announce readiness.
@@ -116,5 +118,8 @@ func (n *Node) recordReady(digest types.Hash, from types.ReplicaID) {
 		n.readySet[digest] = struct{}{}
 		n.readyQueue = append(n.readyQueue, digest)
 		delete(n.readyVotes, digest)
+		// The ready quorum is observed at the digest's vote collector only —
+		// the earliest such event per digest closes the dissemination stage.
+		n.trace(obs.EvDatablockReady, traceID(digest), 0)
 	}
 }

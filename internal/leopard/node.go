@@ -9,6 +9,7 @@ import (
 	"leopard/internal/erasure"
 	"leopard/internal/mempool"
 	"leopard/internal/metrics"
+	"leopard/internal/obs"
 	"leopard/internal/protocol"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
@@ -249,7 +250,7 @@ type Node struct {
 	// even while a crashed proposer's hole stalls execution, so the
 	// view-change timer additionally watches this (viewchange.go).
 	lastExecProgress time.Duration
-	sentNewView  map[types.View]bool
+	sentNewView      map[types.View]bool
 	// futureBlocks buffers proposals for views this replica has not
 	// entered yet (control-plane messages can overtake the new-view
 	// announcement); replayed on entering the view. Bounded.
@@ -459,7 +460,11 @@ func (n *Node) SubmitRequest(now time.Duration, req types.Request) bool {
 		n.stats.BadSignatures++
 		return false
 	}
-	return n.reqPool.Add(req, now)
+	ok := n.reqPool.Add(req, now)
+	if ok {
+		n.trace(obs.EvRequestAdmitted, req.ClientID, int64(req.Seq))
+	}
+	return ok
 }
 
 // SubmitSigned verifies a client-signed request and admits it to the
@@ -472,6 +477,9 @@ func (n *Node) SubmitSigned(now time.Duration, req types.Request, sig []byte) me
 		return mempool.BadSignature
 	}
 	v := n.reqPool.Admit(req, now)
+	if v.OK() {
+		n.trace(obs.EvRequestAdmitted, req.ClientID, int64(req.Seq))
+	}
 	if v == mempool.DupConfirmed || v == mempool.StaleSeq {
 		n.resendReply(req)
 	}
@@ -530,6 +538,9 @@ func (n *Node) SubmitSignedBatch(now time.Duration, reqs []types.Request, sigs [
 			continue
 		}
 		out[i] = n.reqPool.Admit(reqs[i], now)
+		if out[i].OK() {
+			n.trace(obs.EvRequestAdmitted, reqs[i].ClientID, int64(reqs[i].Seq))
+		}
 		if out[i] == mempool.DupConfirmed || out[i] == mempool.StaleSeq {
 			n.resendReply(reqs[i])
 		}
@@ -580,6 +591,17 @@ func (n *Node) observe(now time.Duration) {
 		n.now = now
 	}
 }
+
+// trace records one lifecycle event on the configured tracer, stamped with
+// the node clock and current view. Emit is nil-safe, so untraced replicas
+// pay one pointer check per site.
+func (n *Node) trace(kind obs.EventKind, id uint64, aux int64) {
+	n.cfg.Tracer.Emit(n.now, kind, uint64(n.view), id, aux)
+}
+
+// traceID compresses a digest into a trace event id (first 8 bytes,
+// big-endian) — enough to correlate lifecycle stages across replicas.
+func traceID(h types.Hash) uint64 { return binary.BigEndian.Uint64(h[:8]) }
 
 // Start implements transport.Node. With a Store configured, Start first
 // recovers the durable state (checkpoint anchor + WAL replay) and, when

@@ -6,6 +6,7 @@ import (
 
 	"leopard/internal/client"
 	"leopard/internal/crypto"
+	"leopard/internal/obs"
 	"leopard/internal/storage"
 	"leopard/internal/transport"
 	"leopard/internal/types"
@@ -339,6 +340,7 @@ func (n *Node) sendStateReqWidth(out transport.Sink, k int) {
 	if k > peers {
 		k = peers
 	}
+	n.trace(obs.EvStateReqSent, uint64(n.executedTo), int64(k))
 	for i := 0; i < k; i++ {
 		off := (n.stateRound + i) % peers
 		peer := types.ReplicaID((int(n.cfg.ID) + 1 + off) % n.q.N)
@@ -552,6 +554,7 @@ func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks [
 				n.cacheReply(reply)
 				n.replyFn(reply)
 				n.stats.RepliesSent++
+				n.trace(obs.EvReplySent, r.ClientID, int64(r.Seq))
 			}
 		}
 	}
@@ -559,6 +562,7 @@ func (n *Node) executeBlock(sn types.SeqNum, block *types.BFTblock, datablocks [
 	n.executedTo = sn
 	n.lastExecProgress = n.now
 	n.stats.ExecutedBlocks++
+	n.trace(obs.EvBlockExecuted, uint64(sn), int64(len(datablocks)))
 	if sn > n.maxConfirmed {
 		n.maxConfirmed = sn
 	}
@@ -606,6 +610,7 @@ func (n *Node) applyTransferredRecord(rec *storage.BlockRecord, out transport.Si
 	n.executeBlock(rec.Seq, block, rec.Datablocks)
 	n.stats.ConfirmedBlocks++
 	n.stats.StateBlocksApplied++
+	n.trace(obs.EvStateApplied, uint64(rec.Seq), int64(len(rec.Datablocks)))
 	if inst := n.instances[rec.Seq]; inst != nil && inst.state < types.StateExecuted {
 		// The slot is decided and executed; a live instance here must not
 		// keep the view-change timer armed.

@@ -8,6 +8,7 @@ import (
 	"leopard/internal/crypto"
 	"leopard/internal/erasure"
 	"leopard/internal/merkle"
+	"leopard/internal/obs"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -52,6 +53,9 @@ func (n *Node) checkRetrievalTimers(out transport.Sink) {
 	})
 	for _, h := range due {
 		r := n.missing[h]
+		if !r.queried {
+			n.trace(obs.EvRetrievalStart, traceID(h), 0)
+		}
 		r.queried = true
 		r.queriedAt = n.now
 	}
@@ -235,6 +239,7 @@ func (n *Node) handleResp(from types.ReplicaID, m *RespMsg, out transport.Sink) 
 		return
 	}
 	n.stats.Retrievals++
+	n.trace(obs.EvRetrievalDone, traceID(m.Digest), 1)
 	n.acceptDatablock(m.Digest, db, db.Ref.Generator, out)
 }
 
@@ -276,6 +281,7 @@ func (n *Node) handleFullBlock(from types.ReplicaID, m *FullBlockMsg, out transp
 		return
 	}
 	n.stats.Retrievals++
+	n.trace(obs.EvRetrievalDone, traceID(m.Digest), 2)
 	n.acceptDatablock(m.Digest, m.Block, m.Block.Ref.Generator, out)
 }
 

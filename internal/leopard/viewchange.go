@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"leopard/internal/crypto"
+	"leopard/internal/obs"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -165,6 +166,7 @@ func (n *Node) startViewChange(target types.View, out transport.Sink) {
 	n.inViewChange = true
 	n.pendingView = target
 	n.vcStartedAt = n.now
+	n.trace(obs.EvViewChangeStart, uint64(target), 0)
 
 	msg := n.buildViewChangeMsg(target)
 	newLeader := types.LeaderOf(target, n.q.N)
@@ -374,6 +376,7 @@ func (n *Node) enterNewView(m *NewViewMsg, out transport.Sink) {
 	n.lastProgress = n.now
 	n.lastExecProgress = n.now
 	n.stats.ViewChanges++
+	n.trace(obs.EvViewChangeDone, uint64(m.NewView), 0)
 	// Persist the entered view so a restart resumes here instead of at
 	// view 1 (where it would ignore the live leader until the next view
 	// change). Rare event, so the synchronous metadata write is fine.

@@ -2,8 +2,9 @@
 // byte-identical replay the chaos/recover experiments depend on.
 //
 // The simulation stack (internal/simnet, internal/faultplan,
-// internal/harness, internal/experiments) and the protocol state machine
-// (internal/leopard) promise that two identically-seeded runs are
+// internal/harness, internal/experiments), the protocol state machine
+// (internal/leopard) and the trace/metrics layer they emit into
+// (internal/obs) promise that two identically-seeded runs are
 // byte-identical down to per-replica traffic counters — the property every
 // chaos regression (TestChaosDeterministic, TestRecoverScenarioDeterministic)
 // asserts and every fault schedule's reproducibility rests on. That promise
@@ -46,6 +47,7 @@ var Analyzer = &analysis.Analyzer{
 // determinism contract.
 var scopedPrefixes = []string{
 	"leopard/internal/leopard",
+	"leopard/internal/obs",
 	"leopard/internal/simnet",
 	"leopard/internal/faultplan",
 	"leopard/internal/harness",

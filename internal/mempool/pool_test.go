@@ -26,9 +26,9 @@ func TestNonceGapsFilledOutOfOrder(t *testing.T) {
 		want        Verdict
 		len, queued int
 	}{
-		{0, Admitted, 1, 0},        // anchors the client
-		{3, AdmittedQueued, 1, 1},  // gap: 1, 2 missing
-		{5, AdmittedQueued, 1, 2},  // still gapped
+		{0, Admitted, 1, 0},         // anchors the client
+		{3, AdmittedQueued, 1, 1},   // gap: 1, 2 missing
+		{5, AdmittedQueued, 1, 2},   // still gapped
 		{2, AdmittedQueued, 1, 3},   // fills part of the gap, 1 still missing
 		{1, Admitted, 4, 1},         // closes the gap: 1 promotes 2 and 3; 5 stays
 		{4, Admitted, 6, 0},         // closes the rest: 4 promotes 5

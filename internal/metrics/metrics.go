@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -121,7 +122,10 @@ func (l *LatencyRecorder) Mean() time.Duration {
 	return sum / time.Duration(len(l.samples))
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100).
+// Percentile returns the p-th percentile (0 < p <= 100) by the nearest-rank
+// method: the smallest sample with at least p% of the samples at or below
+// it, i.e. index ceil(p/100*n)-1. (A floor here would systematically
+// underestimate: p99 of 10 samples must be the 10th sample, not the 9th.)
 func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 	if len(l.samples) == 0 {
 		return 0
@@ -130,7 +134,9 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
 		l.sorted = true
 	}
-	idx := int(p/100*float64(len(l.samples))) - 1
+	// The 1e-9 slack keeps exact ranks (e.g. p50 of 10 → 5.0) from being
+	// pushed up a rank by floating-point noise in p/100*n.
+	idx := int(math.Ceil(p/100*float64(len(l.samples))-1e-9)) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"DatablocksMade":     "datablocks_made",
+		"WALFailed":          "wal_failed",
+		"BFTBlockSize":       "bft_block_size",
+		"P99Lat":             "p99_lat",
+		"View":               "view",
+		"CreditsOutstanding": "credits_outstanding",
+		"StateReqsServed":    "state_reqs_served",
+		"ID":                 "id",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSetStruct(t *testing.T) {
+	type inner struct {
+		QueuedBytes int64
+		Evictions   int64
+	}
+	type stats struct {
+		ConfirmedRequests int64
+		PendingRequests   int
+		WALFailed         bool
+		Uptime            time.Duration
+		Ratio             float64
+		View              uint64
+		Stream            inner
+		Name              string // skipped
+		hidden            int64  // skipped
+	}
+	r := NewRegistry()
+	s := stats{
+		ConfirmedRequests: 9, PendingRequests: 3, WALFailed: true,
+		Uptime: 1500 * time.Millisecond, Ratio: 0.5, View: 4,
+		Stream: inner{QueuedBytes: 100, Evictions: 2},
+		Name:   "x", hidden: 1,
+	}
+	r.SetStruct("leopard", &s)
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"leopard_confirmed_requests":  9,
+		"leopard_pending_requests":    3,
+		"leopard_wal_failed":          1,
+		"leopard_uptime_seconds":      1.5,
+		"leopard_ratio":               0.5,
+		"leopard_view":                4,
+		"leopard_stream_queued_bytes": 100,
+		"leopard_stream_evictions":    2,
+	}
+	for name, v := range want {
+		got, ok := snap[name]
+		if !ok {
+			t.Errorf("missing bound gauge %q (snapshot: %v)", name, snap)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if _, ok := snap["leopard_name"]; ok {
+		t.Error("string field must not be bound")
+	}
+	if len(snap) != len(want) {
+		t.Errorf("bound %d series, want %d: %v", len(snap), len(want), snap)
+	}
+	// Re-binding updates in place without duplicating series.
+	s.ConfirmedRequests = 11
+	r.SetStruct("leopard", &s)
+	if got := r.Snapshot()["leopard_confirmed_requests"]; got != 11.0 {
+		t.Errorf("rebound value = %v, want 11", got)
+	}
+	if r.NumSeries() != len(want) {
+		t.Errorf("NumSeries = %d after rebind, want %d", r.NumSeries(), len(want))
+	}
+}

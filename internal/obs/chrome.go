@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace_event export. The output loads in chrome://tracing and
+// Perfetto. Layout: one "process" per run (pid = run index, named with the
+// run label), one "thread" per replica (tid = replica index). View-change
+// and retrieval lifecycles export as async begin/end pairs (ph "b"/"e",
+// paired by id, so overlapping retrievals never mis-nest); every other
+// event is an instant (ph "i").
+//
+// The writer is fully deterministic: events are emitted in ring order per
+// replica, replicas in index order, runs in creation order, and no map is
+// iterated — identically-seeded runs export byte-identical files.
+
+// chromeTS renders a virtual-time offset as the trace_event "ts" field:
+// microseconds with nanosecond fraction.
+func chromeTS(d time.Duration) string {
+	ns := d.Nanoseconds()
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// asyncSpan describes kinds exported as async begin/end pairs.
+var asyncSpan = map[EventKind]struct {
+	open bool   // begin (true) or end (false)
+	name string // span name, shared by the begin and end kinds
+	cat  string // category, also the async-pairing namespace
+}{
+	EvViewChangeStart: {true, "view_change", "viewchange"},
+	EvViewChangeDone:  {false, "view_change", "viewchange"},
+	EvRetrievalStart:  {true, "retrieval", "retrieval"},
+	EvRetrievalDone:   {false, "retrieval", "retrieval"},
+}
+
+// WriteChrome writes every collected run as one Chrome trace_event JSON
+// document.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	return writeChromeRuns(w, c.Runs())
+}
+
+// WriteChrome writes this run alone as a Chrome trace_event JSON document.
+func (ts *TraceSet) WriteChrome(w io.Writer) error {
+	if ts == nil {
+		return writeChromeRuns(w, nil)
+	}
+	return writeChromeRuns(w, []*TraceSet{ts})
+}
+
+func writeChromeRuns(w io.Writer, runs []*TraceSet) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		fmt.Fprintf(bw, format, args...)
+	}
+	for pid, run := range runs {
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pid, run.Label)
+		for tid := 0; tid < run.Size(); tid++ {
+			emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"replica %d"}}`,
+				pid, tid, tid)
+			for _, e := range run.Tracer(tid).Events() {
+				if span, ok := asyncSpan[e.Kind]; ok {
+					ph := "e"
+					if span.open {
+						ph = "b"
+					}
+					emit(`{"name":%q,"cat":%q,"ph":%q,"id":"0x%x","ts":%s,"pid":%d,"tid":%d,"args":{"view":%d,"aux":%d}}`,
+						span.name, span.cat, ph, e.ID, chromeTS(e.At), pid, tid, e.View, e.Aux)
+					continue
+				}
+				emit(`{"name":%q,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"view":%d,"id":"0x%x","aux":%d}}`,
+					e.Kind.String(), chromeTS(e.At), pid, tid, e.View, e.ID, e.Aux)
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Inc/Add are lock-free and
+// allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time float value. Set/Add are lock-free and
+// allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets
+// (Prometheus-style: bounds are inclusive upper limits, plus +Inf).
+// Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// entry is one registered series.
+type entry struct {
+	name string // full series name, possibly with a {label="..."} suffix
+	base string // metric family name (name up to any '{')
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	fn   func() float64
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition or a JSON snapshot. Registration methods are idempotent by
+// series name: registering an existing name returns the existing metric, so
+// scrape-time re-binding is cheap and safe.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*entry
+	byBase  map[string][]*entry
+	baseSeq []string // family emission order (first registration wins)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry), byBase: make(map[string][]*entry)}
+}
+
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help, typ string) *entry {
+	e := r.byName[name]
+	if e != nil {
+		return e
+	}
+	e = &entry{name: name, base: baseOf(name), help: help, typ: typ}
+	r.byName[name] = e
+	if _, seen := r.byBase[e.base]; !seen {
+		r.baseSeq = append(r.baseSeq, e.base)
+	}
+	r.byBase[e.base] = append(r.byBase[e.base], e)
+	return e
+}
+
+// Counter registers (or fetches) a counter series. The name may carry a
+// fixed label set, e.g. `leopard_events_total{kind="sigma1_cert"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.register(name, help, "counter")
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.register(name, help, "gauge")
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.register(name, help, "gauge")
+	if e.fn == nil {
+		e.fn = fn
+	}
+}
+
+// Histogram registers (or fetches) a histogram with the given inclusive
+// upper bucket bounds (+Inf is implicit). Histogram names must not carry
+// labels.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.register(name, help, "histogram")
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// snapshot returns families in registration order under the lock.
+func (r *Registry) snapshot() [][]*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]*entry, 0, len(r.baseSeq))
+	for _, base := range r.baseSeq {
+		out = append(out, append([]*entry(nil), r.byBase[base]...))
+	}
+	return out
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (e *entry) value() float64 {
+	switch {
+	case e.c != nil:
+		return float64(e.c.Value())
+	case e.g != nil:
+		return e.g.Value()
+	case e.fn != nil:
+		return e.fn()
+	}
+	return 0
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), families in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, family := range r.snapshot() {
+		head := family[0]
+		if head.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", head.base, strings.ReplaceAll(head.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", head.base, head.typ)
+		for _, e := range family {
+			if e.h != nil {
+				cum := int64(0)
+				for i, b := range e.h.bounds {
+					cum += e.h.buckets[i].Load()
+					fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.base, formatValue(b), cum)
+				}
+				cum += e.h.buckets[len(e.h.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.base, cum)
+				fmt.Fprintf(bw, "%s_sum %s\n", e.base, formatValue(e.h.Sum()))
+				fmt.Fprintf(bw, "%s_count %d\n", e.base, e.h.Count())
+				continue
+			}
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatValue(e.value()))
+		}
+	}
+	return bw.Flush()
+}
+
+// Snapshot returns the registry as a flat name→value map (histograms as
+// {count, sum, buckets} maps), ready for JSON encoding — this is what
+// leopard-node's /status serves, so the status body is generated from the
+// registry rather than hand-maintained.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, family := range r.snapshot() {
+		for _, e := range family {
+			if e.h != nil {
+				buckets := make(map[string]int64, len(e.h.bounds)+1)
+				cum := int64(0)
+				for i, b := range e.h.bounds {
+					cum += e.h.buckets[i].Load()
+					buckets[formatValue(b)] = cum
+				}
+				cum += e.h.buckets[len(e.h.bounds)].Load()
+				buckets["+Inf"] = cum
+				out[e.name] = map[string]any{
+					"count": e.h.Count(), "sum": e.h.Sum(), "buckets": buckets,
+				}
+				continue
+			}
+			out[e.name] = e.value()
+		}
+	}
+	return out
+}
+
+// NumSeries returns the number of registered series (histograms count once).
+func (r *Registry) NumSeries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byName)
+}

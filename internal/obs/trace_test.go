@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(time.Second, EvSigma1Cert, 1, 2, 3) // must not panic
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer should record nothing")
+	}
+	var ts *TraceSet
+	if ts.Tracer(0) != nil || ts.Size() != 0 || ts.DumpLast(8) != "" {
+		t.Fatal("nil trace set should be inert")
+	}
+	ts.Tracer(3).Emit(0, EvBlockExecuted, 0, 0, 0)
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(time.Duration(i)*time.Millisecond, EvBlockExecuted, 0, uint64(i), 0)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.ID != want {
+			t.Errorf("evs[%d].ID = %d, want %d (oldest-first order after wrap)", i, e.ID, want)
+		}
+	}
+	last := tr.Last(2)
+	if len(last) != 2 || last[0].ID != 8 || last[1].ID != 9 {
+		t.Fatalf("Last(2) = %+v, want ids 8,9", last)
+	}
+}
+
+func TestTracerEmitZeroAlloc(t *testing.T) {
+	tr := NewTracer(64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(time.Millisecond, EvSigma2Cert, 1, 42, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %v times per call, want 0", allocs)
+	}
+	reg := NewRegistry()
+	tr.MirrorCounts(reg, "leopard")
+	allocs = testing.AllocsPerRun(1000, func() {
+		tr.Emit(time.Millisecond, EvSigma2Cert, 1, 42, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit with mirrored counters allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestMirrorCounts(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(8)
+	tr.MirrorCounts(reg, "leopard")
+	tr.Emit(0, EvSigma1Cert, 0, 1, 0)
+	tr.Emit(0, EvSigma1Cert, 0, 2, 0)
+	tr.Emit(0, EvBlockExecuted, 0, 1, 0)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `leopard_events_total{kind="sigma1_cert"} 2`) {
+		t.Fatalf("missing sigma1 counter in:\n%s", out)
+	}
+	if !strings.Contains(out, `leopard_events_total{kind="block_executed"} 1`) {
+		t.Fatalf("missing executed counter in:\n%s", out)
+	}
+}
+
+// fillTraceSet emits a tiny deterministic lifecycle across 2 replicas.
+func fillTraceSet(ts *TraceSet) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ts.Tracer(0).Emit(ms(1), EvDatablockPacked, 0, 0xabc, 5)
+	ts.Tracer(1).Emit(ms(3), EvDatablockReady, 0, 0xabc, 0)
+	ts.Tracer(0).Emit(ms(4), EvBlockProposed, 0, 7, 1)
+	ts.Tracer(0).Emit(ms(6), EvSigma1Cert, 0, 7, 0)
+	ts.Tracer(1).Emit(ms(7), EvSigma1Cert, 0, 7, 0)
+	ts.Tracer(0).Emit(ms(9), EvSigma2Cert, 0, 7, 0)
+	ts.Tracer(0).Emit(ms(10), EvBlockExecuted, 0, 7, 5)
+	ts.Tracer(1).Emit(ms(11), EvViewChangeStart, 1, 1, 0)
+	ts.Tracer(1).Emit(ms(15), EvViewChangeDone, 1, 1, 0)
+}
+
+func TestChromeExportValidJSONAndDeterministic(t *testing.T) {
+	export := func() []byte {
+		c := NewCollector(128)
+		ts := c.NewRun("unit", 2)
+		fillTraceSet(ts)
+		var buf bytes.Buffer
+		if err := c.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical trace contents exported different bytes")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, a)
+	}
+	// 2 metadata names + 1 process_name + 9 events.
+	if len(doc.TraceEvents) != 12 {
+		t.Fatalf("trace has %d events, want 12:\n%s", len(doc.TraceEvents), a)
+	}
+	sawAsync := false
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "b" && e["name"] == "view_change" {
+			sawAsync = true
+		}
+	}
+	if !sawAsync {
+		t.Fatalf("no async view_change begin event in export:\n%s", a)
+	}
+}
+
+func TestStageBreakdown(t *testing.T) {
+	ts := NewTraceSet("unit", 2, 128)
+	fillTraceSet(ts)
+	rows := StageBreakdown([]*TraceSet{ts})
+	want := map[string]time.Duration{
+		StageDissemination: 2 * time.Millisecond, // packed@1 -> ready@3
+		StageNotarization:  2 * time.Millisecond, // proposed@4 -> earliest sigma1@6
+		StageConfirmation:  3 * time.Millisecond, // sigma1@6 -> sigma2@9
+		StageExecution:     1 * time.Millisecond, // sigma2@9 -> executed@10
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	var pct float64
+	for _, r := range rows {
+		if want[r.Stage] != r.Total {
+			t.Errorf("%s: total %v, want %v", r.Stage, r.Total, want[r.Stage])
+		}
+		pct += r.Percent
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Errorf("percentages sum to %v, want ~100", pct)
+	}
+}
+
+func TestDumpLast(t *testing.T) {
+	ts := NewTraceSet("unit", 2, 128)
+	fillTraceSet(ts)
+	dump := ts.DumpLast(4)
+	if !strings.Contains(dump, "replica 0") || !strings.Contains(dump, "replica 1") {
+		t.Fatalf("dump missing per-replica sections:\n%s", dump)
+	}
+	if !strings.Contains(dump, "sigma2_cert") || !strings.Contains(dump, "view_change_done") {
+		t.Fatalf("dump missing expected events:\n%s", dump)
+	}
+}

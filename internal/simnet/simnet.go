@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"leopard/internal/metrics"
+	"leopard/internal/obs"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -203,6 +204,11 @@ type Network struct {
 	// allocated lazily, flows[from][to] on first bulk send of the pair.
 	flows [][]*flow
 
+	// tracers[i], when set, receives flow-control lifecycle events (credit
+	// park, park-budget eviction) observed at sender i, stamped with the
+	// virtual clock — so seeded runs export byte-identical traces.
+	tracers []*obs.Tracer
+
 	queue eventHeap
 	seq   uint64
 	now   time.Duration
@@ -237,6 +243,26 @@ func (s *netSink) Broadcast(msg transport.Message) {
 func (n *Network) sinkFor(id types.ReplicaID) *netSink {
 	n.snk.from = id
 	return &n.snk
+}
+
+// SetTracer attaches an event tracer to replica slot id. Flow-control
+// events observed at that sender (credit parks, park-budget evictions) are
+// emitted into it stamped with the virtual clock. A nil tracer detaches.
+// The tracer is per-slot, like nodeClock: it survives Replace, so one
+// history spans a replica's crash/restart lives.
+func (n *Network) SetTracer(id types.ReplicaID, tr *obs.Tracer) {
+	if n.tracers == nil {
+		n.tracers = make([]*obs.Tracer, len(n.nodes))
+	}
+	n.tracers[id] = tr
+}
+
+// trace emits a flow-control event into sender id's tracer, if attached.
+func (n *Network) trace(id types.ReplicaID, kind obs.EventKind, evID uint64, aux int64) {
+	if n.tracers == nil {
+		return
+	}
+	n.tracers[id].Emit(n.now, kind, 0, evID, aux)
 }
 
 // New builds a network over the given nodes; node i must have ID i.
@@ -601,6 +627,7 @@ func (n *Network) flowEnqueue(from, to types.ReplicaID, msg transport.Message, s
 	if f.queued+int64(size) > budget {
 		if n.cfg.Bulk == BulkDrop {
 			f.evicts++
+			n.trace(from, obs.EvCreditEvicted, uint64(to), f.queued)
 			return
 		}
 		kept := f.streams[:0]
@@ -608,6 +635,7 @@ func (n *Network) flowEnqueue(from, to types.ReplicaID, msg transport.Message, s
 			if f.queued+int64(size) > budget && st.off == 0 {
 				f.queued -= int64(st.size)
 				f.evicts++
+				n.trace(from, obs.EvCreditEvicted, uint64(to), f.queued)
 				continue
 			}
 			kept = append(kept, st)
@@ -616,6 +644,7 @@ func (n *Network) flowEnqueue(from, to types.ReplicaID, msg transport.Message, s
 		f.rr = 0
 		if f.queued+int64(size) > budget {
 			f.evicts++
+			n.trace(from, obs.EvCreditEvicted, uint64(to), f.queued)
 			return
 		}
 	}
@@ -625,6 +654,10 @@ func (n *Network) flowEnqueue(from, to types.ReplicaID, msg transport.Message, s
 	}
 	f.streams = append(f.streams, &simStream{msg: msg, size: size})
 	n.flowPump(f)
+	if n.cfg.Bulk == BulkCredit && f.credit <= 0 && f.queued > 0 {
+		// The new frame (or its tail) parked awaiting a credit grant.
+		n.trace(from, obs.EvCreditParked, uint64(to), f.queued)
+	}
 }
 
 // flowPump books transfer units on the pipes until the flow's window is

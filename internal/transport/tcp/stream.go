@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"leopard/internal/metrics"
+	"leopard/internal/obs"
 	"leopard/internal/transport"
 )
 
@@ -57,6 +58,12 @@ type streamSched struct {
 	peak   int64
 	evicts int64
 	drops  *atomic.Int64 // the peer's drop counter (shared with control)
+
+	// trace, when set, emits a flow-control lifecycle event (park or
+	// eviction) for this peer; the runtime installs it when Config.Tracer
+	// is set. Called with mu held — the tracer has its own lock and never
+	// calls back into the scheduler.
+	trace func(kind obs.EventKind, aux int64)
 }
 
 // outStream is one queued bulk frame mid-transmission.
@@ -94,6 +101,9 @@ func (s *streamSched) enqueue(frame []byte) {
 				s.queued -= int64(len(st.frame))
 				s.evicts++
 				s.drops.Add(1)
+				if s.trace != nil {
+					s.trace(obs.EvCreditEvicted, s.queued)
+				}
 				continue
 			}
 			kept = append(kept, st)
@@ -104,6 +114,9 @@ func (s *streamSched) enqueue(frame []byte) {
 	if s.queued+size > s.cfg.ParkBudget {
 		s.evicts++
 		s.drops.Add(1)
+		if s.trace != nil {
+			s.trace(obs.EvCreditEvicted, s.queued)
+		}
 		s.mu.Unlock()
 		return
 	}
@@ -113,6 +126,10 @@ func (s *streamSched) enqueue(frame []byte) {
 	}
 	s.streams = append(s.streams, &outStream{id: s.nextID, frame: frame})
 	s.nextID++
+	if s.trace != nil && s.creditLocked() <= 0 {
+		// The new stream parked immediately: zero credit at admission.
+		s.trace(obs.EvCreditParked, s.queued)
+	}
 	s.mu.Unlock()
 	s.signal()
 }

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"leopard/internal/metrics"
+	"leopard/internal/obs"
 	"leopard/internal/transport"
 	"leopard/internal/types"
 )
@@ -113,6 +114,10 @@ type Config struct {
 	// streaming, drop on overflow). This is the pre-lane behaviour, kept
 	// as an A/B baseline for benchmarks.
 	DisableLanes bool
+	// Tracer, when set, receives bulk-lane flow-control events (credit
+	// parks, park-budget evictions) stamped with the runtime's relative
+	// clock (time since Run). Event IDs carry the peer replica id.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) validate() error {
@@ -271,6 +276,12 @@ func New(cfg Config, node transport.Node) (*Runtime, error) {
 		} else {
 			p.control = make(chan []byte, cfg.ControlQueue)
 			p.sched = newStreamSched(cfg.Stream, &p.drops)
+			if cfg.Tracer != nil {
+				pid := p.id
+				p.sched.trace = func(kind obs.EventKind, aux int64) {
+					cfg.Tracer.Emit(r.now(), kind, 0, uint64(pid), aux)
+				}
+			}
 		}
 		r.peers = append(r.peers, p)
 	}
